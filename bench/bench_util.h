@@ -1,0 +1,34 @@
+#ifndef APLUS_BENCH_BENCH_UTIL_H_
+#define APLUS_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aplus {
+
+// Plain-text table printer used by every bench binary so the output
+// mirrors the paper's tables row for row.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print() const;
+
+  static std::string Seconds(double s);
+  static std::string Mb(size_t bytes);
+  static std::string Speedup(double base, double other);
+  static std::string Count(uint64_t n);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Prints a "=== title ===" banner.
+void PrintBanner(const std::string& title);
+
+}  // namespace aplus
+
+#endif  // APLUS_BENCH_BENCH_UTIL_H_

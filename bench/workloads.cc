@@ -1,0 +1,277 @@
+#include "workloads.h"
+
+#include "util/logging.h"
+
+namespace aplus {
+
+namespace {
+
+// Cyclic label pickers over the graph's generated VL*/EL* sets.
+struct LabelPool {
+  explicit LabelPool(const Graph& graph) {
+    for (uint32_t i = 0;; ++i) {
+      label_t label = graph.catalog().FindVertexLabel("VL" + std::to_string(i));
+      if (label == kInvalidLabel) break;
+      vlabels.push_back(label);
+    }
+    for (uint32_t i = 0;; ++i) {
+      label_t label = graph.catalog().FindEdgeLabel("EL" + std::to_string(i));
+      if (label == kInvalidLabel) break;
+      elabels.push_back(label);
+    }
+    if (vlabels.empty()) vlabels.push_back(kInvalidLabel);
+    if (elabels.empty()) elabels.push_back(kInvalidLabel);
+  }
+
+  label_t V(int i) const { return vlabels[i % vlabels.size()]; }
+  label_t E(int i) const { return elabels[i % elabels.size()]; }
+
+  std::vector<label_t> vlabels;
+  std::vector<label_t> elabels;
+};
+
+// Builds a query from an edge list over `n` vertices, labelling vertex i
+// with pool.V(i) and edge j with pool.E(j).
+QueryGraph FromShape(const LabelPool& pool, int n,
+                     const std::vector<std::pair<int, int>>& edges) {
+  QueryGraph query;
+  for (int i = 0; i < n; ++i) {
+    query.AddVertex("v" + std::to_string(i + 1), pool.V(i));
+  }
+  int j = 0;
+  for (auto [from, to] : edges) {
+    query.AddEdge(from, to, pool.E(j), "e" + std::to_string(j + 1));
+    ++j;
+  }
+  return query;
+}
+
+}  // namespace
+
+std::vector<NamedQuery> MakeSqWorkload(const Graph& graph) {
+  LabelPool pool(graph);
+  std::vector<NamedQuery> workload;
+  auto add = [&](const std::string& name, int n,
+                 const std::vector<std::pair<int, int>>& edges) {
+    workload.push_back(NamedQuery{name, FromShape(pool, n, edges)});
+  };
+
+  // Acyclic, sparse.
+  add("SQ1", 3, {{0, 1}, {1, 2}});                            // 2-path
+  add("SQ2", 4, {{0, 1}, {1, 2}, {2, 3}});                    // 3-path
+  add("SQ3", 4, {{0, 1}, {0, 2}, {0, 3}});                    // out-star
+  add("SQ4", 4, {{1, 0}, {2, 0}, {0, 3}});                    // in-in-out
+  add("SQ5", 5, {{0, 1}, {1, 2}, {0, 3}, {3, 4}});            // two branches
+  // Cyclic, increasingly dense.
+  add("SQ6", 3, {{0, 1}, {1, 2}, {0, 2}});                    // triangle
+  add("SQ7", 4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}});            // square
+  add("SQ8", 4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});            // tailed triangle
+  add("SQ9", 4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}, {0, 2}});    // diamond
+  add("SQ10", 4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}, {0, 2}, {1, 3}});  // 4-clique
+  add("SQ11", 5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}});   // 5-cycle
+  add("SQ12", 5, {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {2, 4}});  // bowtie
+  add("SQ13", 6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}});   // 5-edge path
+  // SQ14: 7 vertices, dense (near-clique; omitted from Table II in the
+  // paper for producing almost no tuples, kept here for completeness).
+  add("SQ14", 7,
+      {{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}, {0, 6}, {1, 2}, {1, 3}, {1, 4}, {1, 5}, {1, 6},
+       {2, 3}, {2, 4}, {2, 5}, {2, 6}, {3, 4}, {3, 5}, {3, 6}, {4, 5}, {4, 6}, {5, 6}});
+  return workload;
+}
+
+QueryGraph MakeMrQuery(int index, prop_key_t time_key, int64_t alpha, vertex_id_t a1,
+                       label_t follows_label) {
+  APLUS_CHECK_GE(index, 1);
+  APLUS_CHECK_LE(index, 3);
+  int k = index + 1;  // number of recently-followed users a2..a(k)
+  QueryGraph query;
+  int v_a1 = query.AddVertex("a1", kInvalidLabel, a1);
+  std::vector<int> followed;
+  for (int i = 0; i < k - 1; ++i) {
+    followed.push_back(query.AddVertex("a" + std::to_string(i + 2)));
+  }
+  int recommended = query.AddVertex("a" + std::to_string(k + 1));
+  for (int i = 0; i < k - 1; ++i) {
+    int e = query.AddEdge(v_a1, followed[i], follows_label, "e" + std::to_string(i + 1));
+    // P_alpha(e_i): e_i.time < alpha on a1's edges (Figure 4).
+    QueryComparison recent;
+    recent.lhs = QueryPropRef{e, true, time_key, false};
+    recent.op = CmpOp::kLt;
+    recent.rhs_const = Value::Int64(alpha);
+    query.AddPredicate(recent);
+  }
+  for (int i = 0; i < k - 1; ++i) {
+    query.AddEdge(recommended, followed[i], follows_label, "f" + std::to_string(i + 1));
+  }
+  return query;
+}
+
+void AddFlowPredicate(QueryGraph* query, int ei_var, int ej_var, const FinancialPropKeys& keys,
+                      int64_t alpha) {
+  // ei.date < ej.date
+  QueryComparison date;
+  date.lhs = QueryPropRef{ei_var, true, keys.date, false};
+  date.op = CmpOp::kLt;
+  date.rhs_is_const = false;
+  date.rhs_ref = QueryPropRef{ej_var, true, keys.date, false};
+  query->AddPredicate(date);
+  // ei.amt > ej.amt
+  QueryComparison amt;
+  amt.lhs = QueryPropRef{ei_var, true, keys.amount, false};
+  amt.op = CmpOp::kGt;
+  amt.rhs_is_const = false;
+  amt.rhs_ref = QueryPropRef{ej_var, true, keys.amount, false};
+  query->AddPredicate(amt);
+  // ei.amt < ej.amt + alpha
+  QueryComparison cut;
+  cut.lhs = QueryPropRef{ei_var, true, keys.amount, false};
+  cut.op = CmpOp::kLt;
+  cut.rhs_is_const = false;
+  cut.rhs_ref = QueryPropRef{ej_var, true, keys.amount, false};
+  cut.rhs_addend = alpha;
+  query->AddPredicate(cut);
+}
+
+namespace {
+
+void AddCityEq(QueryGraph* query, int a, int b, const FinancialPropKeys& keys) {
+  QueryComparison eq;
+  eq.lhs = QueryPropRef{a, false, keys.city, false};
+  eq.op = CmpOp::kEq;
+  eq.rhs_is_const = false;
+  eq.rhs_ref = QueryPropRef{b, false, keys.city, false};
+  query->AddPredicate(eq);
+}
+
+void AddAccEq(QueryGraph* query, int v, category_t acc, const FinancialPropKeys& keys) {
+  QueryComparison eq;
+  eq.lhs = QueryPropRef{v, false, keys.acc, false};
+  eq.op = CmpOp::kEq;
+  eq.rhs_const = Value::Category(acc);
+  query->AddPredicate(eq);
+}
+
+void AddIdWindow(QueryGraph* query, int v, int64_t base, int64_t span) {
+  QueryComparison ge;
+  ge.lhs = QueryPropRef{v, false, kInvalidPropKey, true};
+  ge.op = CmpOp::kGe;
+  ge.rhs_const = Value::Int64(base);
+  query->AddPredicate(ge);
+  QueryComparison lt;
+  lt.lhs = QueryPropRef{v, false, kInvalidPropKey, true};
+  lt.op = CmpOp::kLt;
+  lt.rhs_const = Value::Int64(base + span);
+  query->AddPredicate(lt);
+}
+
+}  // namespace
+
+QueryGraph MakeMfQuery(int index, const MfParams& params) {
+  const FinancialPropKeys& keys = params.keys;
+  QueryGraph query;
+  switch (index) {
+    case 1: {
+      // MF1 (Figure 5a): directed 4-cycle a1->a2->a3->a4->a1 with
+      // ai.acc = CQ and a2.city = a4.city.
+      int a1 = query.AddVertex("a1");
+      int a2 = query.AddVertex("a2");
+      int a3 = query.AddVertex("a3");
+      int a4 = query.AddVertex("a4");
+      query.AddEdge(a1, a2, params.transfer_label, "e1");
+      query.AddEdge(a2, a3, params.transfer_label, "e2");
+      query.AddEdge(a3, a4, params.transfer_label, "e3");
+      query.AddEdge(a4, a1, params.transfer_label, "e4");
+      for (int v : {a1, a2, a3, a4}) AddAccEq(&query, v, kAccCq, keys);
+      AddCityEq(&query, a2, a4, keys);
+      return query;
+    }
+    case 2: {
+      // MF2 (Figure 5b): 3-edge path with all cities equal.
+      int a1 = query.AddVertex("a1");
+      int a2 = query.AddVertex("a2");
+      int a3 = query.AddVertex("a3");
+      int a4 = query.AddVertex("a4");
+      query.AddEdge(a1, a2, params.transfer_label, "e1");
+      query.AddEdge(a2, a3, params.transfer_label, "e2");
+      query.AddEdge(a3, a4, params.transfer_label, "e3");
+      AddCityEq(&query, a1, a2, keys);
+      AddCityEq(&query, a2, a3, keys);
+      AddCityEq(&query, a3, a4, keys);
+      return query;
+    }
+    case 3: {
+      // MF3 (Figure 5c / Figure 6): a1->a2, a1->a3, a3->a5, a1->a4 with
+      // a2.city = a4.city = a5.city, a3.ID < bound, ai.acc = CQ for
+      // a1..a4, a5.acc = SV, Pf(e2, e3).
+      int a1 = query.AddVertex("a1");
+      int a2 = query.AddVertex("a2");
+      int a3 = query.AddVertex("a3");
+      int a4 = query.AddVertex("a4");
+      int a5 = query.AddVertex("a5");
+      int e1 = query.AddEdge(a1, a2, params.transfer_label, "e1");
+      int e2 = query.AddEdge(a1, a3, params.transfer_label, "e2");
+      int e3 = query.AddEdge(a3, a5, params.transfer_label, "e3");
+      int e4 = query.AddEdge(a1, a4, params.transfer_label, "e4");
+      (void)e1;
+      (void)e4;
+      AddCityEq(&query, a2, a4, keys);
+      AddCityEq(&query, a4, a5, keys);
+      AddIdWindow(&query, a3, params.id_base, params.id_span);
+      for (int v : {a1, a2, a3, a4}) AddAccEq(&query, v, kAccCq, keys);
+      AddAccEq(&query, a5, kAccSv, keys);
+      AddFlowPredicate(&query, e2, e3, keys, params.alpha);
+      return query;
+    }
+    case 4: {
+      // MF4 (Figure 5d): two 2-step flows out of a1 — a5<-a4<-a1->a2->a3
+      // with Pf(e1, e2) on the a2 branch and Pf(e3, e4) on the a4
+      // branch, a1.city = beta, a2.city = a4.city, a2/a3 CQ, a4/a5 SV.
+      int a1 = query.AddVertex("a1");
+      int a2 = query.AddVertex("a2");
+      int a3 = query.AddVertex("a3");
+      int a4 = query.AddVertex("a4");
+      int a5 = query.AddVertex("a5");
+      int e1 = query.AddEdge(a1, a2, params.transfer_label, "e1");
+      int e2 = query.AddEdge(a2, a3, params.transfer_label, "e2");
+      int e3 = query.AddEdge(a1, a4, params.transfer_label, "e3");
+      int e4 = query.AddEdge(a4, a5, params.transfer_label, "e4");
+      QueryComparison beta;
+      beta.lhs = QueryPropRef{a1, false, keys.city, false};
+      beta.op = CmpOp::kEq;
+      beta.rhs_const = Value::Category(params.beta_city);
+      query.AddPredicate(beta);
+      AddCityEq(&query, a2, a4, keys);
+      AddAccEq(&query, a2, kAccCq, keys);
+      AddAccEq(&query, a3, kAccCq, keys);
+      AddAccEq(&query, a4, kAccSv, keys);
+      AddAccEq(&query, a5, kAccSv, keys);
+      AddFlowPredicate(&query, e1, e2, keys, params.alpha);
+      AddFlowPredicate(&query, e3, e4, keys, params.alpha);
+      return query;
+    }
+    case 5: {
+      // MF5 (Figure 5e): 4-edge flow path with chained Pf predicates,
+      // a1.ID < bound and ai.acc = CQ.
+      int a1 = query.AddVertex("a1");
+      int a2 = query.AddVertex("a2");
+      int a3 = query.AddVertex("a3");
+      int a4 = query.AddVertex("a4");
+      int a5 = query.AddVertex("a5");
+      int e1 = query.AddEdge(a1, a2, params.transfer_label, "e1");
+      int e2 = query.AddEdge(a2, a3, params.transfer_label, "e2");
+      int e3 = query.AddEdge(a3, a4, params.transfer_label, "e3");
+      int e4 = query.AddEdge(a4, a5, params.transfer_label, "e4");
+      AddIdWindow(&query, a1, params.id_base, params.id_span);
+      for (int v : {a1, a2, a3, a4, a5}) AddAccEq(&query, v, kAccCq, keys);
+      AddFlowPredicate(&query, e1, e2, keys, params.alpha);
+      AddFlowPredicate(&query, e2, e3, keys, params.alpha);
+      AddFlowPredicate(&query, e3, e4, keys, params.alpha);
+      return query;
+    }
+    default:
+      APLUS_CHECK(false) << "MF index out of range: " << index;
+  }
+  return query;
+}
+
+}  // namespace aplus

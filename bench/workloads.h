@@ -1,0 +1,67 @@
+#ifndef APLUS_BENCH_WORKLOADS_H_
+#define APLUS_BENCH_WORKLOADS_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/financial_props.h"
+#include "query/query_graph.h"
+#include "storage/graph.h"
+
+namespace aplus {
+
+// ---------------------------------------------------------------------
+// SQ1..SQ14 (Section V-B): the labelled subgraph queries of the
+// Graphflow optimizer paper, reconstructed per the paper's description —
+// acyclic and cyclic, dense and sparse, up to 7 query vertices and up to
+// 21 query edges, with both vertex and edge labels fixed. Labels are
+// assigned cyclically from the graph's VL*/EL* label sets.
+// ---------------------------------------------------------------------
+struct NamedQuery {
+  std::string name;
+  QueryGraph query;
+};
+
+std::vector<NamedQuery> MakeSqWorkload(const Graph& graph);
+
+// ---------------------------------------------------------------------
+// MagicRecs MR1..MR3 (Section V-C1, Figure 4): a1 recently followed
+// a2..ak (edge time < alpha on a1's edges); find their common follower.
+// `a1` pins the start vertex when != kInvalidVertex.
+// ---------------------------------------------------------------------
+// `follows_label` pins the follow-edge label (the social graphs have a
+// single edge label; pinning it lets extensions read innermost —
+// sorted — sublists, as GraphflowDB's default indexes assume).
+QueryGraph MakeMrQuery(int index /* 1..3 */, prop_key_t time_key, int64_t alpha,
+                       vertex_id_t a1 = kInvalidVertex, label_t follows_label = kInvalidLabel);
+
+// ---------------------------------------------------------------------
+// Fraud MF1..MF5 (Section V-C2/V-D, Figure 5). Pf(ei, ej) is
+// ei.date < ej.date, ei.amt > ej.amt, ei.amt < ej.amt + alpha; beta is
+// the bound city for MF4.
+// ---------------------------------------------------------------------
+struct MfParams {
+  FinancialPropKeys keys;
+  int64_t alpha = 50;       // Pf "intermediate cut"
+  // The paper bounds a3.ID (MF3) / a1.ID (MF5) to a fixed vertex sample
+  // for tractability. In the generated graphs vertex IDs correlate with
+  // degree (preferential attachment assigns low IDs to hubs), so the
+  // sample is taken as a window [id_base, id_base + id_span) of ordinary
+  // vertices rather than the paper's plain upper bound.
+  int64_t id_base = 0;
+  int64_t id_span = 10000;
+  category_t beta_city = 0; // MF4's a1.city = beta
+  // Transfer edge label of the generated financial graphs; pinning it
+  // lets extensions read innermost (sorted) sublists.
+  label_t transfer_label = kInvalidLabel;
+};
+
+QueryGraph MakeMfQuery(int index /* 1..5 */, const MfParams& params);
+
+// Adds Pf(ei, ej) to `query` between edge variables ei_var and ej_var.
+void AddFlowPredicate(QueryGraph* query, int ei_var, int ej_var, const FinancialPropKeys& keys,
+                      int64_t alpha);
+
+}  // namespace aplus
+
+#endif  // APLUS_BENCH_WORKLOADS_H_

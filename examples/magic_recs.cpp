@@ -1,0 +1,116 @@
+// MagicRecs recommendations (Section V-C1): on a synthetic follower
+// graph, find users to recommend to a1 — the common followers of the
+// users a1 recently started following. Shows the benefit of a secondary
+// vertex-partitioned index sorted on edge time (VPt) that shares the
+// primary index's partitioning levels.
+//
+//   ./build/examples/magic_recs [num_vertices]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/database.h"
+#include "datagen/financial_props.h"
+#include "datagen/power_law_generator.h"
+
+using namespace aplus;  // NOLINT: example brevity
+
+namespace {
+
+// MR2 (Figure 4b): a1 recently followed a2 and a3; a4 follows both.
+QueryGraph Mr2(prop_key_t time_key, int64_t alpha, vertex_id_t a1_id, label_t follows) {
+  QueryGraph q;
+  int a1 = q.AddVertex("a1", kInvalidLabel, a1_id);
+  int a2 = q.AddVertex("a2");
+  int a3 = q.AddVertex("a3");
+  int a4 = q.AddVertex("a4");
+  int e1 = q.AddEdge(a1, a2, follows, "e1");
+  int e2 = q.AddEdge(a1, a3, follows, "e2");
+  q.AddEdge(a4, a2, follows, "f1");
+  q.AddEdge(a4, a3, follows, "f2");
+  for (int e : {e1, e2}) {
+    QueryComparison recent;
+    recent.lhs = QueryPropRef{e, true, time_key, false};
+    recent.op = CmpOp::kLt;
+    recent.rhs_const = Value::Int64(alpha);
+    q.AddPredicate(recent);
+  }
+  return q;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t nv = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 30000;
+  Graph graph;
+  PowerLawParams params;
+  params.num_vertices = nv;
+  params.avg_degree = 12.0;
+  GeneratePowerLawGraph(params, &graph);
+  const int64_t time_range = 1000000;
+  prop_key_t time_key = AddTimeProperty(7, time_range, &graph);
+  const int64_t alpha = time_range / 20;  // 5% selectivity, as in Section V-C1
+  std::printf("follower graph: %llu users, %llu follows\n",
+              static_cast<unsigned long long>(graph.num_vertices()),
+              static_cast<unsigned long long>(graph.num_edges()));
+
+  Database db(std::move(graph));
+  db.BuildPrimaryIndexes();
+  label_t follows = db.graph().catalog().FindEdgeLabel("E");
+
+  // Run recommendations for a sample of users under config D.
+  const vertex_id_t kSampleUsers = 100;
+  const uint64_t user_count = db.graph().num_vertices();
+  // Sample ordinary users: under preferential attachment the lowest IDs
+  // are extreme hubs whose intersection-bound work would dominate.
+  auto sample_user = [user_count](uint32_t i) {
+    return static_cast<vertex_id_t>(
+        user_count / 2 + (static_cast<uint64_t>(i) * 2654435761ULL) % (user_count / 2));
+  };
+  double d_total = 0.0;
+  uint64_t d_matches = 0;
+  for (vertex_id_t i = 0; i < kSampleUsers; ++i) {
+    vertex_id_t u = sample_user(i);
+    QueryGraph q = Mr2(time_key, alpha, u, follows);
+    QueryResult r = db.Run(q);
+    d_total += r.seconds;
+    d_matches += r.count;
+  }
+  std::printf("[D     ] %llu recommendations over %u users in %.1f ms\n",
+              static_cast<unsigned long long>(d_matches), kSampleUsers, d_total * 1e3);
+
+  // Add VPt: same partitioning as the primary index (so it shares the
+  // partitioning levels), inner lists sorted on edge time.
+  IndexConfig vpt = IndexConfig::Default();
+  vpt.sorts.clear();
+  vpt.sorts.push_back({SortSource::kEdgeProp, time_key});
+  double ic = 0.0;
+  db.CreateVpIndex("VPt", Predicate(), vpt, Direction::kFwd, &ic);
+  std::printf("created VPt in %.1f ms; shares primary levels: %s; memory +%zu bytes\n",
+              ic * 1e3,
+              db.index_store().FindVpIndex("VPt", Direction::kFwd)->shares_partition_levels()
+                  ? "yes"
+                  : "no",
+              db.index_store().FindVpIndex("VPt", Direction::kFwd)->MemoryBytes());
+
+  double vpt_total = 0.0;
+  uint64_t vpt_matches = 0;
+  for (vertex_id_t i = 0; i < kSampleUsers; ++i) {
+    vertex_id_t u = sample_user(i);
+    QueryGraph q = Mr2(time_key, alpha, u, follows);
+    QueryResult r = db.Run(q);
+    vpt_total += r.seconds;
+    vpt_matches += r.count;
+  }
+  std::printf("[D+VPt ] %llu recommendations in %.1f ms (%.2fx)\n",
+              static_cast<unsigned long long>(vpt_matches), vpt_total * 1e3,
+              d_total / vpt_total);
+  if (d_matches != vpt_matches) {
+    std::printf("ERROR: configs disagree on results!\n");
+    return 1;
+  }
+
+  QueryGraph sample = Mr2(time_key, alpha, 0, follows);
+  std::printf("\nplan under D+VPt:\n%s", db.Explain(sample).c_str());
+  return 0;
+}

@@ -1,0 +1,72 @@
+#include "baseline/flat_adj_engine.h"
+
+#include "baseline/matcher.h"
+
+namespace aplus {
+
+FlatAdjEngine::FlatAdjEngine(const Graph* graph) : graph_(graph) {
+  out_.resize(graph->num_vertices());
+  in_.resize(graph->num_vertices());
+  for (edge_id_t e = 0; e < graph->num_edges(); ++e) {
+    vertex_id_t src = graph->edge_src(e);
+    vertex_id_t dst = graph->edge_dst(e);
+    label_t label = graph->edge_label(e);
+    out_[src].push_back(Entry{dst, e, label});
+    in_[dst].push_back(Entry{src, e, label});
+  }
+}
+
+uint64_t FlatAdjEngine::CountMatches(const QueryGraph& query, double timeout_seconds,
+                             bool* timed_out) const {
+  BaselineMatcher<FlatAdjEngine> matcher(this, graph_, &query, timeout_seconds);
+  uint64_t count = matcher.Count();
+  if (timed_out != nullptr) *timed_out = matcher.timed_out();
+  return count;
+}
+
+uint64_t FlatAdjEngine::CountDistinctPathPairs(const std::vector<label_t>& edge_labels,
+                                               const std::vector<label_t>& vertex_labels) const {
+  // vertex_labels has edge_labels.size() + 1 entries (kInvalidLabel =
+  // unconstrained). Per start vertex, expand a distinct frontier one hop
+  // per level and count reachable end vertices.
+  uint64_t pairs = 0;
+  uint64_t nv = graph_->num_vertices();
+  std::vector<uint64_t> seen(nv, 0);
+  uint64_t stamp = 0;
+  std::vector<vertex_id_t> frontier;
+  std::vector<vertex_id_t> next;
+  for (vertex_id_t start = 0; start < nv; ++start) {
+    if (vertex_labels.front() != kInvalidLabel &&
+        graph_->vertex_label(start) != vertex_labels.front()) {
+      continue;
+    }
+    frontier.assign(1, start);
+    for (size_t hop = 0; hop < edge_labels.size() && !frontier.empty(); ++hop) {
+      ++stamp;
+      next.clear();
+      label_t elabel = edge_labels[hop];
+      label_t vlabel = vertex_labels[hop + 1];
+      for (vertex_id_t v : frontier) {
+        for (const Entry& entry : out_[v]) {
+          if (elabel != kInvalidLabel && entry.label != elabel) continue;
+          if (vlabel != kInvalidLabel && graph_->vertex_label(entry.nbr) != vlabel) continue;
+          if (seen[entry.nbr] == stamp) continue;  // distinct-frontier dedup
+          seen[entry.nbr] = stamp;
+          next.push_back(entry.nbr);
+        }
+      }
+      frontier.swap(next);
+    }
+    pairs += frontier.size();
+  }
+  return pairs;
+}
+
+size_t FlatAdjEngine::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& list : out_) bytes += list.capacity() * sizeof(Entry);
+  for (const auto& list : in_) bytes += list.capacity() * sizeof(Entry);
+  return bytes;
+}
+
+}  // namespace aplus

@@ -1,0 +1,42 @@
+#include "baseline/linked_list_engine.h"
+
+#include "baseline/matcher.h"
+
+namespace aplus {
+
+LinkedListEngine::LinkedListEngine(const Graph* graph)
+    : graph_(graph), num_edge_labels_(graph->catalog().num_edge_labels()) {
+  uint32_t num_labels = num_edge_labels_ == 0 ? 1 : num_edge_labels_;
+  size_t heads = static_cast<size_t>(graph->num_vertices()) * num_labels;
+  out_heads_.assign(heads, -1);
+  in_heads_.assign(heads, -1);
+  records_.resize(graph->num_edges());
+  // Insert edges in reverse so chains iterate in insertion order.
+  for (edge_id_t e = graph->num_edges(); e-- > 0;) {
+    EdgeRecord& record = records_[e];
+    record.src = graph->edge_src(e);
+    record.dst = graph->edge_dst(e);
+    record.label = graph->edge_label(e);
+    size_t out_idx = static_cast<size_t>(record.src) * num_labels + record.label;
+    size_t in_idx = static_cast<size_t>(record.dst) * num_labels + record.label;
+    record.next_out = out_heads_[out_idx];
+    record.next_in = in_heads_[in_idx];
+    out_heads_[out_idx] = static_cast<int64_t>(e);
+    in_heads_[in_idx] = static_cast<int64_t>(e);
+  }
+}
+
+uint64_t LinkedListEngine::CountMatches(const QueryGraph& query, double timeout_seconds,
+                             bool* timed_out) const {
+  BaselineMatcher<LinkedListEngine> matcher(this, graph_, &query, timeout_seconds);
+  uint64_t count = matcher.Count();
+  if (timed_out != nullptr) *timed_out = matcher.timed_out();
+  return count;
+}
+
+size_t LinkedListEngine::MemoryBytes() const {
+  return records_.capacity() * sizeof(EdgeRecord) +
+         (out_heads_.capacity() + in_heads_.capacity()) * sizeof(int64_t);
+}
+
+}  // namespace aplus

@@ -1,0 +1,117 @@
+#include "core/database.h"
+
+#include "optimizer/plan_printer.h"
+#include "util/logging.h"
+
+namespace aplus {
+
+Database::Database(Graph graph) : graph_(std::move(graph)) {
+  store_ = std::make_unique<IndexStore>(&graph_);
+  maintainer_ = std::make_unique<Maintainer>(&graph_, store_.get());
+}
+
+double Database::BuildPrimaryIndexes(const IndexConfig& config) {
+  return store_->BuildPrimary(config);
+}
+
+VpIndex* Database::CreateVpIndex(const std::string& name, const Predicate& pred,
+                                 const IndexConfig& config, Direction dir, double* seconds) {
+  OneHopViewDef view;
+  view.name = name;
+  view.pred = pred;
+  return store_->CreateVpIndex(view, config, dir, seconds);
+}
+
+EpIndex* Database::CreateEpIndex(const std::string& name, EpKind kind, const Predicate& pred,
+                                 const IndexConfig& config, double* seconds,
+                                 size_t budget_bytes) {
+  TwoHopViewDef view;
+  view.name = name;
+  view.kind = kind;
+  view.pred = pred;
+  return store_->CreateEpIndex(view, config, seconds, budget_bytes);
+}
+
+DdlResult Database::ExecuteDdl(const std::string& command) {
+  DdlResult result;
+  DdlCommand cmd = ParseDdl(command, graph_.catalog());
+  if (!cmd.ok()) {
+    result.message = cmd.error;
+    return result;
+  }
+  switch (cmd.kind) {
+    case DdlCommand::Kind::kReconfigure: {
+      result.seconds = BuildPrimaryIndexes(cmd.config);
+      result.ok = true;
+      result.message = "primary indexes reconfigured: " + cmd.config.ToString(graph_.catalog());
+      return result;
+    }
+    case DdlCommand::Kind::kCreateVp: {
+      double total = 0.0;
+      double seconds = 0.0;
+      if (cmd.fwd) {
+        CreateVpIndex(cmd.view_name, cmd.pred, cmd.config, Direction::kFwd, &seconds);
+        total += seconds;
+      }
+      if (cmd.bwd) {
+        CreateVpIndex(cmd.view_name, cmd.pred, cmd.config, Direction::kBwd, &seconds);
+        total += seconds;
+      }
+      result.seconds = total;
+      result.ok = true;
+      result.message = "created vertex-partitioned index " + cmd.view_name;
+      return result;
+    }
+    case DdlCommand::Kind::kCreateEp: {
+      CreateEpIndex(cmd.view_name, cmd.ep_kind, cmd.pred, cmd.config, &result.seconds);
+      result.ok = true;
+      result.message = "created edge-partitioned index " + cmd.view_name + " (" +
+                       std::string(ToString(cmd.ep_kind)) + ")";
+      return result;
+    }
+  }
+  result.message = "unreachable";
+  return result;
+}
+
+DpOptimizer* Database::CachedOptimizer() {
+  if (optimizer_ == nullptr || optimizer_store_version_ != store_->version() ||
+      optimizer_num_edges_ != graph_.num_edges()) {
+    optimizer_ = std::make_unique<DpOptimizer>(&graph_, store_.get());
+    optimizer_store_version_ = store_->version();
+    optimizer_num_edges_ = graph_.num_edges();
+  }
+  return optimizer_.get();
+}
+
+QueryResult Database::Run(const QueryGraph& query) {
+  if (store_->HasPendingUpdates()) store_->FlushAll();
+  DpOptimizer* optimizer = CachedOptimizer();
+  std::unique_ptr<Plan> plan = optimizer->Optimize(query);
+  APLUS_CHECK(plan != nullptr) << "no plan found (disconnected query?)";
+  QueryResult result = RunPlan(plan.get());
+  result.plan = RenderPlanTree(query, graph_.catalog(), optimizer->last_steps());
+  return result;
+}
+
+Database::CypherResult Database::RunCypher(const std::string& text) {
+  CypherResult out;
+  ParsedCypher parsed = ParseCypher(text, graph_.catalog());
+  if (!parsed.ok()) {
+    out.error = parsed.error;
+    return out;
+  }
+  out.result = Run(parsed.query);
+  out.ok = true;
+  return out;
+}
+
+std::string Database::Explain(const QueryGraph& query) {
+  if (store_->HasPendingUpdates()) store_->FlushAll();
+  DpOptimizer* optimizer = CachedOptimizer();
+  std::unique_ptr<Plan> plan = optimizer->Optimize(query);
+  if (plan == nullptr) return "(no plan)";
+  return RenderPlanTree(query, graph_.catalog(), optimizer->last_steps());
+}
+
+}  // namespace aplus

@@ -1,0 +1,94 @@
+#ifndef APLUS_CORE_DATABASE_H_
+#define APLUS_CORE_DATABASE_H_
+
+#include <memory>
+#include <string>
+
+#include "index/index_store.h"
+#include "index/maintenance.h"
+#include "optimizer/dp_optimizer.h"
+#include "query/cypher_parser.h"
+#include "query/executor.h"
+#include "query/query_graph.h"
+#include "storage/graph.h"
+#include "view/ddl_parser.h"
+
+namespace aplus {
+
+// Result of executing a DDL command (RECONFIGURE / CREATE ... VIEW).
+struct DdlResult {
+  bool ok = false;
+  std::string message;
+  double seconds = 0.0;  // index (re)build time — the IR/IC columns
+};
+
+// The public facade of the engine: a property graph plus its A+ index
+// subsystem, the DP optimizer, and maintenance. This is the entry point
+// examples and benchmarks use.
+//
+//   Database db(std::move(graph));
+//   db.BuildPrimaryIndexes();                        // default config
+//   db.ExecuteDdl("RECONFIGURE PRIMARY INDEXES ...");
+//   db.ExecuteDdl("CREATE 1-HOP VIEW ... ");
+//   QueryResult r = db.Run(query);
+class Database {
+ public:
+  explicit Database(Graph graph);
+
+  Graph& graph() { return graph_; }
+  const Graph& graph() const { return graph_; }
+  IndexStore& index_store() { return *store_; }
+  const IndexStore& index_store() const { return *store_; }
+  Maintainer& maintainer() { return *maintainer_; }
+
+  // Builds / reconfigures the primary A+ indexes. Returns build seconds.
+  double BuildPrimaryIndexes(const IndexConfig& config = IndexConfig::Default());
+
+  // Programmatic secondary index creation. FW-BW views produce one index
+  // per direction; `seconds` (optional) receives the total build time.
+  VpIndex* CreateVpIndex(const std::string& name, const Predicate& pred,
+                         const IndexConfig& config, Direction dir, double* seconds = nullptr);
+  // `budget_bytes` > 0 partially materializes the 2-hop view under the
+  // given memory budget (Section III-B2 future work).
+  EpIndex* CreateEpIndex(const std::string& name, EpKind kind, const Predicate& pred,
+                         const IndexConfig& config, double* seconds = nullptr,
+                         size_t budget_bytes = 0);
+
+  // Parses and executes one of the paper's index DDL commands.
+  DdlResult ExecuteDdl(const std::string& command);
+
+  // Optimizes and runs `query`; flushes pending index updates first.
+  QueryResult Run(const QueryGraph& query);
+
+  // Parses an openCypher-subset MATCH query (see query/cypher_parser.h)
+  // and runs it. Parse errors surface in QueryResult::plan with count 0
+  // and `ok` set false through the returned pair.
+  struct CypherResult {
+    bool ok = false;
+    std::string error;
+    QueryResult result;
+  };
+  CypherResult RunCypher(const std::string& text);
+
+  // Optimizes `query` and returns the Figure 6-style plan rendering
+  // without executing it.
+  std::string Explain(const QueryGraph& query);
+
+  size_t IndexMemoryBytes() const { return store_->TotalMemoryBytes(); }
+
+ private:
+  // Rebuilds the cached optimizer when the index set or the graph
+  // changed since it was created.
+  DpOptimizer* CachedOptimizer();
+
+  Graph graph_;
+  std::unique_ptr<IndexStore> store_;
+  std::unique_ptr<Maintainer> maintainer_;
+  std::unique_ptr<DpOptimizer> optimizer_;
+  uint64_t optimizer_store_version_ = ~0ULL;
+  uint64_t optimizer_num_edges_ = 0;
+};
+
+}  // namespace aplus
+
+#endif  // APLUS_CORE_DATABASE_H_

@@ -1,0 +1,108 @@
+#include "datagen/example_graph.h"
+
+#include "util/logging.h"
+
+namespace aplus {
+
+namespace {
+
+struct TransferSpec {
+  int src;  // 1-based account index (v1..v5)
+  int dst;
+  bool wire;  // false => Dir-Deposit
+  int64_t amount;
+  uint32_t currency;
+};
+
+// t1..t20. Dates equal the transfer's ordinal. Endpoints satisfy the
+// textual constraints listed in the header.
+constexpr TransferSpec kTransfers[20] = {
+    {3, 1, false, 40, kCurrencyUsd},   // t1:DD ($40)
+    {4, 3, false, 20, kCurrencyGbp},   // t2:DD (£20)
+    {3, 5, false, 200, kCurrencyUsd},  // t3:DD ($200)
+    {1, 3, true, 200, kCurrencyEur},   // t4:W (€200)
+    {4, 2, true, 50, kCurrencyUsd},    // t5:W ($50)
+    {3, 2, false, 70, kCurrencyUsd},   // t6:DD ($70)
+    {2, 3, false, 75, kCurrencyUsd},   // t7:DD ($75)
+    {2, 4, true, 75, kCurrencyUsd},    // t8:W ($75)
+    {4, 5, true, 75, kCurrencyUsd},    // t9:W ($75)
+    {5, 4, false, 80, kCurrencyUsd},   // t10:DD ($80)
+    {4, 3, true, 5, kCurrencyEur},     // t11:W (€5)
+    {5, 3, false, 50, kCurrencyUsd},   // t12:DD ($50)
+    {2, 5, false, 10, kCurrencyGbp},   // t13:DD (£10)
+    {3, 4, true, 10, kCurrencyUsd},    // t14:W ($10)
+    {5, 2, false, 25, kCurrencyUsd},   // t15:DD ($25)
+    {4, 1, false, 195, kCurrencyUsd},  // t16:DD ($195)
+    {1, 2, true, 25, kCurrencyEur},    // t17:W (€25)
+    {1, 5, false, 30, kCurrencyEur},   // t18:DD (€30)
+    {5, 3, true, 5, kCurrencyGbp},     // t19:W (£5)
+    {1, 4, true, 80, kCurrencyUsd},    // t20:W ($80)
+};
+
+struct AccountSpec {
+  uint32_t acc;  // kAccCq / kAccSv analogue, local to the example
+  uint32_t city;
+};
+
+// v1: SV/SF, v2: CQ/SF, v3: SV/BOS, v4: CQ/BOS, v5: SV/LA (Figure 1).
+constexpr AccountSpec kAccounts[5] = {
+    {1, kCitySf}, {0, kCitySf}, {1, kCityBos}, {0, kCityBos}, {1, kCityLa},
+};
+
+}  // namespace
+
+ExampleGraph BuildExampleGraph() {
+  ExampleGraph ex;
+  Graph& g = ex.graph;
+  ex.account_label = g.catalog().AddVertexLabel("Account");
+  ex.customer_label = g.catalog().AddVertexLabel("Customer");
+  ex.owns_label = g.catalog().AddEdgeLabel("O");
+  ex.dd_label = g.catalog().AddEdgeLabel("DD");
+  ex.wire_label = g.catalog().AddEdgeLabel("W");
+
+  ex.name_key = g.AddVertexProperty("name", ValueType::kString);
+  ex.acc_key = g.AddVertexProperty("acc", ValueType::kCategory, 2);
+  ex.city_key = g.AddVertexProperty("city", ValueType::kCategory, 3);
+  ex.amount_key = g.AddEdgeProperty("amount", ValueType::kInt64);
+  ex.currency_key = g.AddEdgeProperty("currency", ValueType::kCategory, 3);
+  ex.date_key = g.AddEdgeProperty("date", ValueType::kInt64);
+
+  PropertyColumn* acc = g.vertex_props().mutable_column(ex.acc_key);
+  PropertyColumn* city = g.vertex_props().mutable_column(ex.city_key);
+  for (int i = 0; i < 5; ++i) {
+    ex.accounts[i] = g.AddVertex(ex.account_label);
+    acc->SetCategory(ex.accounts[i], kAccounts[i].acc);
+    city->SetCategory(ex.accounts[i], kAccounts[i].city);
+  }
+
+  PropertyColumn* name = g.vertex_props().mutable_column(ex.name_key);
+  const char* kNames[3] = {"Charles", "Alice", "Bob"};
+  for (int i = 0; i < 3; ++i) {
+    ex.customers[i] = g.AddVertex(ex.customer_label);
+    name->SetString(ex.customers[i], kNames[i]);
+  }
+
+  // Owns edges e1..e5: Charles owns v3; Alice owns v1 and v4; Bob owns v2
+  // and v5. (The figure shows five Owns edges; the exact assignment only
+  // matters for Alice, whose account the text calls v1.)
+  const int kOwners[5] = {1, 2, 0, 1, 2};  // index into customers, for accounts v1..v5
+  for (int i = 0; i < 5; ++i) {
+    ex.owns[i] = g.AddEdge(ex.customers[kOwners[i]], ex.accounts[i], ex.owns_label);
+  }
+
+  PropertyColumn* amount = g.edge_props().mutable_column(ex.amount_key);
+  PropertyColumn* currency = g.edge_props().mutable_column(ex.currency_key);
+  PropertyColumn* date = g.edge_props().mutable_column(ex.date_key);
+  for (int i = 0; i < 20; ++i) {
+    const TransferSpec& t = kTransfers[i];
+    label_t label = t.wire ? ex.wire_label : ex.dd_label;
+    edge_id_t e = g.AddEdge(ex.accounts[t.src - 1], ex.accounts[t.dst - 1], label);
+    ex.transfers[i] = e;
+    amount->SetInt64(e, t.amount);
+    currency->SetCategory(e, t.currency);
+    date->SetInt64(e, i + 1);
+  }
+  return ex;
+}
+
+}  // namespace aplus

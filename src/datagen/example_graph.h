@@ -1,0 +1,65 @@
+#ifndef APLUS_DATAGEN_EXAMPLE_GRAPH_H_
+#define APLUS_DATAGEN_EXAMPLE_GRAPH_H_
+
+#include <array>
+
+#include "storage/graph.h"
+
+namespace aplus {
+
+// The running-example financial graph of Figure 1: five Account vertices
+// (v1..v5), three Customer vertices (v6 Charles, v7 Alice, v8 Bob), five
+// Owns edges (e1..e5) and twenty Transfer edges (t1..t20) with
+// Dir-Deposit (DD) / Wire (W) labels and amount / currency / date
+// properties. Edge ti has date i, so ti.date < tj.date iff i < j, exactly
+// as the paper stipulates.
+//
+// The figure in the paper is a drawing; the concrete endpoint assignment
+// here is reconstructed to satisfy every behavioural fact the text states:
+//   * t13 goes from v2 to v5 (Example 7);
+//   * v2's incoming transfers are {t5, t6, t15, t17} and its outgoing
+//     transfers are {t7, t8, t13} (Section III-B2, "Redundant" example);
+//   * under the MoneyFlow 2-hop view (eb.date < eadj.date and
+//     eb.amt > eadj.amt, Destination-FW) the list of t13 is exactly {t19};
+//   * t17 appears in the MoneyFlow lists of both t1 and t16.
+// Unit tests in tests/example_graph_test.cc assert all of these.
+struct ExampleGraph {
+  Graph graph;
+
+  // Labels.
+  label_t customer_label;
+  label_t account_label;
+  label_t owns_label;  // "O"
+  label_t dd_label;    // "DD" Dir-Deposit
+  label_t wire_label;  // "W" Wire
+
+  // Properties.
+  prop_key_t name_key;      // Customer.name (string)
+  prop_key_t acc_key;       // Account.acc, categorical {CQ=0, SV=1}
+  prop_key_t city_key;      // Account.city, categorical {SF=0, BOS=1, LA=2}
+  prop_key_t amount_key;    // Transfer.amount (int64)
+  prop_key_t currency_key;  // Transfer.currency, categorical {USD=0, EUR=1, GBP=2}
+  prop_key_t date_key;      // Transfer.date (int64)
+
+  // Vertex ids: accounts[0] is the paper's v1, ..., accounts[4] is v5;
+  // customers[0] is v6 (Charles), [1] is v7 (Alice), [2] is v8 (Bob).
+  std::array<vertex_id_t, 5> accounts;
+  std::array<vertex_id_t, 3> customers;
+
+  // Edge ids: owns[k] is e(k+1); transfers[k] is t(k+1).
+  std::array<edge_id_t, 5> owns;
+  std::array<edge_id_t, 20> transfers;
+};
+
+inline constexpr uint32_t kCitySf = 0;
+inline constexpr uint32_t kCityBos = 1;
+inline constexpr uint32_t kCityLa = 2;
+inline constexpr uint32_t kCurrencyUsd = 0;
+inline constexpr uint32_t kCurrencyEur = 1;
+inline constexpr uint32_t kCurrencyGbp = 2;
+
+ExampleGraph BuildExampleGraph();
+
+}  // namespace aplus
+
+#endif  // APLUS_DATAGEN_EXAMPLE_GRAPH_H_

@@ -1,0 +1,40 @@
+#include "datagen/financial_props.h"
+
+#include "util/rng.h"
+
+namespace aplus {
+
+FinancialPropKeys AddFinancialProperties(uint64_t seed, Graph* graph, uint32_t num_cities) {
+  Rng rng(seed);
+  FinancialPropKeys keys;
+  keys.acc = graph->AddVertexProperty("acc", ValueType::kCategory, kNumAccountTypes);
+  keys.city = graph->AddVertexProperty("city", ValueType::kCategory, num_cities);
+  keys.amount = graph->AddEdgeProperty("amount", ValueType::kInt64);
+  keys.date = graph->AddEdgeProperty("date", ValueType::kInt64);
+
+  PropertyColumn* acc = graph->vertex_props().mutable_column(keys.acc);
+  PropertyColumn* city = graph->vertex_props().mutable_column(keys.city);
+  for (vertex_id_t v = 0; v < graph->num_vertices(); ++v) {
+    acc->SetCategory(v, static_cast<category_t>(rng.NextBounded(kNumAccountTypes)));
+    city->SetCategory(v, static_cast<category_t>(rng.NextBounded(num_cities)));
+  }
+  PropertyColumn* amount = graph->edge_props().mutable_column(keys.amount);
+  PropertyColumn* date = graph->edge_props().mutable_column(keys.date);
+  for (edge_id_t e = 0; e < graph->num_edges(); ++e) {
+    amount->SetInt64(e, rng.NextInRange(1, 1000));
+    date->SetInt64(e, rng.NextInRange(0, kFiveYearsSeconds - 1));
+  }
+  return keys;
+}
+
+prop_key_t AddTimeProperty(uint64_t seed, int64_t time_range, Graph* graph) {
+  Rng rng(seed);
+  prop_key_t key = graph->AddEdgeProperty("time", ValueType::kInt64);
+  PropertyColumn* time = graph->edge_props().mutable_column(key);
+  for (edge_id_t e = 0; e < graph->num_edges(); ++e) {
+    time->SetInt64(e, rng.NextInRange(0, time_range - 1));
+  }
+  return key;
+}
+
+}  // namespace aplus

@@ -1,0 +1,40 @@
+#ifndef APLUS_DATAGEN_FINANCIAL_PROPS_H_
+#define APLUS_DATAGEN_FINANCIAL_PROPS_H_
+
+#include <cstdint>
+
+#include "storage/graph.h"
+
+namespace aplus {
+
+// Property keys created by the financial / recommendation workload
+// generators of Section V.
+struct FinancialPropKeys {
+  prop_key_t acc = kInvalidPropKey;     // vertex, categorical {CQ, SV}
+  prop_key_t city = kInvalidPropKey;    // vertex, categorical (4417 cities)
+  prop_key_t amount = kInvalidPropKey;  // edge, int64 in [1, 1000]
+  prop_key_t date = kInvalidPropKey;    // edge, int64 within a 5-year range
+};
+
+inline constexpr uint32_t kAccCq = 0;
+inline constexpr uint32_t kAccSv = 1;
+inline constexpr uint32_t kNumAccountTypes = 2;
+inline constexpr uint32_t kNumCities = 4417;  // Section V-C2
+inline constexpr int64_t kFiveYearsSeconds = 5LL * 365 * 24 * 3600;
+
+// Section V-C2: "we randomly added each vertex an account type property
+// from [CQ, SV], a city from 4417 cities, and to each edge an amount in
+// the range of [1, 1000] and a date within a 5 year range." `num_cities`
+// can be reduced for small graphs so the city equality predicates keep a
+// selectivity comparable to the paper's setup.
+FinancialPropKeys AddFinancialProperties(uint64_t seed, Graph* graph,
+                                         uint32_t num_cities = kNumCities);
+
+// Section V-C1 (MagicRecs): adds an integer `time` property to every edge,
+// uniform in [0, time_range). The benchmark picks the predicate constant
+// alpha as the 5th percentile so that P(e.time < alpha) = 5%.
+prop_key_t AddTimeProperty(uint64_t seed, int64_t time_range, Graph* graph);
+
+}  // namespace aplus
+
+#endif  // APLUS_DATAGEN_FINANCIAL_PROPS_H_

@@ -1,0 +1,32 @@
+#include "datagen/label_assigner.h"
+
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace aplus {
+
+void AssignRandomLabels(uint32_t num_vertex_labels, uint32_t num_edge_labels, uint64_t seed,
+                        Graph* graph) {
+  APLUS_CHECK_GT(num_vertex_labels, 0u);
+  APLUS_CHECK_GT(num_edge_labels, 0u);
+  Rng rng(seed);
+  std::vector<label_t> vlabels;
+  for (uint32_t i = 0; i < num_vertex_labels; ++i) {
+    vlabels.push_back(graph->catalog().AddVertexLabel("VL" + std::to_string(i)));
+  }
+  std::vector<label_t> elabels;
+  for (uint32_t i = 0; i < num_edge_labels; ++i) {
+    elabels.push_back(graph->catalog().AddEdgeLabel("EL" + std::to_string(i)));
+  }
+  for (vertex_id_t v = 0; v < graph->num_vertices(); ++v) {
+    graph->set_vertex_label(v, vlabels[rng.NextBounded(num_vertex_labels)]);
+  }
+  for (edge_id_t e = 0; e < graph->num_edges(); ++e) {
+    graph->set_edge_label(e, elabels[rng.NextBounded(num_edge_labels)]);
+  }
+}
+
+}  // namespace aplus

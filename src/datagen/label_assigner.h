@@ -1,0 +1,19 @@
+#ifndef APLUS_DATAGEN_LABEL_ASSIGNER_H_
+#define APLUS_DATAGEN_LABEL_ASSIGNER_H_
+
+#include <cstdint>
+
+#include "storage/graph.h"
+
+namespace aplus {
+
+// Implements the paper's G_{i,j} dataset methodology (Section V-A): a
+// dataset G_{i,j} has i randomly generated vertex labels and j randomly
+// generated edge labels. Labels are named "VL<k>" / "EL<k>" and assigned
+// uniformly at random, deterministically from `seed`.
+void AssignRandomLabels(uint32_t num_vertex_labels, uint32_t num_edge_labels, uint64_t seed,
+                        Graph* graph);
+
+}  // namespace aplus
+
+#endif  // APLUS_DATAGEN_LABEL_ASSIGNER_H_

@@ -1,0 +1,3 @@
+#include "index/adj_list_slice.h"
+
+// AdjListSlice is header-only; this translation unit anchors the library.

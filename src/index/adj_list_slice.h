@@ -1,0 +1,47 @@
+#ifndef APLUS_INDEX_ADJ_LIST_SLICE_H_
+#define APLUS_INDEX_ADJ_LIST_SLICE_H_
+
+#include <cstdint>
+
+#include "storage/types.h"
+#include "util/bit_util.h"
+
+namespace aplus {
+
+// A read-only view over one most-granular adjacency list.
+//
+// Primary A+ index lists are "direct": `nbrs`/`edges` point straight at
+// the contiguous ID lists (4-byte neighbour IDs, 8-byte edge IDs,
+// Section IV-B) and `offsets` is null.
+//
+// Secondary A+ index lists are "offset lists" (Section III-B3): `offsets`
+// points at a fixed-width byte array of positions into the bound vertex's
+// primary ID list, and `nbrs`/`edges` point at the *base* of that primary
+// list. Entry i resolves through one indirection; because primary lists
+// are short (average degree of real graphs), the indirection stays cache
+// friendly, which is the design argument of Section III-B3.
+struct AdjListSlice {
+  const vertex_id_t* nbrs = nullptr;
+  const edge_id_t* edges = nullptr;
+  const uint8_t* offsets = nullptr;
+  uint8_t offset_width = 0;
+  uint32_t len = 0;
+
+  uint32_t size() const { return len; }
+  bool empty() const { return len == 0; }
+  bool is_offset_list() const { return offsets != nullptr; }
+
+  // Position of entry i within the base primary list (identity for
+  // direct lists).
+  uint64_t BaseOffsetAt(uint32_t i) const {
+    if (offsets == nullptr) return i;
+    return LoadFixedWidth(offsets + static_cast<size_t>(i) * offset_width, offset_width);
+  }
+
+  vertex_id_t NbrAt(uint32_t i) const { return nbrs[BaseOffsetAt(i)]; }
+  edge_id_t EdgeAt(uint32_t i) const { return edges[BaseOffsetAt(i)]; }
+};
+
+}  // namespace aplus
+
+#endif  // APLUS_INDEX_ADJ_LIST_SLICE_H_

@@ -1,0 +1,58 @@
+#ifndef APLUS_INDEX_BITMAP_INDEX_H_
+#define APLUS_INDEX_BITMAP_INDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "index/primary_index.h"
+#include "view/view_def.h"
+
+namespace aplus {
+
+// The bitmap alternative to offset lists discussed in Section III-B3: one
+// bit per primary-list entry marking membership in a 1-hop view. It can
+// only mirror the primary index's partitioning and sorting (a different
+// sort order cannot be expressed by flags over the primary layout), and
+// reading it costs one bitmask test per *primary* entry regardless of the
+// view's selectivity — which is exactly the trade-off the ablation
+// benchmark (bench_ablation_offsets) quantifies against offset lists.
+class BitmapIndex {
+ public:
+  BitmapIndex(const Graph* graph, const PrimaryIndex* primary, OneHopViewDef view);
+
+  double Build();
+
+  const OneHopViewDef& view() const { return view_; }
+
+  // Bit view aligned with primary->GetList(v, cats): bit i corresponds to
+  // that slice's entry i.
+  struct BitmapSlice {
+    const uint64_t* words = nullptr;
+    uint32_t bit_offset = 0;
+    uint32_t len = 0;
+
+    bool TestAt(uint32_t i) const {
+      uint32_t bit = bit_offset + i;
+      return (words[bit >> 6] >> (bit & 63)) & 1;
+    }
+  };
+
+  BitmapSlice GetBits(vertex_id_t v, const std::vector<category_t>& cats) const;
+
+  size_t MemoryBytes() const;
+  uint64_t num_edges_indexed() const { return num_edges_indexed_; }
+  double build_seconds() const { return build_seconds_; }
+
+ private:
+  const Graph* graph_;
+  const PrimaryIndex* primary_;
+  OneHopViewDef view_;
+  // One word array per primary page, sized to the page's entry count.
+  std::vector<std::vector<uint64_t>> page_bits_;
+  uint64_t num_edges_indexed_ = 0;
+  double build_seconds_ = 0.0;
+};
+
+}  // namespace aplus
+
+#endif  // APLUS_INDEX_BITMAP_INDEX_H_

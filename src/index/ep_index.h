@@ -1,0 +1,136 @@
+#ifndef APLUS_INDEX_EP_INDEX_H_
+#define APLUS_INDEX_EP_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/adj_list_slice.h"
+#include "index/index_config.h"
+#include "index/offset_list.h"
+#include "index/primary_index.h"
+#include "view/view_def.h"
+
+namespace aplus {
+
+// A secondary edge-partitioned A+ index (Section III-B2): a 2-hop view
+// partitioned by the ID of the bound edge eb, then by the configured
+// nested criteria over the adjacent edge eadj / neighbour vnbr, stored as
+// offset lists into the anchor vertex's primary ID list.
+//
+// The adjacency of eb = (vs, vd) is one of the four kinds of EpKind; e.g.
+// Destination-FW stores, for each eb, the subset of vd's forward edges
+// that satisfy the view predicate together with eb. The predicate must
+// reference both edges (enforced at construction), otherwise the lists
+// would be duplicates of a 1-hop view's lists.
+class EpIndex {
+ public:
+  // `primary_fwd`/`primary_bwd` are the primary indexes; the one matching
+  // AdjDirection(view.kind) provides the base lists the offsets resolve
+  // against.
+  //
+  // `budget_bytes` implements the partial materialization the paper
+  // defers to future work (Section III-B2): when > 0, Build() stops
+  // materializing offset-list pages once the budget is reached; queries
+  // over unmaterialized bound edges fall back to evaluating the view
+  // predicate over the anchor's primary list at run time (ExtendOp's
+  // EP fallback). 0 = fully materialized.
+  EpIndex(const Graph* graph, const PrimaryIndex* primary_fwd, const PrimaryIndex* primary_bwd,
+          TwoHopViewDef view, IndexConfig config, size_t budget_bytes = 0);
+
+  double Build();
+
+  const std::string& name() const { return view_.name; }
+  const TwoHopViewDef& view() const { return view_; }
+  const IndexConfig& config() const { return config_; }
+  EpKind kind() const { return view_.kind; }
+
+  // The vertex whose primary list eb's adjacency is a subset of.
+  vertex_id_t AnchorOf(edge_id_t eb) const {
+    return AnchorIsDst(view_.kind) ? graph_->edge_dst(eb) : graph_->edge_src(eb);
+  }
+  // The primary index the offsets resolve against.
+  const PrimaryIndex* base_primary() const { return base_primary_; }
+
+  // Constant-time adjacency of edge `eb`; `cats` fixes a prefix of this
+  // index's partition criteria. Only valid for materialized bound edges.
+  AdjListSlice GetList(edge_id_t eb, const std::vector<category_t>& cats) const;
+  AdjListSlice GetFullList(edge_id_t eb) const { return GetList(eb, {}); }
+
+  // Partial materialization state (Section III-B2 future work).
+  bool IsMaterialized(edge_id_t eb) const {
+    uint32_t page_idx = static_cast<uint32_t>(eb / kGroupSize);
+    return page_idx < pages_.size() && !pages_[page_idx]->csr.empty();
+  }
+  bool fully_materialized() const { return fully_materialized_; }
+  size_t budget_bytes() const { return budget_bytes_; }
+
+  // Runtime fallback for unmaterialized bound edges: calls
+  // fn(base_offset, eadj, vnbr) for every entry of eb's view adjacency,
+  // derived by scanning the anchor's primary list and evaluating the
+  // view predicate (entries come in base-list order, not this index's
+  // sort order).
+  template <typename Fn>
+  void ForEachRuntime(edge_id_t eb, Fn fn) const {
+    vertex_id_t anchor = AnchorOf(eb);
+    AdjListSlice base = base_primary_->GetFullList(anchor);
+    for (uint32_t i = 0; i < base.size(); ++i) {
+      edge_id_t eadj = base.EdgeAt(i);
+      if (eadj == eb) continue;
+      vertex_id_t nbr = base.NbrAt(i);
+      if (EvalViewPredPublic(eb, eadj, nbr)) fn(i, eadj, nbr);
+    }
+  }
+
+  bool EvalViewPredPublic(edge_id_t eb, edge_id_t eadj, vertex_id_t nbr) const {
+    return EvalViewPred(eb, eadj, nbr);
+  }
+
+  size_t MemoryBytes() const;
+  uint64_t num_edges_indexed() const { return num_edges_indexed_; }
+  double build_seconds() const { return build_seconds_; }
+
+  // Maintenance (Section IV-C). Inserting e runs the two delta queries:
+  // (1) e may become an adjacent edge of existing bound edges; (2) e gets
+  // its own (possibly empty) list. Updates are buffered per 64-edge page;
+  // the returned page indexes have full buffers and should be merged
+  // (RebuildGroup) after the primary indexes are flushed — the
+  // Maintainer orchestrates this ordering.
+  std::vector<uint32_t> InsertEdge(edge_id_t e);
+  void RebuildGroup(uint32_t page_idx);
+  void FlushUpdates();
+  bool HasPendingUpdates() const { return pending_total_ > 0; }
+
+  // Larger than the VP buffer: one insertion marks every bound edge
+  // anchored at the shared vertex, so EP pages fill much faster and the
+  // group re-derivation must amortize over more buffered updates.
+  static constexpr uint32_t kUpdateBufferCapacity = 256;
+
+ private:
+  bool EvalViewPred(edge_id_t eb, edge_id_t eadj, vertex_id_t nbr) const;
+  void BuildGroup(uint32_t page_idx);
+  // Thread-safe variant: derives one page and returns its entry count
+  // without touching num_edges_indexed_.
+  uint64_t BuildGroupCounted(uint32_t page_idx);
+  bool MarkPending(uint32_t page_idx);
+
+  const Graph* graph_;
+  const PrimaryIndex* primary_fwd_;
+  const PrimaryIndex* primary_bwd_;
+  const PrimaryIndex* base_primary_;
+  TwoHopViewDef view_;
+  IndexConfig config_;
+  std::vector<uint32_t> fanouts_;
+  uint32_t fanout_product_ = 1;
+  std::vector<std::unique_ptr<OffsetListPage>> pages_;
+  std::vector<uint32_t> pending_;
+  uint64_t pending_total_ = 0;
+  uint64_t num_edges_indexed_ = 0;
+  double build_seconds_ = 0.0;
+  size_t budget_bytes_ = 0;
+  bool fully_materialized_ = true;
+};
+
+}  // namespace aplus
+
+#endif  // APLUS_INDEX_EP_INDEX_H_

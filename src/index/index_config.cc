@@ -1,0 +1,83 @@
+#include "index/index_config.h"
+
+#include "util/logging.h"
+
+namespace aplus {
+
+IndexConfig IndexConfig::Default() {
+  IndexConfig config;
+  config.partitions.push_back(PartitionCriterion{PartitionSource::kEdgeLabel, kInvalidPropKey});
+  config.sorts.push_back(SortCriterion{SortSource::kNbrId, kInvalidPropKey});
+  return config;
+}
+
+IndexConfig IndexConfig::Flat() {
+  IndexConfig config;
+  config.sorts.push_back(SortCriterion{SortSource::kNbrId, kInvalidPropKey});
+  return config;
+}
+
+uint32_t PartitionFanout(const Catalog& catalog, const PartitionCriterion& criterion) {
+  switch (criterion.source) {
+    case PartitionSource::kEdgeLabel:
+      return catalog.num_edge_labels();
+    case PartitionSource::kNbrLabel:
+      return catalog.num_vertex_labels();
+    case PartitionSource::kEdgeProp:
+    case PartitionSource::kNbrProp: {
+      const PropertyMeta& meta = catalog.property(criterion.key);
+      APLUS_CHECK(meta.type == ValueType::kCategory)
+          << "partitioning criterion " << meta.name << " is not categorical";
+      return meta.domain_size + 1;  // +1 for the null partition
+    }
+  }
+  return 0;
+}
+
+std::string ToString(const Catalog& catalog, const PartitionCriterion& criterion) {
+  switch (criterion.source) {
+    case PartitionSource::kEdgeLabel:
+      return "eadj.label";
+    case PartitionSource::kNbrLabel:
+      return "vnbr.label";
+    case PartitionSource::kEdgeProp:
+      return "eadj." + catalog.property(criterion.key).name;
+    case PartitionSource::kNbrProp:
+      return "vnbr." + catalog.property(criterion.key).name;
+  }
+  return "?";
+}
+
+std::string ToString(const Catalog& catalog, const SortCriterion& criterion) {
+  switch (criterion.source) {
+    case SortSource::kNbrId:
+      return "vnbr.ID";
+    case SortSource::kNbrLabel:
+      return "vnbr.label";
+    case SortSource::kEdgeProp:
+      return "eadj." + catalog.property(criterion.key).name;
+    case SortSource::kNbrProp:
+      return "vnbr." + catalog.property(criterion.key).name;
+  }
+  return "?";
+}
+
+std::string IndexConfig::ToString(const Catalog& catalog) const {
+  std::string out = "PARTITION BY vID";
+  for (const PartitionCriterion& p : partitions) {
+    out += ", ";
+    out += aplus::ToString(catalog, p);
+  }
+  out += " SORT BY ";
+  if (sorts.empty()) {
+    out += "vnbr.ID";
+  } else {
+    for (size_t i = 0; i < sorts.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += aplus::ToString(catalog, sorts[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace aplus

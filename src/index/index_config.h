@@ -1,0 +1,85 @@
+#ifndef APLUS_INDEX_INDEX_CONFIG_H_
+#define APLUS_INDEX_INDEX_CONFIG_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/catalog.h"
+#include "storage/types.h"
+
+namespace aplus {
+
+// What a nested partitioning level keys on (Section III-A1). Only
+// categorical criteria are allowed: labels and kCategory properties of
+// the adjacent edge or the neighbour vertex.
+enum class PartitionSource : uint8_t {
+  kEdgeLabel = 0,  // eadj.label
+  kNbrLabel = 1,   // vnbr.label
+  kEdgeProp = 2,   // eadj.<categorical property>
+  kNbrProp = 3,    // vnbr.<categorical property>
+};
+
+struct PartitionCriterion {
+  PartitionSource source = PartitionSource::kEdgeLabel;
+  prop_key_t key = kInvalidPropKey;  // for kEdgeProp / kNbrProp
+
+  bool operator==(const PartitionCriterion& other) const {
+    return source == other.source && key == other.key;
+  }
+};
+
+// What the most granular sublists are sorted on (Section III-A2).
+enum class SortSource : uint8_t {
+  kNbrId = 0,     // vnbr.ID (the system default; enables E/I intersections)
+  kNbrLabel = 1,  // vnbr.label
+  kEdgeProp = 2,  // eadj.<property>
+  kNbrProp = 3,   // vnbr.<property>
+};
+
+struct SortCriterion {
+  SortSource source = SortSource::kNbrId;
+  prop_key_t key = kInvalidPropKey;
+
+  bool operator==(const SortCriterion& other) const {
+    return source == other.source && key == other.key;
+  }
+};
+
+// The tunable part of an A+ index: nested partitioning criteria applied
+// after the level-0 vertex-ID (or edge-ID) partitioning, plus the sort
+// order of the most granular sublists. Ties after the configured sort
+// keys are broken by neighbour ID then edge ID, so list order is total
+// and deterministic.
+struct IndexConfig {
+  std::vector<PartitionCriterion> partitions;
+  std::vector<SortCriterion> sorts;
+
+  // The system default of Section III-A: partitioned by edge labels and
+  // sorted by neighbour IDs.
+  static IndexConfig Default();
+
+  // A config with no secondary partitioning, sorted on neighbour IDs.
+  static IndexConfig Flat();
+
+  bool SamePartitioning(const IndexConfig& other) const { return partitions == other.partitions; }
+  bool SameSorting(const IndexConfig& other) const { return sorts == other.sorts; }
+
+  // True when the final sort keys start with the neighbour ID, which is
+  // what EXTEND/INTERSECT multiway intersections require.
+  bool SortedOnNbrId() const {
+    return sorts.empty() || sorts.front().source == SortSource::kNbrId;
+  }
+
+  std::string ToString(const Catalog& catalog) const;
+};
+
+// Fan-out of one partitioning level: label count or category domain + 1
+// null slot. Label counts are snapshotted at build time.
+uint32_t PartitionFanout(const Catalog& catalog, const PartitionCriterion& criterion);
+
+std::string ToString(const Catalog& catalog, const PartitionCriterion& criterion);
+std::string ToString(const Catalog& catalog, const SortCriterion& criterion);
+
+}  // namespace aplus
+
+#endif  // APLUS_INDEX_INDEX_CONFIG_H_

@@ -1,0 +1,84 @@
+#ifndef APLUS_INDEX_INDEX_STORE_H_
+#define APLUS_INDEX_INDEX_STORE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/ep_index.h"
+#include "index/primary_index.h"
+#include "index/vp_index.h"
+
+namespace aplus {
+
+// The INDEX STORE of Section IV-A: owns the two mandatory primary A+
+// indexes plus every secondary index, and exposes their metadata (type,
+// direction, partitioning structure, sorting criterion, view predicate)
+// to the optimizer's index matcher.
+class IndexStore {
+ public:
+  explicit IndexStore(const Graph* graph);
+
+  // Builds (or rebuilds, i.e. RECONFIGUREs) both primary indexes under
+  // `config`. Returns total build seconds (the IR column of Table II).
+  double BuildPrimary(const IndexConfig& config);
+
+  PrimaryIndex* primary(Direction dir) {
+    return dir == Direction::kFwd ? primary_fwd_.get() : primary_bwd_.get();
+  }
+  const PrimaryIndex* primary(Direction dir) const {
+    return dir == Direction::kFwd ? primary_fwd_.get() : primary_bwd_.get();
+  }
+
+  // Creates and builds a secondary vertex-partitioned index over `view`
+  // in direction `dir`. Returns the new index (owned by the store) and
+  // reports build seconds through `*build_seconds` if non-null.
+  VpIndex* CreateVpIndex(const OneHopViewDef& view, const IndexConfig& config, Direction dir,
+                         double* build_seconds = nullptr);
+
+  // Creates and builds a secondary edge-partitioned index.
+  // `budget_bytes` > 0 enables partial materialization (Section III-B2
+  // future work): pages beyond the budget answer at run time.
+  EpIndex* CreateEpIndex(const TwoHopViewDef& view, const IndexConfig& config,
+                         double* build_seconds = nullptr, size_t budget_bytes = 0);
+
+  void DropSecondaryIndexes();
+
+  const std::vector<std::unique_ptr<VpIndex>>& vp_indexes() const { return vp_indexes_; }
+  const std::vector<std::unique_ptr<EpIndex>>& ep_indexes() const { return ep_indexes_; }
+  std::vector<std::unique_ptr<VpIndex>>& vp_indexes() { return vp_indexes_; }
+  std::vector<std::unique_ptr<EpIndex>>& ep_indexes() { return ep_indexes_; }
+
+  VpIndex* FindVpIndex(const std::string& name, Direction dir);
+  EpIndex* FindEpIndex(const std::string& name);
+
+  size_t PrimaryMemoryBytes() const;
+  size_t SecondaryMemoryBytes() const;
+  size_t TotalMemoryBytes() const { return PrimaryMemoryBytes() + SecondaryMemoryBytes(); }
+
+  // Total |E_indexed| across primary + secondary indexes (the column of
+  // Table IV).
+  uint64_t TotalEdgesIndexed() const;
+
+  // Merges every pending update buffer (queries require clean indexes).
+  void FlushAll();
+  bool HasPendingUpdates() const;
+
+  const Graph* graph() const { return graph_; }
+
+  // Monotonic counter bumped whenever the set or configuration of
+  // indexes changes; lets the Database cache its optimizer.
+  uint64_t version() const { return version_; }
+
+ private:
+  const Graph* graph_;
+  uint64_t version_ = 0;
+  std::unique_ptr<PrimaryIndex> primary_fwd_;
+  std::unique_ptr<PrimaryIndex> primary_bwd_;
+  std::vector<std::unique_ptr<VpIndex>> vp_indexes_;
+  std::vector<std::unique_ptr<EpIndex>> ep_indexes_;
+};
+
+}  // namespace aplus
+
+#endif  // APLUS_INDEX_INDEX_STORE_H_

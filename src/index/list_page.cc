@@ -1,0 +1,3 @@
+#include "index/list_page.h"
+
+// IdListPage is header-only; this translation unit anchors the library.

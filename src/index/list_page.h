@@ -1,0 +1,43 @@
+#ifndef APLUS_INDEX_LIST_PAGE_H_
+#define APLUS_INDEX_LIST_PAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "storage/types.h"
+
+namespace aplus {
+
+// One data page of a primary A+ index: the ID lists of a group of
+// kGroupSize (64) owner vertices, plus the CSR offsets of the nested
+// partitioning levels (Section IV-B).
+//
+// With partition fan-outs f1..fn and fp = f1*...*fn, `csr` has
+// kGroupSize * fp + 1 entries; slot s of owner o (o = owner % 64) starts
+// at csr[o * fp + s]. Because nested sublists are laid out contiguously,
+// any partition *prefix* is still one contiguous range, which is what
+// gives constant-time access at every level of the index.
+struct IdListPage {
+  std::vector<uint32_t> csr;
+  std::vector<vertex_id_t> nbrs;
+  std::vector<edge_id_t> eids;
+
+  // Pending inserts not yet merged into the arrays (Section IV-C). Each
+  // entry is an edge id owned by a vertex of this page.
+  std::vector<edge_id_t> insert_buffer;
+  // Tombstoned positions awaiting a merge; parallel to nbrs/eids when
+  // non-empty.
+  std::vector<uint8_t> tombstones;
+  uint32_t num_tombstones = 0;
+
+  size_t MemoryBytes() const {
+    return csr.capacity() * sizeof(uint32_t) + nbrs.capacity() * sizeof(vertex_id_t) +
+           eids.capacity() * sizeof(edge_id_t) + insert_buffer.capacity() * sizeof(edge_id_t) +
+           tombstones.capacity();
+  }
+};
+
+}  // namespace aplus
+
+#endif  // APLUS_INDEX_LIST_PAGE_H_

@@ -1,0 +1,39 @@
+#include "index/maintenance.h"
+
+namespace aplus {
+
+void Maintainer::OnEdgeInserted(edge_id_t e) {
+  store_->primary(Direction::kFwd)->InsertEdge(e);
+  store_->primary(Direction::kBwd)->InsertEdge(e);
+  for (auto& vp : store_->vp_indexes()) {
+    int64_t full_page = vp->InsertEdge(e);
+    if (full_page >= 0) {
+      // Merge ordering: the primary page of the same vertex group must be
+      // current before the offset lists are re-derived from it.
+      store_->primary(vp->direction())->FlushPage(static_cast<uint32_t>(full_page));
+      vp->RebuildGroup(static_cast<uint32_t>(full_page));
+    }
+  }
+  for (auto& ep : store_->ep_indexes()) {
+    std::vector<uint32_t> full_pages = ep->InsertEdge(e);
+    if (!full_pages.empty()) {
+      // EP anchors scatter across primary pages; flush both primaries.
+      store_->primary(Direction::kFwd)->FlushUpdates();
+      store_->primary(Direction::kBwd)->FlushUpdates();
+      for (uint32_t page : full_pages) ep->RebuildGroup(page);
+    }
+  }
+}
+
+void Maintainer::OnEdgeDeleted(edge_id_t e) {
+  // Capture EP pages affected by e acting as an adjacent edge *before*
+  // the primary indexes forget it (marks the same pages pending).
+  for (auto& ep : store_->ep_indexes()) ep->InsertEdge(e);
+  store_->primary(Direction::kFwd)->DeleteEdge(e);
+  store_->primary(Direction::kBwd)->DeleteEdge(e);
+  for (auto& vp : store_->vp_indexes()) vp->InsertEdge(e);  // marks the owner page pending
+}
+
+void Maintainer::Finalize() { store_->FlushAll(); }
+
+}  // namespace aplus

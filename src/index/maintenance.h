@@ -1,0 +1,41 @@
+#ifndef APLUS_INDEX_MAINTENANCE_H_
+#define APLUS_INDEX_MAINTENANCE_H_
+
+#include "index/index_store.h"
+#include "storage/graph.h"
+
+namespace aplus {
+
+// Orchestrates index maintenance (Section IV-C) across the primary and
+// secondary A+ indexes of a store. The caller first applies the edge to
+// the graph (AddEdge + property writes), then calls OnEdgeInserted; the
+// maintainer propagates through every index:
+//   1. the edge enters the update buffers of both primary indexes (pages
+//      merge automatically when a buffer fills);
+//   2. each VP index evaluates its view predicate and buffers a page
+//      update;
+//   3. each EP index runs the two delta queries of Section IV-C
+//      (inserting the edge into adjacent bound edges' lists, and creating
+//      the edge's own list) with buffered page merges.
+// Finalize() (or IndexStore::FlushAll) merges all buffers; the indexes
+// are exact with respect to the graph afterwards.
+class Maintainer {
+ public:
+  Maintainer(const Graph* graph, IndexStore* store) : graph_(graph), store_(store) {}
+
+  void OnEdgeInserted(edge_id_t e);
+
+  // Deletes `e` from every index (the graph row is tombstoned by the
+  // indexes only; graph storage is append-only).
+  void OnEdgeDeleted(edge_id_t e);
+
+  void Finalize();
+
+ private:
+  const Graph* graph_;
+  IndexStore* store_;
+};
+
+}  // namespace aplus
+
+#endif  // APLUS_INDEX_MAINTENANCE_H_

@@ -1,0 +1,3 @@
+#include "index/offset_list.h"
+
+// OffsetListPage is header-only; this translation unit anchors the library.

@@ -1,0 +1,54 @@
+#ifndef APLUS_INDEX_OFFSET_LIST_H_
+#define APLUS_INDEX_OFFSET_LIST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/types.h"
+#include "util/bit_util.h"
+
+namespace aplus {
+
+// One data page of a secondary A+ index: fixed-width offset lists for a
+// group of 64 owners (vertices for VP indexes, edges for EP indexes).
+//
+// Offsets identify entries within the owner's base primary ID list, so
+// they only need to be list-level identifiable (Section III-B3): the
+// width is the number of bytes needed for the largest offset stored in
+// the page, i.e. the log of the longest base list rounded up to a byte
+// (Section IV-B).
+//
+// In "own levels" mode the page also carries its own partitioning-level
+// CSR; in "shared levels" mode (no predicate, same partitioning as the
+// primary index) `csr` stays empty and the primary page's CSR is reused,
+// saving the partitioning-level space entirely.
+struct OffsetListPage {
+  std::vector<uint32_t> csr;  // empty in shared-levels mode
+  uint8_t width = 1;
+  std::vector<uint8_t> bytes;  // num_entries * width
+
+  uint32_t num_entries() const {
+    return width == 0 ? 0 : static_cast<uint32_t>(bytes.size() / width);
+  }
+
+  uint64_t OffsetAt(uint32_t i) const {
+    return LoadFixedWidth(bytes.data() + static_cast<size_t>(i) * width, width);
+  }
+
+  // Encodes `offsets` into the page with the minimal fixed width.
+  void SetOffsets(const std::vector<uint32_t>& offsets) {
+    uint32_t max_offset = 0;
+    for (uint32_t o : offsets) max_offset = o > max_offset ? o : max_offset;
+    width = BytesForValue(max_offset);
+    bytes.assign(static_cast<size_t>(offsets.size()) * width, 0);
+    for (size_t i = 0; i < offsets.size(); ++i) {
+      StoreFixedWidth(bytes.data() + i * width, width, offsets[i]);
+    }
+  }
+
+  size_t MemoryBytes() const { return csr.capacity() * sizeof(uint32_t) + bytes.capacity(); }
+};
+
+}  // namespace aplus
+
+#endif  // APLUS_INDEX_OFFSET_LIST_H_

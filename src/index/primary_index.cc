@@ -1,0 +1,301 @@
+#include "index/primary_index.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace aplus {
+
+int64_t EncodeDoubleSortKey(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  // Map IEEE-754 to a monotonically increasing unsigned space, then shift
+  // into signed space so plain int64 comparison preserves double order.
+  if (bits >> 63) {
+    bits = ~bits;
+  } else {
+    bits |= 0x8000000000000000ULL;
+  }
+  return static_cast<int64_t>(bits ^ 0x8000000000000000ULL);
+}
+
+PrimaryIndex::PrimaryIndex(const Graph* graph, Direction direction)
+    : graph_(graph), direction_(direction) {}
+
+category_t PrimaryIndex::CategoryOf(const PartitionCriterion& criterion, edge_id_t e,
+                                    vertex_id_t nbr) const {
+  switch (criterion.source) {
+    case PartitionSource::kEdgeLabel:
+      return graph_->edge_label(e);
+    case PartitionSource::kNbrLabel:
+      return graph_->vertex_label(nbr);
+    case PartitionSource::kEdgeProp: {
+      const PropertyColumn* col = graph_->edge_props().column(criterion.key);
+      APLUS_CHECK(col != nullptr);
+      return col->GetCategoryOrNullSlot(e);
+    }
+    case PartitionSource::kNbrProp: {
+      const PropertyColumn* col = graph_->vertex_props().column(criterion.key);
+      APLUS_CHECK(col != nullptr);
+      return col->GetCategoryOrNullSlot(nbr);
+    }
+  }
+  return 0;
+}
+
+uint32_t PrimaryIndex::BucketOf(const IndexConfig& config, const std::vector<uint32_t>& fanouts,
+                                edge_id_t e, vertex_id_t nbr) const {
+  uint32_t bucket = 0;
+  for (size_t i = 0; i < config.partitions.size(); ++i) {
+    category_t cat = CategoryOf(config.partitions[i], e, nbr);
+    APLUS_DCHECK(cat < fanouts[i]) << "category out of range";
+    bucket = bucket * fanouts[i] + cat;
+  }
+  return bucket;
+}
+
+int64_t EntrySortKey(const Graph& graph, const SortCriterion& criterion, edge_id_t e,
+                     vertex_id_t nbr) {
+  switch (criterion.source) {
+    case SortSource::kNbrId:
+      return nbr;
+    case SortSource::kNbrLabel:
+      return graph.vertex_label(nbr);
+    case SortSource::kEdgeProp:
+    case SortSource::kNbrProp: {
+      bool is_edge = criterion.source == SortSource::kEdgeProp;
+      const PropertyStore& store = is_edge ? graph.edge_props() : graph.vertex_props();
+      const PropertyColumn* col = store.column(criterion.key);
+      APLUS_CHECK(col != nullptr);
+      uint64_t id = is_edge ? e : nbr;
+      if (id >= col->size() || col->IsNull(id)) return kNullSortKey;
+      switch (col->type()) {
+        case ValueType::kInt64:
+        case ValueType::kBool:
+          return col->GetInt64(id);
+        case ValueType::kCategory:
+          return col->GetCategoryOrNullSlot(id);
+        case ValueType::kDouble:
+          return EncodeDoubleSortKey(col->GetDouble(id));
+        default:
+          APLUS_CHECK(false) << "sort criterion on unsupported type " << ToString(col->type());
+      }
+    }
+  }
+  return 0;
+}
+
+int64_t PrimaryIndex::SortKeyComponent(const SortCriterion& criterion, edge_id_t e,
+                                       vertex_id_t nbr) const {
+  return EntrySortKey(*graph_, criterion, e, nbr);
+}
+
+SortKey PrimaryIndex::ComputeSortKey(const IndexConfig& config, edge_id_t e,
+                                     vertex_id_t nbr) const {
+  SortKey key;
+  APLUS_CHECK_LE(config.sorts.size(), static_cast<size_t>(kMaxSortKeys));
+  key.num_keys = static_cast<int>(config.sorts.size());
+  for (int i = 0; i < key.num_keys; ++i) {
+    key.keys[i] = SortKeyComponent(config.sorts[i], e, nbr);
+  }
+  key.nbr = nbr;
+  key.eid = e;
+  return key;
+}
+
+double PrimaryIndex::Build(const IndexConfig& config) {
+  WallTimer timer;
+  config_ = config;
+  fanouts_.clear();
+  fanout_product_ = 1;
+  for (const PartitionCriterion& p : config_.partitions) {
+    uint32_t fanout = PartitionFanout(graph_->catalog(), p);
+    APLUS_CHECK_GT(fanout, 0u) << "empty partition domain";
+    fanouts_.push_back(fanout);
+    APLUS_CHECK_LT(static_cast<uint64_t>(fanout_product_) * fanout, 1ULL << 24)
+        << "partitioning fan-out too large";
+    fanout_product_ *= fanout;
+  }
+
+  uint64_t nv = graph_->num_vertices();
+  uint32_t num_pages = static_cast<uint32_t>((nv + kGroupSize - 1) / kGroupSize);
+  pages_.clear();
+  pages_.reserve(num_pages);
+  for (uint32_t p = 0; p < num_pages; ++p) pages_.push_back(std::make_unique<IdListPage>());
+
+  // Distribute edges to their page.
+  std::vector<uint32_t> page_counts(num_pages, 0);
+  uint64_t ne = graph_->num_edges();
+  for (edge_id_t e = 0; e < ne; ++e) page_counts[PageOf(OwnerOf(e))]++;
+  std::vector<std::vector<edge_id_t>> page_edges(num_pages);
+  for (uint32_t p = 0; p < num_pages; ++p) page_edges[p].reserve(page_counts[p]);
+  for (edge_id_t e = 0; e < ne; ++e) page_edges[PageOf(OwnerOf(e))].push_back(e);
+
+  num_edges_indexed_ = 0;
+  for (uint32_t p = 0; p < num_pages; ++p) {
+    RebuildPage(p, page_edges[p]);
+    num_edges_indexed_ += page_edges[p].size();
+  }
+  pending_updates_ = 0;
+  build_seconds_ = timer.ElapsedSeconds();
+  return build_seconds_;
+}
+
+void PrimaryIndex::RebuildPage(uint32_t page_idx, const std::vector<edge_id_t>& edges) {
+  IdListPage& page = *pages_[page_idx];
+  uint32_t slots = kGroupSize * fanout_product_;
+
+  std::vector<BuildEntry> entries;
+  entries.reserve(edges.size());
+  for (edge_id_t e : edges) {
+    vertex_id_t owner = OwnerOf(e);
+    vertex_id_t nbr = NbrOf(e);
+    BuildEntry entry;
+    entry.bucket = (owner % kGroupSize) * fanout_product_ + BucketOf(config_, fanouts_, e, nbr);
+    entry.nbr = nbr;
+    entry.eid = e;
+    entry.key = ComputeSortKey(config_, e, nbr);
+    entries.push_back(entry);
+  }
+  std::sort(entries.begin(), entries.end(), [](const BuildEntry& a, const BuildEntry& b) {
+    if (a.bucket != b.bucket) return a.bucket < b.bucket;
+    return a.key < b.key;
+  });
+
+  page.csr.assign(slots + 1, 0);
+  for (const BuildEntry& entry : entries) page.csr[entry.bucket + 1]++;
+  for (uint32_t s = 0; s < slots; ++s) page.csr[s + 1] += page.csr[s];
+
+  page.nbrs.resize(entries.size());
+  page.eids.resize(entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    page.nbrs[i] = entries[i].nbr;
+    page.eids[i] = entries[i].eid;
+  }
+  page.insert_buffer.clear();
+  page.tombstones.clear();
+  page.num_tombstones = 0;
+}
+
+AdjListSlice PrimaryIndex::GetList(vertex_id_t v, const std::vector<category_t>& cats) const {
+  APLUS_DCHECK(v < graph_->num_vertices());
+  APLUS_DCHECK(cats.size() <= fanouts_.size()) << "partition path too long";
+  if (PageOf(v) >= pages_.size() || pages_[PageOf(v)]->csr.empty()) return AdjListSlice();
+  const IdListPage& page = *pages_[PageOf(v)];
+  uint32_t base = (v % kGroupSize) * fanout_product_;
+  uint32_t start = base;
+  uint32_t span = fanout_product_;
+  for (size_t i = 0; i < cats.size(); ++i) {
+    span /= fanouts_[i];
+    start += cats[i] * span;
+  }
+  AdjListSlice slice;
+  slice.nbrs = page.nbrs.data() + page.csr[start];
+  slice.edges = page.eids.data() + page.csr[start];
+  slice.len = page.csr[start + span] - page.csr[start];
+  return slice;
+}
+
+AdjListSlice PrimaryIndex::GetFullList(vertex_id_t v) const { return GetList(v, {}); }
+
+void PrimaryIndex::GetListBase(vertex_id_t v, const vertex_id_t** nbrs, const edge_id_t** eids,
+                               uint32_t* len) const {
+  if (PageOf(v) >= pages_.size() || pages_[PageOf(v)]->csr.empty()) {
+    *nbrs = nullptr;
+    *eids = nullptr;
+    *len = 0;
+    return;
+  }
+  const IdListPage& page = *pages_[PageOf(v)];
+  uint32_t base = (v % kGroupSize) * fanout_product_;
+  uint32_t begin = page.csr[base];
+  uint32_t end = page.csr[base + fanout_product_];
+  *nbrs = page.nbrs.data() + begin;
+  *eids = page.eids.data() + begin;
+  *len = end - begin;
+}
+
+size_t PrimaryIndex::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& page : pages_) bytes += page->MemoryBytes();
+  return bytes;
+}
+
+size_t PrimaryIndex::PartitionLevelBytes() const {
+  size_t bytes = 0;
+  for (const auto& page : pages_) bytes += page->csr.capacity() * sizeof(uint32_t);
+  return bytes;
+}
+
+void PrimaryIndex::InsertEdge(edge_id_t e) {
+  vertex_id_t owner = OwnerOf(e);
+  uint32_t page_idx = PageOf(owner);
+  // The graph may have grown past the pages built at Build() time.
+  while (pages_.size() <= page_idx) pages_.push_back(std::make_unique<IdListPage>());
+  IdListPage& page = *pages_[page_idx];
+  if (page.csr.empty()) page.csr.assign(kGroupSize * fanout_product_ + 1, 0);
+  page.insert_buffer.push_back(e);
+  ++pending_updates_;
+  ++num_edges_indexed_;
+  if (page.insert_buffer.size() >= kUpdateBufferCapacity) MergePage(page_idx);
+}
+
+void PrimaryIndex::DeleteEdge(edge_id_t e) {
+  vertex_id_t owner = OwnerOf(e);
+  uint32_t page_idx = PageOf(owner);
+  APLUS_CHECK_LT(page_idx, pages_.size());
+  IdListPage& page = *pages_[page_idx];
+  // The edge may still sit in the insert buffer.
+  for (size_t i = 0; i < page.insert_buffer.size(); ++i) {
+    if (page.insert_buffer[i] == e) {
+      page.insert_buffer.erase(page.insert_buffer.begin() + static_cast<int64_t>(i));
+      --pending_updates_;
+      --num_edges_indexed_;
+      return;
+    }
+  }
+  if (page.tombstones.empty()) page.tombstones.assign(page.eids.size(), 0);
+  for (size_t i = 0; i < page.eids.size(); ++i) {
+    if (page.eids[i] == e && !page.tombstones[i]) {
+      page.tombstones[i] = 1;
+      page.num_tombstones++;
+      ++pending_updates_;
+      --num_edges_indexed_;
+      if (page.num_tombstones >= kUpdateBufferCapacity) MergePage(page_idx);
+      return;
+    }
+  }
+  APLUS_CHECK(false) << "edge " << e << " not found for deletion";
+}
+
+void PrimaryIndex::MergePage(uint32_t page_idx) {
+  IdListPage& page = *pages_[page_idx];
+  std::vector<edge_id_t> edges;
+  edges.reserve(page.eids.size() + page.insert_buffer.size());
+  for (size_t i = 0; i < page.eids.size(); ++i) {
+    if (page.tombstones.empty() || !page.tombstones[i]) edges.push_back(page.eids[i]);
+  }
+  uint64_t merged = page.insert_buffer.size() + page.num_tombstones;
+  edges.insert(edges.end(), page.insert_buffer.begin(), page.insert_buffer.end());
+  RebuildPage(page_idx, edges);
+  APLUS_CHECK_GE(pending_updates_, merged);
+  pending_updates_ -= merged;
+}
+
+void PrimaryIndex::FlushPage(uint32_t page_idx) {
+  if (page_idx >= pages_.size()) return;
+  IdListPage& page = *pages_[page_idx];
+  if (!page.insert_buffer.empty() || page.num_tombstones > 0) MergePage(page_idx);
+}
+
+void PrimaryIndex::FlushUpdates() {
+  for (uint32_t p = 0; p < pages_.size(); ++p) {
+    IdListPage& page = *pages_[p];
+    if (!page.insert_buffer.empty() || page.num_tombstones > 0) MergePage(p);
+  }
+  APLUS_CHECK_EQ(pending_updates_, 0u);
+}
+
+}  // namespace aplus

@@ -1,0 +1,151 @@
+#ifndef APLUS_INDEX_PRIMARY_INDEX_H_
+#define APLUS_INDEX_PRIMARY_INDEX_H_
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "index/adj_list_slice.h"
+#include "index/index_config.h"
+#include "index/list_page.h"
+#include "storage/graph.h"
+#include "storage/types.h"
+
+namespace aplus {
+
+// Maximum number of configured sort criteria (the paper's workloads use
+// at most two, e.g. neighbour label then neighbour ID).
+inline constexpr int kMaxSortKeys = 3;
+
+// Sort key tuple of one list entry: the configured keys followed by the
+// implicit neighbour-ID / edge-ID tie breakers.
+struct SortKey {
+  std::array<int64_t, kMaxSortKeys> keys{};
+  int num_keys = 0;
+  vertex_id_t nbr = 0;
+  edge_id_t eid = 0;
+
+  bool operator<(const SortKey& other) const {
+    for (int i = 0; i < num_keys; ++i) {
+      if (keys[i] != other.keys[i]) return keys[i] < other.keys[i];
+    }
+    if (nbr != other.nbr) return nbr < other.nbr;
+    return eid < other.eid;
+  }
+};
+
+// Encodes a double so that int64 comparison preserves double ordering.
+int64_t EncodeDoubleSortKey(double d);
+// Nulls sort last (Section III-A2).
+inline constexpr int64_t kNullSortKey = INT64_MAX;
+
+// Sort-key component of a list entry (edge e pointing at neighbour nbr)
+// under one sort criterion. Shared by index builds and the MULTI-EXTEND
+// merge, which re-derives entry keys at probe time.
+int64_t EntrySortKey(const Graph& graph, const SortCriterion& criterion, edge_id_t e,
+                     vertex_id_t nbr);
+
+// A primary A+ index (Section III-A): one of the two mandatory indexes
+// (forward or backward) that stores every edge of the graph in a nested
+// CSR partitioned first by vertex ID (in pages of 64 vertices), then by
+// the configured categorical criteria, with the most granular ID lists
+// sorted by the configured criteria.
+//
+// Unlike existing GDBMSs, the secondary partitioning and the sorting are
+// reconfigurable at runtime (RECONFIGURE PRIMARY INDEXES): Build() can be
+// called again with a new config, which is exactly the paper's index
+// reconfiguration (the IR column of Table II).
+class PrimaryIndex {
+ public:
+  PrimaryIndex(const Graph* graph, Direction direction);
+
+  // (Re)builds the whole index under `config`. Returns build seconds.
+  double Build(const IndexConfig& config);
+
+  Direction direction() const { return direction_; }
+  const IndexConfig& config() const { return config_; }
+  const Graph* graph() const { return graph_; }
+
+  // Owner vertex whose list stores edge `e` (src for FW, dst for BW) and
+  // the neighbour stored in the list entry.
+  vertex_id_t OwnerOf(edge_id_t e) const {
+    return direction_ == Direction::kFwd ? graph_->edge_src(e) : graph_->edge_dst(e);
+  }
+  vertex_id_t NbrOf(edge_id_t e) const {
+    return direction_ == Direction::kFwd ? graph_->edge_dst(e) : graph_->edge_src(e);
+  }
+
+  // Constant-time list access. `cats` fixes a prefix of the partition
+  // criteria (Section III-A1): empty = the whole list of v, one value =
+  // the level-1 sublist, and so on. Any prefix is one contiguous range.
+  AdjListSlice GetList(vertex_id_t v, const std::vector<category_t>& cats) const;
+  AdjListSlice GetFullList(vertex_id_t v) const;
+
+  // Base pointers of v's full ID list; secondary indexes resolve their
+  // vertex-relative offsets against these.
+  void GetListBase(vertex_id_t v, const vertex_id_t** nbrs, const edge_id_t** eids,
+                   uint32_t* len) const;
+
+  // Category of edge/nbr under one partitioning criterion (nulls map to
+  // the extra last slot).
+  category_t CategoryOf(const PartitionCriterion& criterion, edge_id_t e, vertex_id_t nbr) const;
+  // Flattened partition path of an entry across all criteria of `config`.
+  uint32_t BucketOf(const IndexConfig& config, const std::vector<uint32_t>& fanouts, edge_id_t e,
+                    vertex_id_t nbr) const;
+
+  int64_t SortKeyComponent(const SortCriterion& criterion, edge_id_t e, vertex_id_t nbr) const;
+  SortKey ComputeSortKey(const IndexConfig& config, edge_id_t e, vertex_id_t nbr) const;
+
+  const std::vector<uint32_t>& fanouts() const { return fanouts_; }
+  uint32_t fanout_product() const { return fanout_product_; }
+  uint32_t num_pages() const { return static_cast<uint32_t>(pages_.size()); }
+  const IdListPage& page(uint32_t p) const { return *pages_[p]; }
+
+  size_t MemoryBytes() const;
+  // Bytes of the partitioning-level CSRs only (the Dp overhead of
+  // Table II comes from this component).
+  size_t PartitionLevelBytes() const;
+  uint64_t num_edges_indexed() const { return num_edges_indexed_; }
+  double build_seconds() const { return build_seconds_; }
+
+  // --- Maintenance (Section IV-C) ---
+  // Buffers the insertion of edge `e` (must already exist in the graph);
+  // the page merges automatically when its buffer fills up.
+  void InsertEdge(edge_id_t e);
+  // Tombstones `e`; reclaimed at the next page merge.
+  void DeleteEdge(edge_id_t e);
+  // Merges all pending buffers/tombstones. Queries require a clean index.
+  void FlushUpdates();
+  // Merges one page's pending updates (no-op when clean).
+  void FlushPage(uint32_t page_idx);
+  bool HasPendingUpdates() const { return pending_updates_ > 0; }
+
+  // Buffer capacity per page before an automatic merge.
+  static constexpr uint32_t kUpdateBufferCapacity = 32;
+
+ private:
+  struct BuildEntry {
+    uint32_t bucket;
+    vertex_id_t nbr;
+    edge_id_t eid;
+    SortKey key;
+  };
+
+  void RebuildPage(uint32_t page_idx, const std::vector<edge_id_t>& edges);
+  void MergePage(uint32_t page_idx);
+  uint32_t PageOf(vertex_id_t v) const { return v / kGroupSize; }
+
+  const Graph* graph_;
+  Direction direction_;
+  IndexConfig config_;
+  std::vector<uint32_t> fanouts_;
+  uint32_t fanout_product_ = 1;
+  std::vector<std::unique_ptr<IdListPage>> pages_;
+  uint64_t num_edges_indexed_ = 0;
+  uint64_t pending_updates_ = 0;
+  double build_seconds_ = 0.0;
+};
+
+}  // namespace aplus
+
+#endif  // APLUS_INDEX_PRIMARY_INDEX_H_

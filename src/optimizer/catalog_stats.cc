@@ -1,0 +1,22 @@
+#include "optimizer/catalog_stats.h"
+
+namespace aplus {
+
+GraphStats GraphStats::Compute(const Graph& graph) {
+  GraphStats stats;
+  stats.num_vertices = graph.num_vertices();
+  stats.num_edges = graph.num_edges();
+  stats.vertex_label_counts.assign(graph.catalog().num_vertex_labels(), 0);
+  stats.edge_label_counts.assign(graph.catalog().num_edge_labels(), 0);
+  for (vertex_id_t v = 0; v < stats.num_vertices; ++v) {
+    label_t label = graph.vertex_label(v);
+    if (label < stats.vertex_label_counts.size()) stats.vertex_label_counts[label]++;
+  }
+  for (edge_id_t e = 0; e < stats.num_edges; ++e) {
+    label_t label = graph.edge_label(e);
+    if (label < stats.edge_label_counts.size()) stats.edge_label_counts[label]++;
+  }
+  return stats;
+}
+
+}  // namespace aplus

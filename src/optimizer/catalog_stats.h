@@ -1,0 +1,49 @@
+#ifndef APLUS_OPTIMIZER_CATALOG_STATS_H_
+#define APLUS_OPTIMIZER_CATALOG_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/graph.h"
+
+namespace aplus {
+
+// Cardinality statistics the optimizer's i-cost estimates are based on:
+// label histograms and average degrees. Recomputed on demand; cheap (one
+// pass over vertices and edges).
+struct GraphStats {
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  std::vector<uint64_t> vertex_label_counts;
+  std::vector<uint64_t> edge_label_counts;
+
+  static GraphStats Compute(const Graph& graph);
+
+  // Expected adjacency-list length of one vertex restricted to an edge
+  // label (kInvalidLabel = all labels).
+  double AvgListLen(label_t edge_label) const {
+    if (num_vertices == 0) return 0.0;
+    uint64_t edges = edge_label == kInvalidLabel ? num_edges
+                     : edge_label < edge_label_counts.size() ? edge_label_counts[edge_label]
+                                                             : 0;
+    return static_cast<double>(edges) / static_cast<double>(num_vertices);
+  }
+
+  // Fraction of vertices carrying `label` (1.0 for kInvalidLabel).
+  double VertexLabelFraction(label_t label) const {
+    if (label == kInvalidLabel || num_vertices == 0) return 1.0;
+    if (label >= vertex_label_counts.size()) return 0.0;
+    return static_cast<double>(vertex_label_counts[label]) /
+           static_cast<double>(num_vertices);
+  }
+
+  uint64_t VertexLabelCount(label_t label) const {
+    if (label == kInvalidLabel) return num_vertices;
+    if (label >= vertex_label_counts.size()) return 0;
+    return vertex_label_counts[label];
+  }
+};
+
+}  // namespace aplus
+
+#endif  // APLUS_OPTIMIZER_CATALOG_STATS_H_

@@ -1,0 +1,593 @@
+#include "optimizer/dp_optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace aplus {
+
+namespace {
+
+// Per-conjunct metadata: which query vertices must be bound before the
+// conjunct can be evaluated (edge variables imply both endpoints).
+uint32_t ConjunctVertexMask(const QueryGraph& query, const QueryComparison& cmp) {
+  uint32_t mask = 0;
+  auto add = [&](const QueryPropRef& ref) {
+    if (ref.var < 0) return;
+    if (ref.is_edge) {
+      const QueryEdge& qe = query.edge(ref.var);
+      mask |= 1u << qe.from;
+      mask |= 1u << qe.to;
+    } else {
+      mask |= 1u << ref.var;
+    }
+  };
+  add(cmp.lhs);
+  if (!cmp.rhs_is_const) add(cmp.rhs_ref);
+  return mask;
+}
+
+struct DpEntry {
+  double icost = 0.0;
+  double card = 0.0;
+  std::vector<PlanStep> steps;
+  bool valid = false;
+};
+
+}  // namespace
+
+double EstimateSelectivity(const Graph& graph, const QueryComparison& cmp) {
+  auto domain_of = [&graph](const QueryPropRef& ref) -> uint32_t {
+    if (ref.is_id || ref.key == kInvalidPropKey) return 0;
+    const PropertyMeta& meta = graph.catalog().property(ref.key);
+    return meta.type == ValueType::kCategory ? meta.domain_size : 0;
+  };
+  // Vertex-ID ranges against constants are exact: IDs are dense in
+  // [0, num_vertices).
+  if (!cmp.lhs.is_edge && cmp.lhs.is_id && cmp.rhs_is_const &&
+      !cmp.rhs_const.is_null()) {
+    double nv = std::max<double>(1.0, static_cast<double>(graph.num_vertices()));
+    double bound = static_cast<double>(cmp.rhs_const.AsInt64());
+    double frac;
+    switch (cmp.op) {
+      case CmpOp::kLt:
+        frac = bound / nv;
+        break;
+      case CmpOp::kLe:
+        frac = (bound + 1.0) / nv;
+        break;
+      case CmpOp::kGt:
+        frac = (nv - bound - 1.0) / nv;
+        break;
+      case CmpOp::kGe:
+        frac = (nv - bound) / nv;
+        break;
+      case CmpOp::kEq:
+        frac = 1.0 / nv;
+        break;
+      case CmpOp::kNe:
+        frac = (nv - 1.0) / nv;
+        break;
+      default:
+        frac = 0.3;
+    }
+    return std::min(1.0, std::max(frac, 1.0 / nv));
+  }
+  switch (cmp.op) {
+    case CmpOp::kEq: {
+      uint32_t domain = domain_of(cmp.lhs);
+      if (domain == 0 && !cmp.rhs_is_const) domain = domain_of(cmp.rhs_ref);
+      if (domain > 0) return 1.0 / static_cast<double>(domain);
+      return 0.1;
+    }
+    case CmpOp::kNe:
+      return 0.9;
+    default:
+      return 0.3;
+  }
+}
+
+double EstimateCombinedSelectivity(const Graph& graph,
+                                   const std::vector<QueryComparison>& conjuncts) {
+  double nv = std::max<double>(1.0, static_cast<double>(graph.num_vertices()));
+  // Per-variable ID windows [lo, hi).
+  struct Window {
+    double lo = 0.0;
+    double hi = -1.0;  // -1 = unset (defaults to nv)
+  };
+  std::unordered_map<int, Window> windows;
+  double selectivity = 1.0;
+  for (const QueryComparison& cmp : conjuncts) {
+    bool is_vertex_id_range = !cmp.lhs.is_edge && cmp.lhs.is_id && cmp.rhs_is_const &&
+                              !cmp.rhs_const.is_null() &&
+                              (cmp.op == CmpOp::kLt || cmp.op == CmpOp::kLe ||
+                               cmp.op == CmpOp::kGt || cmp.op == CmpOp::kGe);
+    if (!is_vertex_id_range) {
+      selectivity *= EstimateSelectivity(graph, cmp);
+      continue;
+    }
+    Window& w = windows[cmp.lhs.var];
+    if (w.hi < 0.0) w.hi = nv;
+    double bound = static_cast<double>(cmp.rhs_const.AsInt64());
+    switch (cmp.op) {
+      case CmpOp::kLt:
+        w.hi = std::min(w.hi, bound);
+        break;
+      case CmpOp::kLe:
+        w.hi = std::min(w.hi, bound + 1.0);
+        break;
+      case CmpOp::kGt:
+        w.lo = std::max(w.lo, bound + 1.0);
+        break;
+      case CmpOp::kGe:
+        w.lo = std::max(w.lo, bound);
+        break;
+      default:
+        break;
+    }
+  }
+  for (const auto& [var, w] : windows) {
+    (void)var;
+    double width = std::max(0.0, w.hi - w.lo);
+    selectivity *= std::min(1.0, std::max(width / nv, 1.0 / nv));
+  }
+  return selectivity;
+}
+
+DpOptimizer::DpOptimizer(const Graph* graph, const IndexStore* store)
+    : graph_(graph), store_(store), stats_(GraphStats::Compute(*graph)) {}
+
+std::unique_ptr<Plan> DpOptimizer::Optimize(const QueryGraph& query) {
+  const int n = query.num_vertices();
+  APLUS_CHECK_GT(n, 0);
+  APLUS_CHECK_LE(n, 20) << "query too large for the subset DP";
+  IndexMatcher matcher(store_, &stats_);
+  const auto& conjuncts = query.predicates();
+  std::vector<uint32_t> conjunct_masks;
+  conjunct_masks.reserve(conjuncts.size());
+  for (const QueryComparison& cmp : conjuncts) {
+    conjunct_masks.push_back(ConjunctVertexMask(query, cmp));
+  }
+  const uint32_t full = n == 32 ? 0xffffffffu : (1u << n) - 1;
+  std::vector<DpEntry> table(static_cast<size_t>(full) + 1);
+
+  // Residual conjuncts that become evaluable when moving prev -> now,
+  // excluding those in `covered`.
+  auto residual_for = [&](uint32_t prev, uint32_t now,
+                          const std::vector<int>& covered) -> std::vector<QueryComparison> {
+    std::vector<QueryComparison> out;
+    for (size_t c = 0; c < conjuncts.size(); ++c) {
+      uint32_t need = conjunct_masks[c];
+      if ((need & now) != need) continue;                   // not yet evaluable
+      if (prev != 0 && (need & ~prev) == 0 && prev != now) continue;  // already applied earlier
+      if (prev == now && prev != 0) continue;
+      bool is_covered = false;
+      for (int id : covered) {
+        if (id == static_cast<int>(c)) {
+          is_covered = true;
+          break;
+        }
+      }
+      if (!is_covered) out.push_back(conjuncts[c]);
+      // A conjunct is applied exactly once: at the first state where it
+      // became evaluable. Because we always extend by consuming all
+      // connecting edges, "first evaluable" is deterministic per mask.
+    }
+    return out;
+  };
+
+  // Seeds: every query vertex as a scan.
+  for (int v = 0; v < n; ++v) {
+    uint32_t mask = 1u << v;
+    const QueryVertex& qv = query.vertex(v);
+    double card = qv.bound != kInvalidVertex
+                      ? 1.0
+                      : static_cast<double>(stats_.VertexLabelCount(qv.label));
+    std::vector<int> no_cover;
+    std::vector<QueryComparison> preds = residual_for(0, mask, no_cover);
+    card *= EstimateCombinedSelectivity(*graph_, preds);
+    if (card < 1.0) card = 1.0;
+    DpEntry entry;
+    entry.valid = true;
+    entry.icost = qv.bound != kInvalidVertex ? 0.0 : static_cast<double>(stats_.num_vertices);
+    entry.card = card;
+    PlanStep step;
+    step.kind = PlanStep::Kind::kScan;
+    step.scan_var = v;
+    step.residual = std::move(preds);
+    entry.steps.push_back(std::move(step));
+    DpEntry& slot = table[mask];
+    if (!slot.valid || entry.icost < slot.icost) slot = std::move(entry);
+  }
+
+  // Builds the ExtensionPredicate for extending along query edge `qe_id`
+  // towards vertex `target`, optionally pairing with bound edge `eb_id`
+  // (for EP lists; -1 otherwise).
+  auto build_ext_pred = [&](int qe_id, int target, int eb_id) -> ExtensionPredicate {
+    ExtensionPredicate ext;
+    for (size_t c = 0; c < conjuncts.size(); ++c) {
+      const QueryComparison& cmp = conjuncts[c];
+      // Translate into view-site form when every reference maps.
+      auto translate = [&](const QueryPropRef& ref, PropRef* out) -> bool {
+        if (ref.is_edge) {
+          if (ref.var == qe_id) {
+            out->site = PropSite::kAdjEdge;
+          } else if (ref.var == eb_id && eb_id >= 0) {
+            out->site = PropSite::kBoundEdge;
+          } else {
+            return false;
+          }
+        } else {
+          if (ref.var == target) {
+            out->site = PropSite::kNbrVertex;
+          } else {
+            return false;
+          }
+        }
+        out->key = ref.key;
+        out->is_id = ref.is_id;
+        out->is_label = false;
+        return true;
+      };
+      Comparison translated;
+      if (!translate(cmp.lhs, &translated.lhs)) continue;
+      translated.op = cmp.op;
+      translated.rhs_is_const = cmp.rhs_is_const;
+      translated.rhs_const = cmp.rhs_const;
+      translated.rhs_addend = cmp.rhs_addend;
+      if (!cmp.rhs_is_const) {
+        if (!translate(cmp.rhs_ref, &translated.rhs_ref)) continue;
+      }
+      ext.pred.Add(std::move(translated));
+      ext.query_conjunct_ids.push_back(static_cast<int>(c));
+    }
+    return ext;
+  };
+
+  // Candidate lists for extending along query edge `qe_id` from bound set
+  // `mask` to `target`. Includes vertex-bound lists and, when a bound
+  // query edge shares the pivot vertex and a cross-edge predicate exists,
+  // edge-bound (EP) lists.
+  auto candidates_for_edge = [&](uint32_t mask, int qe_id, int target,
+                                 const SortCriterion* required_sort) {
+    std::vector<CandidateList> all;
+    const QueryEdge& qe = query.edge(qe_id);
+    int pivot = qe.from == target ? qe.to : qe.from;
+    Direction dir = qe.from == pivot ? Direction::kFwd : Direction::kBwd;
+    label_t nbr_label = query.vertex(target).label;
+
+    vertex_id_t target_bound = query.vertex(target).bound;
+    ExtensionPredicate ext = build_ext_pred(qe_id, target, -1);
+    for (CandidateList& c : matcher.FindVertexLists(dir, qe.label, nbr_label, ext,
+                                                    required_sort)) {
+      c.desc.bound_var = pivot;
+      c.desc.target_vertex_var = target;
+      c.desc.target_edge_var = qe_id;
+      c.desc.target_bound = target_bound;
+      if (target_bound != kInvalidVertex) c.est_out = std::min(c.est_out, 1.0);
+      all.push_back(std::move(c));
+    }
+    // EP candidates: every bound query edge incident to the pivot.
+    for (int eb_id = 0; eb_id < query.num_edges(); ++eb_id) {
+      if (eb_id == qe_id) continue;
+      const QueryEdge& eb = query.edge(eb_id);
+      bool bound = ((mask >> eb.from) & 1) && ((mask >> eb.to) & 1);
+      if (!bound) continue;
+      if (eb.from != pivot && eb.to != pivot) continue;
+      EpKind kind;
+      if (eb.to == pivot) {
+        kind = dir == Direction::kFwd ? EpKind::kDstFwd : EpKind::kDstBwd;
+      } else {
+        kind = dir == Direction::kFwd ? EpKind::kSrcBwd : EpKind::kSrcFwd;
+      }
+      ExtensionPredicate ep_ext = build_ext_pred(qe_id, target, eb_id);
+      for (CandidateList& c : matcher.FindEdgeLists(kind, qe.label, nbr_label, ep_ext,
+                                                    required_sort)) {
+        c.desc.bound_var = eb_id;
+        c.desc.target_vertex_var = target;
+        c.desc.target_edge_var = qe_id;
+        c.desc.target_bound = target_bound;
+        if (target_bound != kInvalidVertex) c.est_out = std::min(c.est_out, 1.0);
+        all.push_back(std::move(c));
+      }
+    }
+    return all;
+  };
+
+  auto try_update = [&](uint32_t now, DpEntry candidate) {
+    DpEntry& slot = table[now];
+    if (!slot.valid || candidate.icost < slot.icost ||
+        (candidate.icost == slot.icost && candidate.card < slot.card)) {
+      slot = std::move(candidate);
+    }
+  };
+
+  // Subset DP in order of increasing popcount (masks increase with
+  // popcount only within equal-size groups, so iterate by size).
+  std::vector<std::vector<uint32_t>> by_size(n + 1);
+  for (uint32_t mask = 1; mask <= full; ++mask) {
+    by_size[__builtin_popcount(mask)].push_back(mask);
+  }
+
+  for (int size = 1; size < n; ++size) {
+    for (uint32_t mask : by_size[size]) {
+      const DpEntry base = table[mask];
+      if (!base.valid) continue;
+
+      // --- E/I extensions by one vertex ---
+      for (int target = 0; target < n; ++target) {
+        if ((mask >> target) & 1) continue;
+        std::vector<int> conn;
+        for (int qe_id = 0; qe_id < query.num_edges(); ++qe_id) {
+          const QueryEdge& qe = query.edge(qe_id);
+          int other = -1;
+          if (qe.from == target) other = qe.to;
+          if (qe.to == target) other = qe.from;
+          if (other < 0 || other == target) continue;
+          if ((mask >> other) & 1) conn.push_back(qe_id);
+        }
+        if (conn.empty()) continue;
+        uint32_t now = mask | (1u << target);
+
+        SortCriterion nbr_id_sort{SortSource::kNbrId, kInvalidPropKey};
+        const SortCriterion* required = conn.size() >= 2 ? &nbr_id_sort : nullptr;
+        std::vector<ListDescriptor> lists;
+        std::vector<int> covered;
+        double sum_len = 0.0;
+        double prod_len = 1.0;
+        bool ok = true;
+        bool verify_fallback = false;
+        auto gather = [&](const SortCriterion* sort_requirement) {
+          lists.clear();
+          covered.clear();
+          sum_len = 0.0;
+          prod_len = 1.0;
+          ok = true;
+          for (int qe_id : conn) {
+            std::vector<CandidateList> cands =
+                candidates_for_edge(mask, qe_id, target, sort_requirement);
+            if (cands.empty()) {
+              ok = false;
+              return;
+            }
+            size_t best = 0;
+            for (size_t i = 1; i < cands.size(); ++i) {
+              if (cands[i].est_len < cands[best].est_len) best = i;
+            }
+            lists.push_back(cands[best].desc);
+            covered.insert(covered.end(), cands[best].covered_conjuncts.begin(),
+                           cands[best].covered_conjuncts.end());
+            sum_len += cands[best].est_len;
+            prod_len *= std::max(cands[best].est_out, 1e-9);
+          }
+        };
+        gather(required);
+        if (!ok && conn.size() >= 2) {
+          // No sorted lists for an intersection (e.g. the Ds config with
+          // an unlabelled target): fall back to extend + verify.
+          gather(nullptr);
+          verify_fallback = ok;
+        }
+        if (!ok) continue;
+
+        DpEntry entry = base;
+        entry.icost += base.card * sum_len;
+        double est_out;
+        if (conn.size() == 1) {
+          est_out = base.card * std::max(prod_len, 1e-9);
+        } else {
+          double nv = std::max<double>(1.0, static_cast<double>(stats_.num_vertices));
+          est_out = base.card * prod_len /
+                    std::pow(nv, static_cast<double>(conn.size() - 1));
+        }
+        PlanStep step;
+        step.kind = conn.size() == 1
+                        ? PlanStep::Kind::kExtend
+                        : (verify_fallback ? PlanStep::Kind::kExtendVerify
+                                           : PlanStep::Kind::kExtendIntersect);
+        step.lists = std::move(lists);
+        step.target_var = target;
+        step.residual = residual_for(mask, now, covered);
+        est_out *= EstimateCombinedSelectivity(*graph_, step.residual);
+        entry.card = std::max(est_out, 1e-9);
+        entry.steps.push_back(std::move(step));
+        try_update(now, std::move(entry));
+      }
+
+      // --- MULTI-EXTEND extensions by a group of vertices related by a
+      // shared-property equality (Section IV-A). ---
+      // Eligible member: unbound, exactly one edge into `mask`.
+      std::vector<int> eligible;
+      std::vector<int> conn_edge_of(n, -1);
+      for (int v = 0; v < n; ++v) {
+        if ((mask >> v) & 1) continue;
+        int count = 0;
+        int the_edge = -1;
+        for (int qe_id = 0; qe_id < query.num_edges(); ++qe_id) {
+          const QueryEdge& qe = query.edge(qe_id);
+          int other = -1;
+          if (qe.from == v) other = qe.to;
+          if (qe.to == v) other = qe.from;
+          if (other < 0) continue;
+          if ((mask >> other) & 1) {
+            ++count;
+            the_edge = qe_id;
+          } else if (other != v && !((mask >> other) & 1) && other != v) {
+            // edge to another unbound vertex: fine, handled later.
+          }
+        }
+        if (count == 1) {
+          eligible.push_back(v);
+          conn_edge_of[v] = the_edge;
+        }
+      }
+      // Group eligible vertices by property-equality components. The
+      // union-find runs over ALL query vertices so chained equalities
+      // (a1.city = a2.city = a3.city, MF2) transitively connect
+      // eligible members even when the middle vertex is already bound.
+      for (prop_key_t key = 0; key < graph_->catalog().num_properties(); ++key) {
+        std::vector<int> comp(n);
+        for (int v = 0; v < n; ++v) comp[v] = v;
+        auto find = [&](int v) {
+          while (comp[v] != v) v = comp[v] = comp[comp[v]];
+          return v;
+        };
+        bool any_link = false;
+        for (const QueryComparison& cmp : conjuncts) {
+          if (cmp.rhs_is_const || cmp.op != CmpOp::kEq) continue;
+          if (cmp.lhs.is_edge || cmp.rhs_ref.is_edge) continue;
+          if (cmp.lhs.key != key || cmp.rhs_ref.key != key || cmp.rhs_addend != 0) continue;
+          comp[find(cmp.lhs.var)] = find(cmp.rhs_ref.var);
+          any_link = true;
+        }
+        if (!any_link) continue;
+        // Collect eligible members per component; components of >= 2
+        // eligible members can merge-join on the shared key.
+        std::unordered_map<int, std::vector<int>> groups;
+        for (int v : eligible) groups[find(v)].push_back(v);
+        for (auto& [root, members] : groups) {
+          (void)root;
+          if (members.size() < 2) continue;
+          SortCriterion prop_sort{SortSource::kNbrProp, key};
+          std::vector<ListDescriptor> lists;
+          std::vector<int> covered;
+          double sum_len = 0.0;
+          double prod_len = 1.0;
+          bool ok = true;
+          uint32_t now = mask;
+          for (int v : members) {
+            std::vector<CandidateList> cands =
+                candidates_for_edge(mask, conn_edge_of[v], v, &prop_sort);
+            if (cands.empty()) {
+              ok = false;
+              break;
+            }
+            size_t best = 0;
+            for (size_t i = 1; i < cands.size(); ++i) {
+              if (cands[i].est_len < cands[best].est_len) best = i;
+            }
+            lists.push_back(cands[best].desc);
+            covered.insert(covered.end(), cands[best].covered_conjuncts.begin(),
+                           cands[best].covered_conjuncts.end());
+            sum_len += cands[best].est_len;
+            prod_len *= std::max(cands[best].est_out, 1e-9);
+            now |= 1u << v;
+          }
+          if (!ok) continue;
+          // The merge guarantees the pairwise equalities within the
+          // group on `key`; mark those conjuncts covered.
+          for (size_t c = 0; c < conjuncts.size(); ++c) {
+            const QueryComparison& cmp = conjuncts[c];
+            if (cmp.rhs_is_const || cmp.op != CmpOp::kEq) continue;
+            if (cmp.lhs.is_edge || cmp.rhs_ref.is_edge) continue;
+            if (cmp.lhs.key != key || cmp.rhs_ref.key != key) continue;
+            bool lhs_in = std::find(members.begin(), members.end(), cmp.lhs.var) != members.end();
+            bool rhs_in =
+                std::find(members.begin(), members.end(), cmp.rhs_ref.var) != members.end();
+            if (lhs_in && rhs_in) covered.push_back(static_cast<int>(c));
+          }
+
+          DpEntry entry = base;
+          entry.icost += base.card * sum_len;
+          const PropertyMeta& meta = graph_->catalog().property(key);
+          double domain = meta.type == ValueType::kCategory
+                              ? static_cast<double>(meta.domain_size)
+                              : 1000.0;
+          double est_out = base.card * prod_len /
+                           std::pow(domain, static_cast<double>(members.size() - 1));
+          PlanStep step;
+          step.kind = PlanStep::Kind::kMultiExtend;
+          step.lists = std::move(lists);
+          step.residual = residual_for(mask, now, covered);
+          est_out *= EstimateCombinedSelectivity(*graph_, step.residual);
+          entry.card = std::max(est_out, 1e-9);
+          entry.steps.push_back(std::move(step));
+          try_update(now, std::move(entry));
+        }
+      }
+    }
+  }
+
+  const DpEntry& winner = table[full];
+  if (!winner.valid) return nullptr;
+  last_steps_ = winner.steps;
+  last_cost_ = winner.icost;
+
+  PlanBuilder builder(graph_, &query);
+  for (const PlanStep& step : winner.steps) {
+    switch (step.kind) {
+      case PlanStep::Kind::kScan:
+        builder.Scan(step.scan_var, step.residual);
+        break;
+      case PlanStep::Kind::kExtend:
+        builder.Extend(step.lists.front(), step.residual);
+        break;
+      case PlanStep::Kind::kExtendVerify: {
+        // Residuals run on the last probe, when every edge is bound.
+        builder.Extend(step.lists.front(), {});
+        for (size_t i = 1; i < step.lists.size(); ++i) {
+          bool last = i + 1 == step.lists.size();
+          builder.Extend(step.lists[i], last ? step.residual : std::vector<QueryComparison>{},
+                         /*closing=*/true);
+        }
+        if (step.lists.size() == 1) builder.Filter(step.residual);
+        break;
+      }
+      case PlanStep::Kind::kExtendIntersect:
+        builder.ExtendIntersect(step.lists, step.target_var, step.residual);
+        break;
+      case PlanStep::Kind::kMultiExtend:
+        builder.MultiExtend(step.lists, step.residual);
+        break;
+    }
+  }
+  return builder.Build();
+}
+
+std::string DpOptimizer::DescribeSteps(const QueryGraph& query) const {
+  std::string out;
+  const Catalog& catalog = graph_->catalog();
+  for (const PlanStep& step : last_steps_) {
+    switch (step.kind) {
+      case PlanStep::Kind::kScan:
+        out += "Scan " + query.vertex(step.scan_var).name;
+        break;
+      case PlanStep::Kind::kExtend:
+        out += "Extend " + step.lists.front().Describe(catalog, query);
+        break;
+      case PlanStep::Kind::kExtendVerify:
+        out += "Extend+Verify -> " + query.vertex(step.target_var).name + " [";
+        for (size_t i = 0; i < step.lists.size(); ++i) {
+          if (i > 0) out += " ? ";
+          out += step.lists[i].Describe(catalog, query);
+        }
+        out += "]";
+        break;
+      case PlanStep::Kind::kExtendIntersect:
+        out += "Extend/Intersect -> " + query.vertex(step.target_var).name + " [";
+        for (size_t i = 0; i < step.lists.size(); ++i) {
+          if (i > 0) out += " n ";
+          out += step.lists[i].Describe(catalog, query);
+        }
+        out += "]";
+        break;
+      case PlanStep::Kind::kMultiExtend:
+        out += "Multi-Extend [";
+        for (size_t i = 0; i < step.lists.size(); ++i) {
+          if (i > 0) out += " n ";
+          out += step.lists[i].Describe(catalog, query);
+        }
+        out += "]";
+        break;
+    }
+    if (!step.residual.empty()) {
+      out += " +" + std::to_string(step.residual.size()) + " residual";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace aplus

@@ -1,0 +1,73 @@
+#ifndef APLUS_OPTIMIZER_DP_OPTIMIZER_H_
+#define APLUS_OPTIMIZER_DP_OPTIMIZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/index_store.h"
+#include "optimizer/catalog_stats.h"
+#include "optimizer/index_matcher.h"
+#include "query/plan.h"
+#include "query/query_graph.h"
+
+namespace aplus {
+
+// One logical step of an enumerated plan; the optimizer materializes the
+// winning step sequence into a physical operator pipeline at the end.
+struct PlanStep {
+  // kExtendVerify: binary-join fallback when no (effectively) sorted
+  // lists exist for a multi-edge extension — extend along lists[0], then
+  // verify the remaining query edges by membership probes (closing
+  // extends) over lists[1..].
+  enum class Kind { kScan, kExtend, kExtendIntersect, kExtendVerify, kMultiExtend };
+
+  Kind kind = Kind::kScan;
+  int scan_var = -1;
+  std::vector<ListDescriptor> lists;
+  int target_var = -1;  // kExtend / kExtendIntersect
+  std::vector<QueryComparison> residual;
+};
+
+// The DP join optimizer of Section IV-A: enumerates sub-queries one query
+// vertex at a time, considering (i) E/I extensions over every index the
+// INDEX STORE can supply with subsuming predicates, and (ii) MULTI-EXTEND
+// extensions that bind several query vertices at once by intersecting
+// lists sorted on a shared non-ID property (including edge-partitioned
+// lists). The cost metric is i-cost: the total estimated size of the
+// adjacency lists a plan's E/I and MULTI-EXTEND operators read.
+class DpOptimizer {
+ public:
+  DpOptimizer(const Graph* graph, const IndexStore* store);
+
+  // Returns the lowest-i-cost plan, or nullptr if the query graph is
+  // disconnected / unsupported.
+  std::unique_ptr<Plan> Optimize(const QueryGraph& query);
+
+  // Introspection for tests and the plan printer.
+  const std::vector<PlanStep>& last_steps() const { return last_steps_; }
+  double last_cost() const { return last_cost_; }
+  std::string DescribeSteps(const QueryGraph& query) const;
+
+ private:
+  const Graph* graph_;
+  const IndexStore* store_;
+  GraphStats stats_;
+  std::vector<PlanStep> last_steps_;
+  double last_cost_ = 0.0;
+};
+
+// Rough selectivity of one residual conjunct, used by cardinality
+// estimation.
+double EstimateSelectivity(const Graph& graph, const QueryComparison& cmp);
+
+// Combined selectivity of a conjunct set. Vertex-ID range conjuncts on
+// the same variable are intersected exactly (a window [lo, hi) has
+// selectivity (hi - lo) / |V|, not the product of its two bounds);
+// everything else multiplies independently.
+double EstimateCombinedSelectivity(const Graph& graph,
+                                   const std::vector<QueryComparison>& conjuncts);
+
+}  // namespace aplus
+
+#endif  // APLUS_OPTIMIZER_DP_OPTIMIZER_H_

@@ -1,0 +1,53 @@
+#include "optimizer/index_advisor.h"
+
+#include "view/predicate.h"
+
+namespace aplus {
+
+std::vector<IndexCandidate> EnumerateIndexCandidates(
+    const Graph& graph, const std::vector<const QueryGraph*>& workload) {
+  std::vector<IndexCandidate> candidates;
+  auto bump = [&candidates](IndexCandidate::Kind kind, bool on_edge, prop_key_t key,
+                            const std::string& description) {
+    for (IndexCandidate& c : candidates) {
+      if (c.kind == kind && c.on_edge == on_edge && c.key == key &&
+          c.description == description) {
+        c.support++;
+        return;
+      }
+    }
+    IndexCandidate c;
+    c.kind = kind;
+    c.on_edge = on_edge;
+    c.key = key;
+    c.description = description;
+    c.support = 1;
+    candidates.push_back(std::move(c));
+  };
+
+  for (const QueryGraph* query : workload) {
+    for (const QueryComparison& cmp : query->predicates()) {
+      if (cmp.lhs.is_id || cmp.lhs.key == kInvalidPropKey) continue;
+      const PropertyMeta& meta = graph.catalog().property(cmp.lhs.key);
+      bool categorical = meta.type == ValueType::kCategory;
+      if (cmp.op == CmpOp::kEq && cmp.rhs_is_const && categorical) {
+        // Equality on a categorical property -> partitioning candidate.
+        bump(IndexCandidate::Kind::kPartitionCriterion, cmp.lhs.is_edge, cmp.lhs.key,
+             meta.name);
+      } else {
+        // Any other predicate -> sorting candidate on the property, and a
+        // 1-hop view predicate candidate when compared to a constant.
+        bump(IndexCandidate::Kind::kSortCriterion, cmp.lhs.is_edge, cmp.lhs.key, meta.name);
+        if (cmp.rhs_is_const) {
+          std::string desc = meta.name;
+          desc += ToString(cmp.op);
+          desc += cmp.rhs_const.ToString();
+          bump(IndexCandidate::Kind::kOneHopViewPredicate, cmp.lhs.is_edge, cmp.lhs.key, desc);
+        }
+      }
+    }
+  }
+  return candidates;
+}
+
+}  // namespace aplus

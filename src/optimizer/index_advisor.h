@@ -1,0 +1,35 @@
+#ifndef APLUS_OPTIMIZER_INDEX_ADVISOR_H_
+#define APLUS_OPTIMIZER_INDEX_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "index/index_config.h"
+#include "query/query_graph.h"
+
+namespace aplus {
+
+// A candidate index tuning derived from a workload (Section IV-D): the
+// advisor enumerates the 1-hop sub-queries of each query, proposing
+// equality predicates on categorical properties as partitioning criteria
+// and non-equality predicates as sorting criteria. Ranking/selection
+// under a space budget ("what-if" analysis) is future work in the paper
+// and out of scope here too; the advisor reports the candidate space.
+struct IndexCandidate {
+  enum class Kind { kPartitionCriterion, kSortCriterion, kOneHopViewPredicate };
+  Kind kind = Kind::kPartitionCriterion;
+  // For partition/sort candidates.
+  bool on_edge = true;  // eadj.* vs vnbr.*
+  prop_key_t key = kInvalidPropKey;
+  // For view-predicate candidates: a printable description.
+  std::string description;
+  // How many conjuncts across the workload motivated this candidate.
+  int support = 0;
+};
+
+std::vector<IndexCandidate> EnumerateIndexCandidates(const Graph& graph,
+                                                     const std::vector<const QueryGraph*>& workload);
+
+}  // namespace aplus
+
+#endif  // APLUS_OPTIMIZER_INDEX_ADVISOR_H_

@@ -1,0 +1,76 @@
+#ifndef APLUS_OPTIMIZER_INDEX_MATCHER_H_
+#define APLUS_OPTIMIZER_INDEX_MATCHER_H_
+
+#include <vector>
+
+#include "index/index_store.h"
+#include "optimizer/catalog_stats.h"
+#include "query/operators.h"
+#include "view/subsumption.h"
+
+namespace aplus {
+
+// The predicate of one extension step in view-site form: conjuncts over
+// the adjacent edge (eadj), the neighbour to be bound (vnbr), and — for
+// edge-bound extensions — the bound edge (eb). `query_conjunct_ids` maps
+// each conjunct back to the query's WHERE-clause conjunct it came from so
+// the optimizer can mark covered conjuncts as applied.
+struct ExtensionPredicate {
+  Predicate pred;
+  std::vector<int> query_conjunct_ids;
+};
+
+// One usable adjacency-list access path for an extension, as returned by
+// the INDEX STORE lookup of Section IV-A.
+struct CandidateList {
+  ListDescriptor desc;  // index + partition-category prefix (targets unset)
+  // Query conjuncts guaranteed by the index view predicate and/or the
+  // bound partition categories; everything else stays residual.
+  std::vector<int> covered_conjuncts;
+  // Estimated number of entries the operator reads from the list (the
+  // i-cost contribution).
+  double est_len = 0.0;
+  // Estimated number of entries surviving the descriptor's label filters
+  // (the cardinality contribution); est_out <= est_len.
+  double est_out = 0.0;
+};
+
+// Matches extension requirements against the INDEX STORE: checks sort
+// compatibility, binds partition-category prefixes from equality
+// predicates / labels, and verifies view-predicate subsumption
+// (Section IV-A).
+class IndexMatcher {
+ public:
+  IndexMatcher(const IndexStore* store, const GraphStats* stats)
+      : store_(store), stats_(stats) {}
+
+  // Lists for a vertex-bound extension in direction `dir` matching a
+  // query edge with label `edge_label` towards a vertex with label
+  // `nbr_label` (either may be kInvalidLabel). If `required_sort` is
+  // non-null, only lists whose first sort criterion equals it qualify.
+  std::vector<CandidateList> FindVertexLists(Direction dir, label_t edge_label,
+                                             label_t nbr_label,
+                                             const ExtensionPredicate& ext_pred,
+                                             const SortCriterion* required_sort) const;
+
+  // Lists for an edge-bound extension of kind `kind` (EP indexes only).
+  // ext_pred may contain cross-edge conjuncts (eb vs eadj).
+  std::vector<CandidateList> FindEdgeLists(EpKind kind, label_t edge_label, label_t nbr_label,
+                                           const ExtensionPredicate& ext_pred,
+                                           const SortCriterion* required_sort) const;
+
+ private:
+  // Tries to bind a category prefix for `config.partitions` from labels
+  // and equality conjuncts. Returns the number of bound criteria and
+  // appends consumed conjunct positions (indices into ext_pred.pred).
+  size_t BindPartitionPrefix(const IndexConfig& config, label_t edge_label, label_t nbr_label,
+                             const ExtensionPredicate& ext_pred, std::vector<category_t>* cats,
+                             std::vector<int>* consumed) const;
+
+  const IndexStore* store_;
+  const GraphStats* stats_;
+};
+
+}  // namespace aplus
+
+#endif  // APLUS_OPTIMIZER_INDEX_MATCHER_H_

@@ -1,0 +1,61 @@
+#include "optimizer/plan_printer.h"
+
+namespace aplus {
+
+std::string RenderPlanTree(const QueryGraph& query, const Catalog& catalog,
+                           const std::vector<PlanStep>& steps) {
+  // Bottom-up: the scan prints last, each subsequent operator above it.
+  std::vector<std::string> lines;
+  for (const PlanStep& step : steps) {
+    std::string line;
+    switch (step.kind) {
+      case PlanStep::Kind::kScan: {
+        const QueryVertex& qv = query.vertex(step.scan_var);
+        line = "SCAN " + qv.name;
+        if (qv.bound != kInvalidVertex) line += " (ID=" + std::to_string(qv.bound) + ")";
+        break;
+      }
+      case PlanStep::Kind::kExtend:
+        line = "EXTEND " + step.lists.front().Describe(catalog, query);
+        break;
+      case PlanStep::Kind::kExtendVerify: {
+        line = "EXTEND+VERIFY ";
+        for (size_t i = 0; i < step.lists.size(); ++i) {
+          if (i > 0) line += " ? ";
+          line += step.lists[i].Describe(catalog, query);
+        }
+        break;
+      }
+      case PlanStep::Kind::kExtendIntersect: {
+        line = "EXTEND/INTERSECT ";
+        for (size_t i = 0; i < step.lists.size(); ++i) {
+          if (i > 0) line += " \xE2\x88\xA9 ";  // set-intersection glyph
+          line += step.lists[i].Describe(catalog, query);
+        }
+        break;
+      }
+      case PlanStep::Kind::kMultiExtend: {
+        line = "MULTI-EXTEND ";
+        for (size_t i = 0; i < step.lists.size(); ++i) {
+          if (i > 0) line += " \xE2\x88\xA9 ";
+          line += step.lists[i].Describe(catalog, query);
+        }
+        break;
+      }
+    }
+    if (!step.residual.empty()) {
+      line += "  [FILTER x" + std::to_string(step.residual.size()) + "]";
+    }
+    lines.push_back(std::move(line));
+  }
+  std::string out;
+  for (size_t i = lines.size(); i-- > 0;) {
+    size_t depth = lines.size() - 1 - i;
+    out += std::string(2 * depth, ' ');
+    out += lines[i];
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace aplus

@@ -1,0 +1,18 @@
+#ifndef APLUS_OPTIMIZER_PLAN_PRINTER_H_
+#define APLUS_OPTIMIZER_PLAN_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+#include "optimizer/dp_optimizer.h"
+
+namespace aplus {
+
+// Renders an optimized step sequence as a bottom-up plan tree in the
+// style of Figure 6 (Scan at the bottom, each operator above its input).
+std::string RenderPlanTree(const QueryGraph& query, const Catalog& catalog,
+                           const std::vector<PlanStep>& steps);
+
+}  // namespace aplus
+
+#endif  // APLUS_OPTIMIZER_PLAN_PRINTER_H_

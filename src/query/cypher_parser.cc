@@ -1,0 +1,346 @@
+#include "query/cypher_parser.h"
+
+#include <cctype>
+#include <vector>
+
+namespace aplus {
+
+namespace {
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kString, kOp, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string text;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Token Next() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    if (pos_ >= text_.size()) return Token{Token::Kind::kEnd, ""};
+    char c = text_[pos_];
+    if (c == '\'') {
+      // Single-quoted string literal.
+      size_t end = text_.find('\'', pos_ + 1);
+      if (end == std::string::npos) {
+        pos_ = text_.size();
+        return Token{Token::Kind::kString, ""};
+      }
+      Token token{Token::Kind::kString, text_.substr(pos_ + 1, end - pos_ - 1)};
+      pos_ = end + 1;
+      return token;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = pos_;
+      while (pos_ < text_.size() && (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                                     text_[pos_] == '.')) {
+        ++pos_;
+      }
+      return Token{Token::Kind::kNumber, text_.substr(start, pos_ - start)};
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < text_.size() && (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                                     text_[pos_] == '_')) {
+        ++pos_;
+      }
+      return Token{Token::Kind::kIdent, text_.substr(start, pos_ - start)};
+    }
+    // Multi-character operators.
+    static const char* kMulti[] = {"<=", ">=", "<>", "->", "<-"};
+    for (const char* op : kMulti) {
+      if (text_.compare(pos_, 2, op) == 0) {
+        pos_ += 2;
+        return Token{Token::Kind::kOp, op};
+      }
+    }
+    ++pos_;
+    return Token{Token::Kind::kOp, std::string(1, c)};
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+std::string Upper(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+class Parser {
+ public:
+  Parser(const std::string& text, const Catalog& catalog) : catalog_(catalog) {
+    Lexer lexer(text);
+    for (Token token = lexer.Next();; token = lexer.Next()) {
+      tokens_.push_back(token);
+      if (token.kind == Token::Kind::kEnd) break;
+    }
+  }
+
+  ParsedCypher Parse() {
+    if (!AcceptKeyword("MATCH")) {
+      result_.error = "query must start with MATCH";
+      return result_;
+    }
+    do {
+      if (!ParsePattern()) return result_;
+    } while (Accept(","));
+    if (AcceptKeyword("WHERE")) {
+      do {
+        if (!ParseCondition()) return result_;
+      } while (Accept(",") || AcceptKeyword("AND"));
+    }
+    if (AcceptKeyword("RETURN")) {
+      if (!AcceptKeyword("COUNT") || !Accept("(") || !Accept("*") || !Accept(")")) {
+        result_.error = "only RETURN COUNT(*) is supported";
+        return result_;
+      }
+    }
+    if (Peek().kind != Token::Kind::kEnd) {
+      result_.error = "unexpected trailing token '" + Peek().text + "'";
+    }
+    return result_;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+
+  bool Accept(const std::string& op) {
+    if (Peek().kind == Token::Kind::kOp && Peek().text == op) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool AcceptKeyword(const std::string& kw) {
+    if (Peek().kind == Token::Kind::kIdent && Upper(Peek().text) == kw) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool Expect(const std::string& op) {
+    if (Accept(op)) return true;
+    result_.error = "expected '" + op + "', got '" + Peek().text + "'";
+    return false;
+  }
+
+  // (name[:Label])
+  int ParseNode() {
+    if (!Expect("(")) return -1;
+    if (Peek().kind != Token::Kind::kIdent) {
+      result_.error = "expected node variable";
+      return -1;
+    }
+    std::string name = Peek().text;
+    ++pos_;
+    label_t label = kInvalidLabel;
+    if (Accept(":")) {
+      if (Peek().kind != Token::Kind::kIdent) {
+        result_.error = "expected node label";
+        return -1;
+      }
+      label = catalog_.FindVertexLabel(Peek().text);
+      if (label == kInvalidLabel) {
+        result_.error = "unknown vertex label " + Peek().text;
+        return -1;
+      }
+      ++pos_;
+    }
+    if (!Expect(")")) return -1;
+    int var = result_.query.FindVertex(name);
+    if (var < 0) {
+      var = result_.query.AddVertex(name, label);
+    } else if (label != kInvalidLabel) {
+      result_.query.mutable_vertex(var).label = label;
+    }
+    return var;
+  }
+
+  // node (edge node)*
+  bool ParsePattern() {
+    int prev = ParseNode();
+    if (prev < 0) return false;
+    while (true) {
+      bool backward = false;
+      if (Accept("-")) {
+        backward = false;
+      } else if (Accept("<-")) {
+        backward = true;
+      } else {
+        return true;  // pattern ends at a node
+      }
+      // [name][:Label] inside brackets (both optional).
+      std::string edge_name;
+      label_t edge_label = kInvalidLabel;
+      if (!Expect("[")) return false;
+      if (Peek().kind == Token::Kind::kIdent) {
+        edge_name = Peek().text;
+        ++pos_;
+      }
+      if (Accept(":")) {
+        if (Peek().kind != Token::Kind::kIdent) {
+          result_.error = "expected edge label";
+          return false;
+        }
+        edge_label = catalog_.FindEdgeLabel(Peek().text);
+        if (edge_label == kInvalidLabel) {
+          result_.error = "unknown edge label " + Peek().text;
+          return false;
+        }
+        ++pos_;
+      }
+      if (!Expect("]")) return false;
+      if (backward) {
+        if (!Expect("-")) return false;
+      } else {
+        if (!Expect("->")) return false;
+      }
+      int next = ParseNode();
+      if (next < 0) return false;
+      if (backward) {
+        result_.query.AddEdge(next, prev, edge_label, edge_name);
+      } else {
+        result_.query.AddEdge(prev, next, edge_label, edge_name);
+      }
+      prev = next;
+    }
+  }
+
+  // <var>.<prop> | <var>.ID
+  bool ParseRef(QueryPropRef* ref) {
+    if (Peek().kind != Token::Kind::kIdent) {
+      result_.error = "expected variable reference";
+      return false;
+    }
+    std::string var_name = Peek().text;
+    ++pos_;
+    if (!Expect(".")) return false;
+    if (Peek().kind != Token::Kind::kIdent) {
+      result_.error = "expected property name after '.'";
+      return false;
+    }
+    std::string prop = Peek().text;
+    ++pos_;
+    int vertex_var = result_.query.FindVertex(var_name);
+    int edge_var = result_.query.FindEdge(var_name);
+    if (vertex_var < 0 && edge_var < 0) {
+      result_.error = "unknown variable " + var_name;
+      return false;
+    }
+    ref->is_edge = vertex_var < 0;
+    ref->var = ref->is_edge ? edge_var : vertex_var;
+    if (Upper(prop) == "ID") {
+      ref->is_id = true;
+      return true;
+    }
+    ref->key = catalog_.FindProperty(
+        prop, ref->is_edge ? PropTargetKind::kEdge : PropTargetKind::kVertex);
+    if (ref->key == kInvalidPropKey) {
+      result_.error = "unknown property " + prop;
+      return false;
+    }
+    return true;
+  }
+
+  bool ParseCondition() {
+    QueryComparison cmp;
+    if (!ParseRef(&cmp.lhs)) return false;
+    if (Accept("=")) {
+      cmp.op = CmpOp::kEq;
+    } else if (Accept("<>")) {
+      cmp.op = CmpOp::kNe;
+    } else if (Accept("<=")) {
+      cmp.op = CmpOp::kLe;
+    } else if (Accept(">=")) {
+      cmp.op = CmpOp::kGe;
+    } else if (Accept("<")) {
+      cmp.op = CmpOp::kLt;
+    } else if (Accept(">")) {
+      cmp.op = CmpOp::kGt;
+    } else {
+      result_.error = "expected comparison operator, got '" + Peek().text + "'";
+      return false;
+    }
+    // Right-hand side: literal, <var>.<prop> [+ int], or identifier
+    // (category value name of the lhs property).
+    const Token& rhs = Peek();
+    if (rhs.kind == Token::Kind::kNumber) {
+      ++pos_;
+      if (rhs.text.find('.') != std::string::npos) {
+        cmp.rhs_const = Value::Double(std::stod(rhs.text));
+      } else {
+        cmp.rhs_const = Value::Int64(std::stoll(rhs.text));
+      }
+    } else if (rhs.kind == Token::Kind::kString) {
+      ++pos_;
+      cmp.rhs_const = Value::String(rhs.text);
+    } else if (rhs.kind == Token::Kind::kIdent) {
+      // <var>.<prop> reference, or a bare category-value identifier.
+      bool is_ref = Peek(1).kind == Token::Kind::kOp && Peek(1).text == "." &&
+                    (result_.query.FindVertex(rhs.text) >= 0 ||
+                     result_.query.FindEdge(rhs.text) >= 0);
+      if (is_ref) {
+        cmp.rhs_is_const = false;
+        if (!ParseRef(&cmp.rhs_ref)) return false;
+        if (Accept("+")) {
+          if (Peek().kind != Token::Kind::kNumber) {
+            result_.error = "expected integer addend";
+            return false;
+          }
+          cmp.rhs_addend = std::stoll(Peek().text);
+          ++pos_;
+        }
+      } else {
+        ++pos_;
+        if (cmp.lhs.key == kInvalidPropKey ||
+            catalog_.property(cmp.lhs.key).type != ValueType::kCategory) {
+          result_.error = "identifier constant '" + rhs.text +
+                          "' requires a categorical left-hand property";
+          return false;
+        }
+        category_t cat = catalog_.FindCategoryValue(cmp.lhs.key, rhs.text);
+        if (cat == kInvalidCategory) {
+          result_.error = "unknown category value " + rhs.text;
+          return false;
+        }
+        cmp.rhs_const = Value::Category(cat);
+      }
+    } else {
+      result_.error = "expected right-hand side";
+      return false;
+    }
+    // `<vertex>.ID = <int>` pins the vertex.
+    if (!cmp.lhs.is_edge && cmp.lhs.is_id && cmp.op == CmpOp::kEq && cmp.rhs_is_const &&
+        cmp.rhs_const.type() == ValueType::kInt64) {
+      result_.query.mutable_vertex(cmp.lhs.var).bound =
+          static_cast<vertex_id_t>(cmp.rhs_const.AsInt64());
+      return true;
+    }
+    result_.query.AddPredicate(std::move(cmp));
+    return true;
+  }
+
+  const Catalog& catalog_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  ParsedCypher result_;
+};
+
+}  // namespace
+
+ParsedCypher ParseCypher(const std::string& text, const Catalog& catalog) {
+  Parser parser(text, catalog);
+  return parser.Parse();
+}
+
+}  // namespace aplus

@@ -1,0 +1,34 @@
+#ifndef APLUS_QUERY_CYPHER_PARSER_H_
+#define APLUS_QUERY_CYPHER_PARSER_H_
+
+#include <string>
+
+#include "query/query_graph.h"
+
+namespace aplus {
+
+// Parses the openCypher subset the paper's examples are written in
+// (Sections I-III): a MATCH clause of node/edge patterns, an optional
+// WHERE conjunction, and an optional RETURN COUNT(*).
+//
+//   MATCH (c1:Customer)-[r1:O]->(a1:Account)-[r2:W]->(a2)
+//   WHERE c1.name = 'Alice', r2.currency = USD, r2.amount > 50
+//   RETURN COUNT(*)
+//
+// Supported WHERE terms: <var>.<property>, <var>.ID, integer / float /
+// 'string' literals, bare identifiers (resolved as category-value names
+// of the property on the other side), and <var>.<prop> + <int> addends
+// on the right-hand side (the paper's money-flow predicates). Comma and
+// AND both separate conjuncts. `<var>.ID = <int>` on a vertex pins the
+// variable to that vertex id (the paper's a1.ID = v5 bindings).
+struct ParsedCypher {
+  QueryGraph query;
+  std::string error;  // empty on success
+  bool ok() const { return error.empty(); }
+};
+
+ParsedCypher ParseCypher(const std::string& text, const Catalog& catalog);
+
+}  // namespace aplus
+
+#endif  // APLUS_QUERY_CYPHER_PARSER_H_

@@ -1,0 +1,13 @@
+#include "query/executor.h"
+
+namespace aplus {
+
+QueryResult RunPlan(Plan* plan) {
+  QueryResult result;
+  result.count = plan->Execute();
+  result.seconds = plan->last_execute_seconds();
+  result.plan = plan->Describe();
+  return result;
+}
+
+}  // namespace aplus

@@ -1,0 +1,23 @@
+#ifndef APLUS_QUERY_EXECUTOR_H_
+#define APLUS_QUERY_EXECUTOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "query/plan.h"
+
+namespace aplus {
+
+// Result of running one plan.
+struct QueryResult {
+  uint64_t count = 0;
+  double seconds = 0.0;
+  std::string plan;  // Describe() of the executed plan
+};
+
+// Runs `plan` once and packages count / runtime / plan description.
+QueryResult RunPlan(Plan* plan);
+
+}  // namespace aplus
+
+#endif  // APLUS_QUERY_EXECUTOR_H_

@@ -1,0 +1,460 @@
+#include "query/operators.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace aplus {
+
+namespace {
+
+// Equal range of neighbour `n` within [begin, end) of a slice whose
+// entries in that range are sorted on neighbour IDs.
+std::pair<uint32_t, uint32_t> EqualRangeByNbr(const AdjListSlice& slice, vertex_id_t n,
+                                              uint32_t begin, uint32_t end) {
+  uint32_t lo = begin;
+  uint32_t hi = end;
+  while (lo < hi) {
+    uint32_t mid = lo + (hi - lo) / 2;
+    if (slice.NbrAt(mid) < n) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  uint32_t first = lo;
+  hi = end;
+  while (lo < hi) {
+    uint32_t mid = lo + (hi - lo) / 2;
+    if (slice.NbrAt(mid) <= n) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return {first, lo};
+}
+
+bool EvalResiduals(const Graph& graph, const std::vector<QueryComparison>& preds,
+                   const MatchState& state) {
+  for (const QueryComparison& cmp : preds) {
+    if (!EvalQueryComparison(graph, cmp, state)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+AdjListSlice ListDescriptor::Fetch(const MatchState& state) const {
+  switch (source) {
+    case Source::kPrimary:
+      return primary->GetList(state.v[bound_var], cats);
+    case Source::kVp:
+      return vp->GetList(state.v[bound_var], cats);
+    case Source::kEp:
+      return ep->GetList(state.e[bound_var], cats);
+  }
+  return AdjListSlice();
+}
+
+const std::vector<SortCriterion>& ListDescriptor::sorts() const {
+  switch (source) {
+    case Source::kPrimary:
+      return primary->config().sorts;
+    case Source::kVp:
+      return vp->config().sorts;
+    case Source::kEp:
+      return ep->config().sorts;
+  }
+  return primary->config().sorts;
+}
+
+const Graph* ListDescriptor::graph() const {
+  switch (source) {
+    case Source::kPrimary:
+      return primary->graph();
+    case Source::kVp:
+      return vp->primary()->graph();
+    case Source::kEp:
+      return ep->base_primary()->graph();
+  }
+  return nullptr;
+}
+
+int64_t ListDescriptor::SortKeyAt(const AdjListSlice& slice, uint32_t i) const {
+  const std::vector<SortCriterion>& criteria = sorts();
+  APLUS_DCHECK(!criteria.empty());
+  return EntrySortKey(*graph(), criteria.front(), slice.EdgeAt(i), slice.NbrAt(i));
+}
+
+std::pair<uint32_t, uint32_t> ListDescriptor::BoundedRange(const AdjListSlice& slice) const {
+  uint32_t begin = 0;
+  uint32_t end = slice.len;
+  if (has_lower_bound) {
+    uint32_t lo = 0;
+    uint32_t hi = slice.len;
+    // First entry with key > bound (strict) or key >= bound.
+    while (lo < hi) {
+      uint32_t mid = lo + (hi - lo) / 2;
+      int64_t key = SortKeyAt(slice, mid);
+      bool below = lower_strict ? key <= lower_bound : key < lower_bound;
+      if (below) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    begin = lo;
+  }
+  if (has_upper_bound) {
+    uint32_t lo = begin;
+    uint32_t hi = slice.len;
+    // First entry with key >= bound (strict) or key > bound.
+    while (lo < hi) {
+      uint32_t mid = lo + (hi - lo) / 2;
+      int64_t key = SortKeyAt(slice, mid);
+      bool below = upper_strict ? key < upper_bound : key <= upper_bound;
+      if (below) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    end = lo;
+  }
+  return {begin, end};
+}
+
+std::string ListDescriptor::Describe(const Catalog& catalog, const QueryGraph& query) const {
+  std::string out;
+  switch (source) {
+    case Source::kPrimary:
+      out = query.vertex(bound_var).name + "(" + ToString(primary->direction()) + " primary";
+      break;
+    case Source::kVp:
+      out = query.vertex(bound_var).name + "(" + ToString(vp->direction()) + " VP:" + vp->name();
+      break;
+    case Source::kEp:
+      out = query.edge(bound_var).name + "(EP:" + ep->name();
+      break;
+  }
+  if (!cats.empty()) {
+    out += " cats=[";
+    for (size_t i = 0; i < cats.size(); ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(cats[i]);
+    }
+    out += "]";
+  }
+  out += ")->" + (target_vertex_var >= 0 ? query.vertex(target_vertex_var).name : "?");
+  (void)catalog;
+  return out;
+}
+
+void ScanOp::Run(MatchState* state) {
+  if (bound_ != kInvalidVertex) {
+    if (label_ != kInvalidLabel && graph_->vertex_label(bound_) != label_) return;
+    state->v[var_] = bound_;
+    if (EvalResiduals(*graph_, preds_, *state)) Emit(state);
+    state->v[var_] = kInvalidVertex;
+    return;
+  }
+  uint64_t nv = graph_->num_vertices();
+  for (vertex_id_t v = 0; v < nv; ++v) {
+    if (label_ != kInvalidLabel && graph_->vertex_label(v) != label_) continue;
+    state->v[var_] = v;
+    if (EvalResiduals(*graph_, preds_, *state)) Emit(state);
+  }
+  state->v[var_] = kInvalidVertex;
+}
+
+std::string ScanOp::Describe() const {
+  std::string out = "Scan v" + std::to_string(var_);
+  if (bound_ != kInvalidVertex) out += " id=" + std::to_string(bound_);
+  if (label_ != kInvalidLabel) out += " label=" + std::to_string(label_);
+  if (!preds_.empty()) out += " +" + std::to_string(preds_.size()) + " preds";
+  return out;
+}
+
+bool ExtendOp::AcceptEntry(MatchState* state, const AdjListSlice& slice, uint32_t i) {
+  edge_id_t e = slice.EdgeAt(i);
+  if (state->EdgeAlreadyBound(e)) return false;
+  if (!list_.EntryPassesLabels(*graph_, slice, i)) return false;
+  vertex_id_t n = slice.NbrAt(i);
+  if (list_.target_bound != kInvalidVertex && n != list_.target_bound) return false;
+  if (!closing_) {
+    if (state->VertexAlreadyBound(n)) return false;
+    state->v[list_.target_vertex_var] = n;
+  }
+  state->e[list_.target_edge_var] = e;
+  bool pass = EvalResiduals(*graph_, residual_, *state);
+  if (pass) Emit(state);
+  state->e[list_.target_edge_var] = kInvalidEdge;
+  if (!closing_) state->v[list_.target_vertex_var] = kInvalidVertex;
+  return pass;
+}
+
+void ExtendOp::Run(MatchState* state) {
+  // Partially materialized EP index (Section III-B2 future work): when
+  // the bound edge's page was not materialized under the budget, derive
+  // the adjacency at run time from the anchor's primary list. Partition
+  // categories and sort-key bounds become per-entry filters (the
+  // runtime order is the base list's, not this index's sort order).
+  if (list_.source == ListDescriptor::Source::kEp) {
+    edge_id_t eb = state->e[list_.bound_var];
+    const EpIndex* ep = list_.ep;
+    if (!ep->IsMaterialized(eb)) {
+      AdjListSlice base = ep->base_primary()->GetFullList(ep->AnchorOf(eb));
+      vertex_id_t close_target =
+          closing_ ? state->v[list_.target_vertex_var] : kInvalidVertex;
+      ep->ForEachRuntime(eb, [&](uint32_t i, edge_id_t eadj, vertex_id_t nbr) {
+        if (closing_ && nbr != close_target) return;
+        for (size_t c = 0; c < list_.cats.size(); ++c) {
+          if (ep->base_primary()->CategoryOf(ep->config().partitions[c], eadj, nbr) !=
+              list_.cats[c]) {
+            return;
+          }
+        }
+        if (list_.has_upper_bound || list_.has_lower_bound) {
+          int64_t key = EntrySortKey(*graph_, list_.sorts().front(), eadj, nbr);
+          if (list_.has_upper_bound &&
+              !(list_.upper_strict ? key < list_.upper_bound : key <= list_.upper_bound)) {
+            return;
+          }
+          if (list_.has_lower_bound &&
+              !(list_.lower_strict ? key > list_.lower_bound : key >= list_.lower_bound)) {
+            return;
+          }
+        }
+        AcceptEntry(state, base, i);
+      });
+      return;
+    }
+  }
+  AdjListSlice slice = list_.Fetch(*state);
+  if (closing_) {
+    vertex_id_t target = state->v[list_.target_vertex_var];
+    APLUS_DCHECK(target != kInvalidVertex);
+    // Membership probe: binary search when the list is neighbour-sorted,
+    // linear scan otherwise.
+    auto [bound_begin, bound_end] = list_.BoundedRange(slice);
+    if (list_.nbr_sorted) {
+      auto [first, last] = EqualRangeByNbr(slice, target, bound_begin, bound_end);
+      for (uint32_t i = first; i < last; ++i) AcceptEntry(state, slice, i);
+    } else {
+      for (uint32_t i = bound_begin; i < bound_end; ++i) {
+        if (slice.NbrAt(i) == target) AcceptEntry(state, slice, i);
+      }
+    }
+    return;
+  }
+  if (list_.has_upper_bound || list_.has_lower_bound) {
+    auto [begin, end] = list_.BoundedRange(slice);
+    for (uint32_t i = begin; i < end; ++i) AcceptEntry(state, slice, i);
+    return;
+  }
+  for (uint32_t i = 0; i < slice.len; ++i) AcceptEntry(state, slice, i);
+}
+
+std::string ExtendOp::Describe() const {
+  std::string out = closing_ ? "Extend(close) " : "Extend ";
+  out += "list_src_var=" + std::to_string(list_.bound_var);
+  out += " -> v" + std::to_string(list_.target_vertex_var);
+  if (!residual_.empty()) out += " +" + std::to_string(residual_.size()) + " residual";
+  return out;
+}
+
+ExtendIntersectOp::ExtendIntersectOp(const Graph* graph, std::vector<ListDescriptor> lists,
+                                     int target_vertex_var,
+                                     std::vector<QueryComparison> residual)
+    : graph_(graph),
+      lists_(std::move(lists)),
+      target_var_(target_vertex_var),
+      residual_(std::move(residual)) {
+  APLUS_CHECK_GE(lists_.size(), 2u) << "E/I with z >= 2; use ExtendOp for one list";
+  for (const ListDescriptor& list : lists_) {
+    APLUS_CHECK(list.nbr_sorted)
+        << "E/I requires (effectively) neighbour-ID sorted lists";
+  }
+}
+
+void ExtendIntersectOp::Run(MatchState* state) {
+  size_t z = lists_.size();
+  std::vector<AdjListSlice> slices(z);
+  std::vector<std::pair<uint32_t, uint32_t>> bounds(z);
+  size_t pivot = 0;
+  for (size_t i = 0; i < z; ++i) {
+    slices[i] = lists_[i].Fetch(*state);
+    bounds[i] = lists_[i].BoundedRange(slices[i]);
+    uint32_t len_i = bounds[i].second - bounds[i].first;
+    uint32_t len_p = bounds[pivot].second - bounds[pivot].first;
+    if (len_i < len_p) pivot = i;
+  }
+  const AdjListSlice& ps = slices[pivot];
+  label_t target_label = kInvalidLabel;
+  for (const ListDescriptor& list : lists_) {
+    if (list.target_vertex_label != kInvalidLabel) target_label = list.target_vertex_label;
+  }
+
+  uint32_t i = bounds[pivot].first;
+  const uint32_t pivot_end = bounds[pivot].second;
+  // Ranges of entries per list agreeing on the candidate neighbour.
+  std::vector<std::pair<uint32_t, uint32_t>> ranges(z);
+  while (i < pivot_end) {
+    vertex_id_t n = ps.NbrAt(i);
+    uint32_t group_end = i + 1;
+    while (group_end < pivot_end && ps.NbrAt(group_end) == n) ++group_end;
+    vertex_id_t pivot_bound = lists_[pivot].target_bound;
+    if (state->VertexAlreadyBound(n) ||
+        (pivot_bound != kInvalidVertex && n != pivot_bound) ||
+        (target_label != kInvalidLabel && graph_->vertex_label(n) != target_label)) {
+      i = group_end;
+      continue;
+    }
+    bool all_present = true;
+    for (size_t l = 0; l < z && all_present; ++l) {
+      if (l == pivot) {
+        ranges[l] = {i, group_end};
+        continue;
+      }
+      ranges[l] = EqualRangeByNbr(slices[l], n, bounds[l].first, bounds[l].second);
+      all_present = ranges[l].first < ranges[l].second;
+    }
+    if (all_present) {
+      state->v[target_var_] = n;
+      // Enumerate every combination of edges, one per list.
+      std::vector<uint32_t> idx(z);
+      for (size_t l = 0; l < z; ++l) idx[l] = ranges[l].first;
+      // Depth-first product with edge-distinctness checks.
+      size_t depth = 0;
+      while (true) {
+        if (depth == z) {
+          if (EvalResiduals(*graph_, residual_, *state)) Emit(state);
+          // Backtrack.
+          --depth;
+          state->e[lists_[depth].target_edge_var] = kInvalidEdge;
+          ++idx[depth];
+        }
+        if (idx[depth] >= ranges[depth].second) {
+          idx[depth] = ranges[depth].first;
+          if (depth == 0) break;
+          --depth;
+          state->e[lists_[depth].target_edge_var] = kInvalidEdge;
+          ++idx[depth];
+          continue;
+        }
+        edge_id_t e = slices[depth].EdgeAt(idx[depth]);
+        if (state->EdgeAlreadyBound(e) ||
+            (lists_[depth].edge_label_filter != kInvalidLabel &&
+             graph_->edge_label(e) != lists_[depth].edge_label_filter)) {
+          ++idx[depth];
+          continue;
+        }
+        state->e[lists_[depth].target_edge_var] = e;
+        ++depth;
+      }
+      state->v[target_var_] = kInvalidVertex;
+    }
+    i = group_end;
+  }
+}
+
+std::string ExtendIntersectOp::Describe() const {
+  return "Extend/Intersect z=" + std::to_string(lists_.size()) + " -> v" +
+         std::to_string(target_var_);
+}
+
+MultiExtendOp::MultiExtendOp(const Graph* graph, std::vector<ListDescriptor> lists,
+                             std::vector<QueryComparison> residual)
+    : graph_(graph), lists_(std::move(lists)), residual_(std::move(residual)) {
+  APLUS_CHECK_GE(lists_.size(), 2u);
+  const SortCriterion& first = lists_.front().sorts().front();
+  for (const ListDescriptor& list : lists_) {
+    APLUS_CHECK(!list.sorts().empty() && list.sorts().front() == first)
+        << "MULTI-EXTEND requires identical sort criteria on all lists";
+  }
+}
+
+void MultiExtendOp::EmitCombinations(MatchState* state, const std::vector<AdjListSlice>& slices,
+                                     const std::vector<std::pair<uint32_t, uint32_t>>& ranges,
+                                     size_t depth) {
+  if (depth == lists_.size()) {
+    if (EvalResiduals(*graph_, residual_, *state)) Emit(state);
+    return;
+  }
+  const ListDescriptor& list = lists_[depth];
+  const AdjListSlice& slice = slices[depth];
+  for (uint32_t i = ranges[depth].first; i < ranges[depth].second; ++i) {
+    vertex_id_t n = slice.NbrAt(i);
+    edge_id_t e = slice.EdgeAt(i);
+    if (state->VertexAlreadyBound(n) || state->EdgeAlreadyBound(e)) continue;
+    if (list.target_bound != kInvalidVertex && n != list.target_bound) continue;
+    if (!list.EntryPassesLabels(*graph_, slice, i)) continue;
+    state->v[list.target_vertex_var] = n;
+    state->e[list.target_edge_var] = e;
+    EmitCombinations(state, slices, ranges, depth + 1);
+    state->v[list.target_vertex_var] = kInvalidVertex;
+    state->e[list.target_edge_var] = kInvalidEdge;
+  }
+}
+
+void MultiExtendOp::Run(MatchState* state) {
+  size_t z = lists_.size();
+  std::vector<AdjListSlice> slices(z);
+  std::vector<uint32_t> pos(z);
+  std::vector<uint32_t> ends(z);
+  for (size_t l = 0; l < z; ++l) {
+    slices[l] = lists_[l].Fetch(*state);
+    auto [begin, end] = lists_[l].BoundedRange(slices[l]);
+    pos[l] = begin;
+    ends[l] = end;
+    if (begin >= end) return;
+  }
+  std::vector<std::pair<uint32_t, uint32_t>> ranges(z);
+  while (true) {
+    // Compute current keys and the max.
+    int64_t max_key = INT64_MIN;
+    for (size_t l = 0; l < z; ++l) {
+      if (pos[l] >= ends[l]) return;
+      int64_t key = lists_[l].SortKeyAt(slices[l], pos[l]);
+      if (key > max_key) max_key = key;
+    }
+    // Advance lagging lists to >= max_key.
+    bool all_equal = true;
+    for (size_t l = 0; l < z; ++l) {
+      while (pos[l] < ends[l] && lists_[l].SortKeyAt(slices[l], pos[l]) < max_key) {
+        ++pos[l];
+      }
+      if (pos[l] >= ends[l]) return;
+      if (lists_[l].SortKeyAt(slices[l], pos[l]) != max_key) all_equal = false;
+    }
+    if (!all_equal) continue;
+    if (max_key == kNullSortKey) return;  // null tails never join
+    // Equal-key ranges.
+    for (size_t l = 0; l < z; ++l) {
+      uint32_t end = pos[l];
+      while (end < ends[l] && lists_[l].SortKeyAt(slices[l], end) == max_key) ++end;
+      ranges[l] = {pos[l], end};
+    }
+    EmitCombinations(state, slices, ranges, 0);
+    for (size_t l = 0; l < z; ++l) pos[l] = ranges[l].second;
+  }
+}
+
+std::string MultiExtendOp::Describe() const {
+  std::string out = "Multi-Extend z=" + std::to_string(lists_.size()) + " ->";
+  for (const ListDescriptor& list : lists_) {
+    out += " v" + std::to_string(list.target_vertex_var);
+  }
+  return out;
+}
+
+void FilterOp::Run(MatchState* state) {
+  if (EvalResiduals(*graph_, preds_, *state)) Emit(state);
+}
+
+std::string FilterOp::Describe() const {
+  return "Filter (" + std::to_string(preds_.size()) + " preds)";
+}
+
+}  // namespace aplus

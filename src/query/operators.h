@@ -1,0 +1,218 @@
+#ifndef APLUS_QUERY_OPERATORS_H_
+#define APLUS_QUERY_OPERATORS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/adj_list_slice.h"
+#include "index/ep_index.h"
+#include "index/primary_index.h"
+#include "index/vp_index.h"
+#include "query/query_graph.h"
+
+namespace aplus {
+
+// Which A+ index an extension reads its adjacency list from, and how the
+// list is selected: the bound variable (a query vertex for primary/VP
+// lists, a query edge for EP lists) plus a fixed prefix of partition
+// categories resolved at plan time (e.g. the Wire label slot).
+struct ListDescriptor {
+  enum class Source : uint8_t { kPrimary, kVp, kEp };
+
+  Source source = Source::kPrimary;
+  const PrimaryIndex* primary = nullptr;
+  const VpIndex* vp = nullptr;
+  const EpIndex* ep = nullptr;
+  int bound_var = -1;  // vertex var (kPrimary/kVp) or edge var (kEp)
+  std::vector<category_t> cats;
+
+  // Variables this list binds when its entries are consumed.
+  int target_vertex_var = -1;
+  int target_edge_var = -1;
+  // When the target query vertex is pinned to a literal vertex (e.g.
+  // a1.ID = v1), only entries pointing at it qualify.
+  vertex_id_t target_bound = kInvalidVertex;
+  // True when, within BoundedRange, entries are ordered by neighbour ID:
+  // the slice is an innermost sublist whose (effective) sort starts with
+  // vnbr.ID — possibly after equality bounds pin leading sort keys (the
+  // Ds configuration sorts by neighbour label then ID; fixing the label
+  // leaves a neighbour-ID-sorted run). Set by the index matcher;
+  // required by EXTEND/INTERSECT.
+  bool nbr_sorted = false;
+  // Optional label filter on the bound neighbour (applied while
+  // consuming entries when the list is not already partitioned on it).
+  label_t target_vertex_label = kInvalidLabel;
+  // Optional label filter on the consumed edge, for lists that are not
+  // partitioned by edge label (e.g. a Flat-configured primary index).
+  label_t edge_label_filter = kInvalidLabel;
+
+  // True when the entry at position i passes this descriptor's label
+  // filters.
+  bool EntryPassesLabels(const Graph& graph, const AdjListSlice& slice, uint32_t i) const {
+    if (edge_label_filter != kInvalidLabel && graph.edge_label(slice.EdgeAt(i)) != edge_label_filter) {
+      return false;
+    }
+    if (target_vertex_label != kInvalidLabel &&
+        graph.vertex_label(slice.NbrAt(i)) != target_vertex_label) {
+      return false;
+    }
+    return true;
+  }
+
+  // Optional range restriction on the list's first sort key: when the
+  // list is sorted on a property and the query carries a range predicate
+  // on it (e.g. e.time < alpha over a time-sorted VP index, the
+  // MagicRecs pattern of Section V-C1), the operators binary-search the
+  // qualifying prefix/suffix instead of filtering every entry.
+  bool has_upper_bound = false;
+  int64_t upper_bound = 0;
+  bool upper_strict = true;  // key < bound vs key <= bound
+  bool has_lower_bound = false;
+  int64_t lower_bound = 0;
+  bool lower_strict = true;  // key > bound vs key >= bound
+
+  AdjListSlice Fetch(const MatchState& state) const;
+  // First-sort-criterion key of entry i (used by MULTI-EXTEND merges).
+  int64_t SortKeyAt(const AdjListSlice& slice, uint32_t i) const;
+  // [begin, end) of entries satisfying the configured sort-key bounds
+  // (whole list when no bounds are set).
+  std::pair<uint32_t, uint32_t> BoundedRange(const AdjListSlice& slice) const;
+  // The sort criteria this list is ordered by.
+  const std::vector<SortCriterion>& sorts() const;
+  std::string Describe(const Catalog& catalog, const QueryGraph& query) const;
+
+  const Graph* graph() const;
+};
+
+// Push-based physical operator. Each operator consumes one partial match
+// and forwards zero or more extended matches to `next_`.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+  void set_next(Operator* next) { next_ = next; }
+  virtual void Run(MatchState* state) = 0;
+  virtual std::string Describe() const = 0;
+
+ protected:
+  void Emit(MatchState* state) { next_->Run(state); }
+  Operator* next_ = nullptr;
+};
+
+// Terminal operator: counts (and optionally samples) complete matches.
+class SinkOp : public Operator {
+ public:
+  explicit SinkOp(std::function<void(const MatchState&)> callback = nullptr)
+      : callback_(std::move(callback)) {}
+  void Run(MatchState* state) override {
+    state->count++;
+    if (callback_) callback_(*state);
+  }
+  std::string Describe() const override { return "Sink"; }
+
+ private:
+  std::function<void(const MatchState&)> callback_;
+};
+
+// Pipeline driver: binds query vertex `var` to every graph vertex that
+// passes the label filter / bound-ID constraint and the given predicates.
+class ScanOp : public Operator {
+ public:
+  ScanOp(const Graph* graph, int var, label_t label, vertex_id_t bound,
+         std::vector<QueryComparison> preds)
+      : graph_(graph), var_(var), label_(label), bound_(bound), preds_(std::move(preds)) {}
+
+  void Run(MatchState* state) override;
+  std::string Describe() const override;
+
+ private:
+  const Graph* graph_;
+  int var_;
+  label_t label_;
+  vertex_id_t bound_;
+  std::vector<QueryComparison> preds_;
+};
+
+// Single-list EXTEND (the z = 1 case of E/I): extends the partial match
+// along one adjacency list, binding one new query vertex and edge.
+// When the target vertex is already bound (a cycle-closing edge) the
+// operator verifies list membership instead of enumerating.
+class ExtendOp : public Operator {
+ public:
+  ExtendOp(const Graph* graph, ListDescriptor list, std::vector<QueryComparison> residual,
+           bool target_already_bound = false)
+      : graph_(graph),
+        list_(std::move(list)),
+        residual_(std::move(residual)),
+        closing_(target_already_bound) {}
+
+  void Run(MatchState* state) override;
+  std::string Describe() const override;
+
+ private:
+  bool AcceptEntry(MatchState* state, const AdjListSlice& slice, uint32_t i);
+
+  const Graph* graph_;
+  ListDescriptor list_;
+  std::vector<QueryComparison> residual_;
+  bool closing_;
+};
+
+// EXTEND/INTERSECT with z >= 2 (Section IV-A): intersects z adjacency
+// lists sorted on neighbour IDs and binds the new query vertex to each
+// vertex in the intersection (plus one query edge per list). This is the
+// WCOJ building block.
+class ExtendIntersectOp : public Operator {
+ public:
+  ExtendIntersectOp(const Graph* graph, std::vector<ListDescriptor> lists, int target_vertex_var,
+                    std::vector<QueryComparison> residual);
+
+  void Run(MatchState* state) override;
+  std::string Describe() const override;
+
+ private:
+  const Graph* graph_;
+  std::vector<ListDescriptor> lists_;
+  int target_var_;
+  std::vector<QueryComparison> residual_;
+};
+
+// MULTI-EXTEND (Section IV-A): intersects z lists sorted on a property
+// other than the neighbour ID (all lists must share the sort criterion)
+// and extends the partial match by up to z new query vertices at once —
+// one per list — for every combination of entries agreeing on the sort
+// key. Used by the money-flow plans (Figure 6).
+class MultiExtendOp : public Operator {
+ public:
+  MultiExtendOp(const Graph* graph, std::vector<ListDescriptor> lists,
+                std::vector<QueryComparison> residual);
+
+  void Run(MatchState* state) override;
+  std::string Describe() const override;
+
+ private:
+  void EmitCombinations(MatchState* state, const std::vector<AdjListSlice>& slices,
+                        const std::vector<std::pair<uint32_t, uint32_t>>& ranges, size_t depth);
+
+  const Graph* graph_;
+  std::vector<ListDescriptor> lists_;
+  std::vector<QueryComparison> residual_;
+};
+
+// FILTER: applies residual predicates (Section IV-A).
+class FilterOp : public Operator {
+ public:
+  FilterOp(const Graph* graph, std::vector<QueryComparison> preds)
+      : graph_(graph), preds_(std::move(preds)) {}
+  void Run(MatchState* state) override;
+  std::string Describe() const override;
+
+ private:
+  const Graph* graph_;
+  std::vector<QueryComparison> preds_;
+};
+
+}  // namespace aplus
+
+#endif  // APLUS_QUERY_OPERATORS_H_

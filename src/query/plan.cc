@@ -1,0 +1,71 @@
+#include "query/plan.h"
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace aplus {
+
+Plan::Plan(std::vector<std::unique_ptr<Operator>> ops, int num_query_vertices,
+           int num_query_edges)
+    : ops_(std::move(ops)),
+      num_query_vertices_(num_query_vertices),
+      num_query_edges_(num_query_edges) {
+  APLUS_CHECK_GE(ops_.size(), 2u) << "plan needs at least a scan and a sink";
+  for (size_t i = 0; i + 1 < ops_.size(); ++i) ops_[i]->set_next(ops_[i + 1].get());
+}
+
+uint64_t Plan::Execute() {
+  WallTimer timer;
+  MatchState state;
+  state.Reset(num_query_vertices_, num_query_edges_);
+  ops_.front()->Run(&state);
+  last_execute_seconds_ = timer.ElapsedSeconds();
+  return state.count;
+}
+
+std::string Plan::Describe() const {
+  std::string out;
+  for (const auto& op : ops_) {
+    out += op->Describe();
+    out += "\n";
+  }
+  return out;
+}
+
+PlanBuilder& PlanBuilder::Scan(int var, std::vector<QueryComparison> preds) {
+  const QueryVertex& qv = query_->vertex(var);
+  ops_.push_back(std::make_unique<ScanOp>(graph_, var, qv.label, qv.bound, std::move(preds)));
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::Extend(ListDescriptor list, std::vector<QueryComparison> residual,
+                                 bool closing) {
+  ops_.push_back(std::make_unique<ExtendOp>(graph_, std::move(list), std::move(residual),
+                                            closing));
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::ExtendIntersect(std::vector<ListDescriptor> lists, int target_var,
+                                          std::vector<QueryComparison> residual) {
+  ops_.push_back(std::make_unique<ExtendIntersectOp>(graph_, std::move(lists), target_var,
+                                                     std::move(residual)));
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::MultiExtend(std::vector<ListDescriptor> lists,
+                                      std::vector<QueryComparison> residual) {
+  ops_.push_back(std::make_unique<MultiExtendOp>(graph_, std::move(lists), std::move(residual)));
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::Filter(std::vector<QueryComparison> preds) {
+  ops_.push_back(std::make_unique<FilterOp>(graph_, std::move(preds)));
+  return *this;
+}
+
+std::unique_ptr<Plan> PlanBuilder::Build(std::function<void(const MatchState&)> callback) {
+  ops_.push_back(std::make_unique<SinkOp>(std::move(callback)));
+  return std::make_unique<Plan>(std::move(ops_), query_->num_vertices(), query_->num_edges());
+}
+
+}  // namespace aplus

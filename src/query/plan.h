@@ -1,0 +1,59 @@
+#ifndef APLUS_QUERY_PLAN_H_
+#define APLUS_QUERY_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/operators.h"
+
+namespace aplus {
+
+// A physical plan: a pipeline of push-based operators ending in a SinkOp.
+// Plans are produced by the DP optimizer (src/optimizer) or built by hand
+// via PlanBuilder for the benchmark harnesses.
+class Plan {
+ public:
+  Plan(std::vector<std::unique_ptr<Operator>> ops, int num_query_vertices, int num_query_edges);
+
+  // Runs the pipeline and returns the number of complete matches.
+  uint64_t Execute();
+
+  // One line per operator, root first (Figure 6 style).
+  std::string Describe() const;
+
+  double last_execute_seconds() const { return last_execute_seconds_; }
+
+ private:
+  std::vector<std::unique_ptr<Operator>> ops_;
+  int num_query_vertices_;
+  int num_query_edges_;
+  double last_execute_seconds_ = 0.0;
+};
+
+// Convenience builder used by benches and tests to assemble pipelines.
+class PlanBuilder {
+ public:
+  PlanBuilder(const Graph* graph, const QueryGraph* query) : graph_(graph), query_(query) {}
+
+  PlanBuilder& Scan(int var, std::vector<QueryComparison> preds = {});
+  PlanBuilder& Extend(ListDescriptor list, std::vector<QueryComparison> residual = {},
+                      bool closing = false);
+  PlanBuilder& ExtendIntersect(std::vector<ListDescriptor> lists, int target_var,
+                               std::vector<QueryComparison> residual = {});
+  PlanBuilder& MultiExtend(std::vector<ListDescriptor> lists,
+                           std::vector<QueryComparison> residual = {});
+  PlanBuilder& Filter(std::vector<QueryComparison> preds);
+
+  // Appends the sink and finalizes.
+  std::unique_ptr<Plan> Build(std::function<void(const MatchState&)> callback = nullptr);
+
+ private:
+  const Graph* graph_;
+  const QueryGraph* query_;
+  std::vector<std::unique_ptr<Operator>> ops_;
+};
+
+}  // namespace aplus
+
+#endif  // APLUS_QUERY_PLAN_H_

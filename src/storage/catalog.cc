@@ -1,0 +1,97 @@
+#include "storage/catalog.h"
+
+#include "util/logging.h"
+
+namespace aplus {
+
+label_t Catalog::AddVertexLabel(const std::string& name) {
+  auto it = vertex_label_ids_.find(name);
+  if (it != vertex_label_ids_.end()) return it->second;
+  label_t id = static_cast<label_t>(vertex_labels_.size());
+  vertex_labels_.push_back(name);
+  vertex_label_ids_.emplace(name, id);
+  return id;
+}
+
+label_t Catalog::AddEdgeLabel(const std::string& name) {
+  auto it = edge_label_ids_.find(name);
+  if (it != edge_label_ids_.end()) return it->second;
+  label_t id = static_cast<label_t>(edge_labels_.size());
+  edge_labels_.push_back(name);
+  edge_label_ids_.emplace(name, id);
+  return id;
+}
+
+label_t Catalog::FindVertexLabel(const std::string& name) const {
+  auto it = vertex_label_ids_.find(name);
+  return it == vertex_label_ids_.end() ? kInvalidLabel : it->second;
+}
+
+label_t Catalog::FindEdgeLabel(const std::string& name) const {
+  auto it = edge_label_ids_.find(name);
+  return it == edge_label_ids_.end() ? kInvalidLabel : it->second;
+}
+
+const std::string& Catalog::VertexLabelName(label_t label) const {
+  APLUS_CHECK_LT(label, vertex_labels_.size());
+  return vertex_labels_[label];
+}
+
+const std::string& Catalog::EdgeLabelName(label_t label) const {
+  APLUS_CHECK_LT(label, edge_labels_.size());
+  return edge_labels_[label];
+}
+
+prop_key_t Catalog::AddProperty(const std::string& name, PropTargetKind target, ValueType type,
+                                uint32_t domain_size) {
+  auto& ids = target == PropTargetKind::kVertex ? vertex_prop_ids_ : edge_prop_ids_;
+  auto it = ids.find(name);
+  if (it != ids.end()) {
+    const PropertyMeta& meta = props_[it->second];
+    APLUS_CHECK(meta.type == type) << "property " << name << " re-registered with another type";
+    return it->second;
+  }
+  if (type == ValueType::kCategory) {
+    APLUS_CHECK_GT(domain_size, 0u) << "categorical property " << name << " needs a domain";
+  }
+  prop_key_t key = static_cast<prop_key_t>(props_.size());
+  props_.push_back(PropertyMeta{name, type, target, domain_size, {}});
+  ids.emplace(name, key);
+  return key;
+}
+
+prop_key_t Catalog::FindProperty(const std::string& name, PropTargetKind target) const {
+  const auto& ids = target == PropTargetKind::kVertex ? vertex_prop_ids_ : edge_prop_ids_;
+  auto it = ids.find(name);
+  return it == ids.end() ? kInvalidPropKey : it->second;
+}
+
+const PropertyMeta& Catalog::property(prop_key_t key) const {
+  APLUS_CHECK_LT(key, props_.size());
+  return props_[key];
+}
+
+category_t Catalog::RegisterCategoryValue(prop_key_t key, const std::string& value_name) {
+  APLUS_CHECK_LT(key, props_.size());
+  PropertyMeta& meta = props_[key];
+  APLUS_CHECK(meta.type == ValueType::kCategory)
+      << "property " << meta.name << " is not categorical";
+  for (size_t i = 0; i < meta.category_names.size(); ++i) {
+    if (meta.category_names[i] == value_name) return static_cast<category_t>(i);
+  }
+  APLUS_CHECK_LT(meta.category_names.size(), meta.domain_size)
+      << "too many named categories for " << meta.name;
+  meta.category_names.push_back(value_name);
+  return static_cast<category_t>(meta.category_names.size() - 1);
+}
+
+category_t Catalog::FindCategoryValue(prop_key_t key, const std::string& value_name) const {
+  APLUS_CHECK_LT(key, props_.size());
+  const PropertyMeta& meta = props_[key];
+  for (size_t i = 0; i < meta.category_names.size(); ++i) {
+    if (meta.category_names[i] == value_name) return static_cast<category_t>(i);
+  }
+  return kInvalidCategory;
+}
+
+}  // namespace aplus

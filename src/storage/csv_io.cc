@@ -1,0 +1,67 @@
+#include "storage/csv_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace aplus {
+
+std::vector<std::string> SplitCsvLine(const std::string& line, char delimiter) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream in(line);
+  while (std::getline(in, field, delimiter)) fields.push_back(field);
+  return fields;
+}
+
+int64_t LoadEdgeListCsv(const std::string& path, const CsvEdgeListOptions& options, Graph* graph) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    APLUS_LOG(Error) << "cannot open " << path;
+    return -1;
+  }
+  label_t vlabel = graph->catalog().AddVertexLabel(options.default_vertex_label);
+  label_t default_elabel = graph->catalog().AddEdgeLabel(options.default_edge_label);
+
+  std::string line;
+  bool first = true;
+  int64_t edges = 0;
+  while (std::getline(in, line)) {
+    if (first && options.has_header) {
+      first = false;
+      continue;
+    }
+    first = false;
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> fields = SplitCsvLine(line, options.delimiter);
+    if (fields.size() < 2) continue;
+    uint64_t src = std::stoull(fields[0]);
+    uint64_t dst = std::stoull(fields[1]);
+    uint64_t needed = std::max(src, dst) + 1;
+    while (graph->num_vertices() < needed) graph->AddVertex(vlabel);
+    label_t elabel = default_elabel;
+    if (fields.size() >= 3 && !fields[2].empty()) {
+      elabel = graph->catalog().AddEdgeLabel(fields[2]);
+    }
+    graph->AddEdge(static_cast<vertex_id_t>(src), static_cast<vertex_id_t>(dst), elabel);
+    ++edges;
+  }
+  return edges;
+}
+
+bool SaveEdgeListCsv(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    APLUS_LOG(Error) << "cannot open " << path << " for writing";
+    return false;
+  }
+  for (edge_id_t e = 0; e < graph.num_edges(); ++e) {
+    out << graph.edge_src(e) << ',' << graph.edge_dst(e) << ','
+        << graph.catalog().EdgeLabelName(graph.edge_label(e)) << '\n';
+  }
+  return out.good();
+}
+
+}  // namespace aplus

@@ -1,0 +1,34 @@
+#ifndef APLUS_STORAGE_CSV_IO_H_
+#define APLUS_STORAGE_CSV_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/graph.h"
+
+namespace aplus {
+
+// Minimal CSV import/export for edge lists, used by the examples to load
+// user-supplied graphs. Format: one "src,dst[,label]" row per edge;
+// vertices are created implicitly with the given default label.
+struct CsvEdgeListOptions {
+  std::string default_vertex_label = "V";
+  std::string default_edge_label = "E";
+  char delimiter = ',';
+  bool has_header = false;
+};
+
+// Appends the edges in `path` into `graph`. Returns the number of edges
+// loaded, or -1 on I/O failure.
+int64_t LoadEdgeListCsv(const std::string& path, const CsvEdgeListOptions& options, Graph* graph);
+
+// Writes "src,dst,label_name" rows. Returns false on I/O failure.
+bool SaveEdgeListCsv(const Graph& graph, const std::string& path);
+
+// Splits one CSV line on `delimiter` (no quoting support; the datasets
+// this project generates never need it).
+std::vector<std::string> SplitCsvLine(const std::string& line, char delimiter);
+
+}  // namespace aplus
+
+#endif  // APLUS_STORAGE_CSV_IO_H_

@@ -1,0 +1,46 @@
+#include "storage/graph.h"
+
+#include "util/logging.h"
+
+namespace aplus {
+
+vertex_id_t Graph::AddVertex(label_t label) {
+  vertex_id_t id = static_cast<vertex_id_t>(vertex_labels_.size());
+  vertex_labels_.push_back(label);
+  vertex_props_.Resize(vertex_labels_.size());
+  return id;
+}
+
+edge_id_t Graph::AddEdge(vertex_id_t src, vertex_id_t dst, label_t label) {
+  APLUS_DCHECK(src < num_vertices()) << "unknown source vertex";
+  APLUS_DCHECK(dst < num_vertices()) << "unknown destination vertex";
+  edge_id_t id = edge_srcs_.size();
+  edge_srcs_.push_back(src);
+  edge_dsts_.push_back(dst);
+  edge_labels_.push_back(label);
+  edge_props_.Resize(edge_srcs_.size());
+  return id;
+}
+
+prop_key_t Graph::AddVertexProperty(const std::string& name, ValueType type,
+                                    uint32_t domain_size) {
+  prop_key_t key = catalog_.AddProperty(name, PropTargetKind::kVertex, type, domain_size);
+  vertex_props_.AddColumn(catalog_, key);
+  return key;
+}
+
+prop_key_t Graph::AddEdgeProperty(const std::string& name, ValueType type, uint32_t domain_size) {
+  prop_key_t key = catalog_.AddProperty(name, PropTargetKind::kEdge, type, domain_size);
+  edge_props_.AddColumn(catalog_, key);
+  return key;
+}
+
+size_t Graph::MemoryBytes() const {
+  return vertex_labels_.capacity() * sizeof(label_t) +
+         edge_srcs_.capacity() * sizeof(vertex_id_t) +
+         edge_dsts_.capacity() * sizeof(vertex_id_t) +
+         edge_labels_.capacity() * sizeof(label_t) + vertex_props_.MemoryBytes() +
+         edge_props_.MemoryBytes();
+}
+
+}  // namespace aplus

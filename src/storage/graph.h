@@ -1,0 +1,85 @@
+#ifndef APLUS_STORAGE_GRAPH_H_
+#define APLUS_STORAGE_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/catalog.h"
+#include "storage/property_store.h"
+#include "storage/types.h"
+
+namespace aplus {
+
+// In-memory property graph: labelled vertices and directed labelled edges
+// with typed key-value properties (the property graph model of Section I).
+// The graph itself is unindexed edge storage; all adjacency access goes
+// through the A+ indexes in src/index/.
+//
+// Vertex ids are assigned consecutively from 0 (Section IV-B relies on
+// this for the div/mod page addressing). Edge ids likewise.
+class Graph {
+ public:
+  Graph() : vertex_props_(PropTargetKind::kVertex), edge_props_(PropTargetKind::kEdge) {}
+
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  vertex_id_t AddVertex(label_t label);
+  edge_id_t AddEdge(vertex_id_t src, vertex_id_t dst, label_t label);
+
+  uint64_t num_vertices() const { return vertex_labels_.size(); }
+  uint64_t num_edges() const { return edge_srcs_.size(); }
+
+  label_t vertex_label(vertex_id_t v) const { return vertex_labels_[v]; }
+  label_t edge_label(edge_id_t e) const { return edge_labels_[e]; }
+
+  // Relabeling is used by the dataset generators (G_{i,j} methodology);
+  // indexes built before a relabel must be rebuilt.
+  void set_vertex_label(vertex_id_t v, label_t label) { vertex_labels_[v] = label; }
+  void set_edge_label(edge_id_t e, label_t label) { edge_labels_[e] = label; }
+
+  vertex_id_t edge_src(edge_id_t e) const { return edge_srcs_[e]; }
+  vertex_id_t edge_dst(edge_id_t e) const { return edge_dsts_[e]; }
+
+  // Endpoint of `e` on the far side when traversing in direction `dir`
+  // from the near side, i.e. dst for FW and src for BW.
+  vertex_id_t edge_endpoint(edge_id_t e, Direction dir) const {
+    return dir == Direction::kFwd ? edge_dsts_[e] : edge_srcs_[e];
+  }
+
+  PropertyStore& vertex_props() { return vertex_props_; }
+  const PropertyStore& vertex_props() const { return vertex_props_; }
+  PropertyStore& edge_props() { return edge_props_; }
+  const PropertyStore& edge_props() const { return edge_props_; }
+
+  // Convenience: registers property metadata in the catalog and creates
+  // the backing column.
+  prop_key_t AddVertexProperty(const std::string& name, ValueType type, uint32_t domain_size = 0);
+  prop_key_t AddEdgeProperty(const std::string& name, ValueType type, uint32_t domain_size = 0);
+
+  double average_degree() const {
+    return num_vertices() == 0
+               ? 0.0
+               : static_cast<double>(num_edges()) / static_cast<double>(num_vertices());
+  }
+
+  size_t MemoryBytes() const;
+
+ private:
+  Catalog catalog_;
+  std::vector<label_t> vertex_labels_;
+  std::vector<vertex_id_t> edge_srcs_;
+  std::vector<vertex_id_t> edge_dsts_;
+  std::vector<label_t> edge_labels_;
+  PropertyStore vertex_props_;
+  PropertyStore edge_props_;
+};
+
+}  // namespace aplus
+
+#endif  // APLUS_STORAGE_GRAPH_H_

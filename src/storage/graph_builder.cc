@@ -1,0 +1,38 @@
+#include "storage/graph_builder.h"
+
+#include "util/logging.h"
+
+namespace aplus {
+
+vertex_id_t GraphBuilder::AddVertex(const std::string& label) {
+  return graph_->AddVertex(graph_->catalog().AddVertexLabel(label));
+}
+
+edge_id_t GraphBuilder::AddEdge(vertex_id_t src, vertex_id_t dst, const std::string& label) {
+  return graph_->AddEdge(src, dst, graph_->catalog().AddEdgeLabel(label));
+}
+
+prop_key_t GraphBuilder::EnsureProperty(const std::string& name, PropTargetKind target,
+                                        const Value& value) {
+  prop_key_t key = graph_->catalog().FindProperty(name, target);
+  if (key != kInvalidPropKey) return key;
+  APLUS_CHECK(!value.is_null()) << "cannot infer type of property " << name << " from null";
+  APLUS_CHECK(value.type() != ValueType::kCategory)
+      << "categorical property " << name << " must be registered with a domain first";
+  if (target == PropTargetKind::kVertex) {
+    return graph_->AddVertexProperty(name, value.type());
+  }
+  return graph_->AddEdgeProperty(name, value.type());
+}
+
+void GraphBuilder::SetVertexProp(vertex_id_t v, const std::string& name, const Value& value) {
+  prop_key_t key = EnsureProperty(name, PropTargetKind::kVertex, value);
+  graph_->vertex_props().AddColumn(graph_->catalog(), key)->Set(v, value);
+}
+
+void GraphBuilder::SetEdgeProp(edge_id_t e, const std::string& name, const Value& value) {
+  prop_key_t key = EnsureProperty(name, PropTargetKind::kEdge, value);
+  graph_->edge_props().AddColumn(graph_->catalog(), key)->Set(e, value);
+}
+
+}  // namespace aplus

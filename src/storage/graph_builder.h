@@ -1,0 +1,36 @@
+#ifndef APLUS_STORAGE_GRAPH_BUILDER_H_
+#define APLUS_STORAGE_GRAPH_BUILDER_H_
+
+#include <string>
+
+#include "storage/graph.h"
+
+namespace aplus {
+
+// Convenience layer for constructing small graphs by name (tests, examples,
+// CSV import). Resolves label/property names through the catalog once and
+// forwards to the Graph.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(Graph* graph) : graph_(graph) {}
+
+  vertex_id_t AddVertex(const std::string& label);
+  edge_id_t AddEdge(vertex_id_t src, vertex_id_t dst, const std::string& label);
+
+  // Sets a property value, creating the column on first use. The column
+  // type is inferred from the first value written; categorical columns
+  // must be registered up-front via Graph::Add*Property.
+  void SetVertexProp(vertex_id_t v, const std::string& name, const Value& value);
+  void SetEdgeProp(edge_id_t e, const std::string& name, const Value& value);
+
+  Graph* graph() { return graph_; }
+
+ private:
+  prop_key_t EnsureProperty(const std::string& name, PropTargetKind target, const Value& value);
+
+  Graph* graph_;
+};
+
+}  // namespace aplus
+
+#endif  // APLUS_STORAGE_GRAPH_BUILDER_H_

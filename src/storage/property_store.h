@@ -1,0 +1,101 @@
+#ifndef APLUS_STORAGE_PROPERTY_STORE_H_
+#define APLUS_STORAGE_PROPERTY_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/catalog.h"
+#include "storage/types.h"
+#include "storage/value.h"
+
+namespace aplus {
+
+// A single typed, nullable property column, indexed by vertex or edge id.
+// Strings are dictionary-encoded; categorical values are stored as dense
+// int codes in [0, domain_size).
+class PropertyColumn {
+ public:
+  PropertyColumn(prop_key_t key, ValueType type, uint32_t domain_size);
+
+  prop_key_t key() const { return key_; }
+  ValueType type() const { return type_; }
+  uint32_t domain_size() const { return domain_size_; }
+  size_t size() const { return nulls_.size(); }
+
+  void Resize(size_t n);
+
+  void SetInt64(uint64_t id, int64_t v);
+  void SetDouble(uint64_t id, double v);
+  void SetBool(uint64_t id, bool v);
+  void SetString(uint64_t id, const std::string& v);
+  void SetCategory(uint64_t id, category_t v);
+  void SetNull(uint64_t id);
+  void Set(uint64_t id, const Value& v);
+
+  bool IsNull(uint64_t id) const { return nulls_[id] != 0; }
+  int64_t GetInt64(uint64_t id) const { return ints_[id]; }
+  double GetDouble(uint64_t id) const { return doubles_[id]; }
+  bool GetBool(uint64_t id) const { return ints_[id] != 0; }
+  const std::string& GetString(uint64_t id) const { return dict_[codes_[id]]; }
+
+  // Categorical accessor used by the partitioning levels: returns the
+  // category code, or `domain_size()` (the extra null slot) when null.
+  category_t GetCategoryOrNullSlot(uint64_t id) const {
+    return nulls_[id] ? domain_size_ : static_cast<category_t>(ints_[id]);
+  }
+
+  // Generic accessor for predicate evaluation and tests.
+  Value Get(uint64_t id) const;
+
+  // Raw storage footprint in bytes (used by memory accounting).
+  size_t MemoryBytes() const;
+
+ private:
+  prop_key_t key_;
+  ValueType type_;
+  uint32_t domain_size_;
+
+  std::vector<uint8_t> nulls_;     // 1 = null
+  std::vector<int64_t> ints_;      // kInt64 / kBool / kCategory payload
+  std::vector<double> doubles_;    // kDouble payload
+  std::vector<uint32_t> codes_;    // kString payload (dictionary codes)
+  std::vector<std::string> dict_;  // string dictionary
+  std::unordered_map<std::string, uint32_t> dict_ids_;
+};
+
+// All property columns for one target kind (vertices or edges). Column
+// lookup is by catalog property key; missing columns behave as all-null.
+class PropertyStore {
+ public:
+  explicit PropertyStore(PropTargetKind target) : target_(target) {}
+
+  PropTargetKind target() const { return target_; }
+
+  // Creates the column for `key` (idempotent) and returns it.
+  PropertyColumn* AddColumn(const Catalog& catalog, prop_key_t key);
+
+  // Returns nullptr if the column was never created.
+  const PropertyColumn* column(prop_key_t key) const;
+  PropertyColumn* mutable_column(prop_key_t key);
+
+  // Grows every column to hold ids in [0, n).
+  void Resize(size_t n);
+  size_t size() const { return size_; }
+
+  bool IsNull(prop_key_t key, uint64_t id) const;
+  Value Get(prop_key_t key, uint64_t id) const;
+
+  size_t MemoryBytes() const;
+
+ private:
+  PropTargetKind target_;
+  size_t size_ = 0;
+  std::vector<std::unique_ptr<PropertyColumn>> columns_;  // indexed by key (sparse)
+};
+
+}  // namespace aplus
+
+#endif  // APLUS_STORAGE_PROPERTY_STORE_H_

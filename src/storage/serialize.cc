@@ -1,0 +1,281 @@
+#include "storage/serialize.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace aplus {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x41504c53;  // "APLS"
+constexpr uint32_t kVersion = 1;
+
+class Writer {
+ public:
+  explicit Writer(std::ostream* out) : out_(out) {}
+
+  void U32(uint32_t v) { out_->write(reinterpret_cast<const char*>(&v), sizeof(v)); }
+  void U64(uint64_t v) { out_->write(reinterpret_cast<const char*>(&v), sizeof(v)); }
+  void I64(int64_t v) { out_->write(reinterpret_cast<const char*>(&v), sizeof(v)); }
+  void F64(double v) { out_->write(reinterpret_cast<const char*>(&v), sizeof(v)); }
+  void U8(uint8_t v) { out_->write(reinterpret_cast<const char*>(&v), sizeof(v)); }
+
+  void Str(const std::string& s) {
+    U64(s.size());
+    out_->write(s.data(), static_cast<std::streamsize>(s.size()));
+  }
+
+  template <typename T>
+  void Vec(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    U64(v.size());
+    out_->write(reinterpret_cast<const char*>(v.data()),
+                static_cast<std::streamsize>(v.size() * sizeof(T)));
+  }
+
+  bool ok() const { return out_->good(); }
+
+ private:
+  std::ostream* out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::istream* in) : in_(in) {}
+
+  uint32_t U32() { return Read<uint32_t>(); }
+  uint64_t U64() { return Read<uint64_t>(); }
+  int64_t I64() { return Read<int64_t>(); }
+  double F64() { return Read<double>(); }
+  uint8_t U8() { return Read<uint8_t>(); }
+
+  std::string Str() {
+    uint64_t n = U64();
+    if (!Guard(n)) return "";
+    std::string s(n, '\0');
+    in_->read(s.data(), static_cast<std::streamsize>(n));
+    return s;
+  }
+
+  template <typename T>
+  std::vector<T> Vec() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t n = U64();
+    if (!Guard(n * sizeof(T))) return {};
+    std::vector<T> v(n);
+    in_->read(reinterpret_cast<char*>(v.data()),
+              static_cast<std::streamsize>(n * sizeof(T)));
+    return v;
+  }
+
+  bool ok() const { return !failed_ && in_->good(); }
+  void fail() { failed_ = true; }
+
+ private:
+  template <typename T>
+  T Read() {
+    T v{};
+    in_->read(reinterpret_cast<char*>(&v), sizeof(v));
+    return v;
+  }
+
+  // Basic sanity bound against corrupted lengths (1 GiB).
+  bool Guard(uint64_t bytes) {
+    if (bytes > (1ULL << 30)) {
+      failed_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  std::istream* in_;
+  bool failed_ = false;
+};
+
+void WriteColumn(Writer* w, const PropertyColumn& col, uint64_t n) {
+  w->U8(static_cast<uint8_t>(col.type()));
+  w->U32(col.domain_size());
+  // Null mask + typed payload, element-wise via the generic accessor
+  // (cold path; snapshots are not performance critical).
+  for (uint64_t id = 0; id < n; ++id) {
+    bool null = col.IsNull(id);
+    w->U8(null ? 1 : 0);
+    if (null) continue;
+    switch (col.type()) {
+      case ValueType::kInt64:
+        w->I64(col.GetInt64(id));
+        break;
+      case ValueType::kBool:
+        w->U8(col.GetBool(id) ? 1 : 0);
+        break;
+      case ValueType::kCategory:
+        w->U32(col.GetCategoryOrNullSlot(id));
+        break;
+      case ValueType::kDouble:
+        w->F64(col.GetDouble(id));
+        break;
+      case ValueType::kString:
+        w->Str(col.GetString(id));
+        break;
+      case ValueType::kNull:
+        break;
+    }
+  }
+}
+
+bool ReadColumn(Reader* r, PropertyColumn* col, uint64_t n) {
+  ValueType type = static_cast<ValueType>(r->U8());
+  uint32_t domain = r->U32();
+  (void)domain;  // already registered through the catalog
+  if (type != col->type()) return false;
+  for (uint64_t id = 0; id < n && r->ok(); ++id) {
+    bool null = r->U8() != 0;
+    if (null) {
+      col->SetNull(id);
+      continue;
+    }
+    switch (type) {
+      case ValueType::kInt64:
+        col->SetInt64(id, r->I64());
+        break;
+      case ValueType::kBool:
+        col->SetBool(id, r->U8() != 0);
+        break;
+      case ValueType::kCategory:
+        col->SetCategory(id, r->U32());
+        break;
+      case ValueType::kDouble:
+        col->SetDouble(id, r->F64());
+        break;
+      case ValueType::kString:
+        col->SetString(id, r->Str());
+        break;
+      case ValueType::kNull:
+        return false;
+    }
+  }
+  return r->ok();
+}
+
+}  // namespace
+
+bool SaveGraph(const Graph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) {
+    APLUS_LOG(Error) << "cannot open " << path << " for writing";
+    return false;
+  }
+  Writer w(&out);
+  w.U32(kMagic);
+  w.U32(kVersion);
+
+  // Catalog.
+  const Catalog& catalog = graph.catalog();
+  w.U32(catalog.num_vertex_labels());
+  for (label_t l = 0; l < catalog.num_vertex_labels(); ++l) w.Str(catalog.VertexLabelName(l));
+  w.U32(catalog.num_edge_labels());
+  for (label_t l = 0; l < catalog.num_edge_labels(); ++l) w.Str(catalog.EdgeLabelName(l));
+  w.U32(catalog.num_properties());
+  for (prop_key_t k = 0; k < catalog.num_properties(); ++k) {
+    const PropertyMeta& meta = catalog.property(k);
+    w.Str(meta.name);
+    w.U8(static_cast<uint8_t>(meta.type));
+    w.U8(meta.target == PropTargetKind::kVertex ? 0 : 1);
+    w.U32(meta.domain_size);
+    w.U64(meta.category_names.size());
+    for (const std::string& name : meta.category_names) w.Str(name);
+  }
+
+  // Topology.
+  uint64_t nv = graph.num_vertices();
+  uint64_t ne = graph.num_edges();
+  w.U64(nv);
+  w.U64(ne);
+  for (vertex_id_t v = 0; v < nv; ++v) w.U32(graph.vertex_label(v));
+  for (edge_id_t e = 0; e < ne; ++e) {
+    w.U32(graph.edge_src(e));
+    w.U32(graph.edge_dst(e));
+    w.U32(graph.edge_label(e));
+  }
+
+  // Property columns (presence flag per catalog property).
+  for (prop_key_t k = 0; k < catalog.num_properties(); ++k) {
+    const PropertyMeta& meta = catalog.property(k);
+    const PropertyStore& store =
+        meta.target == PropTargetKind::kVertex ? graph.vertex_props() : graph.edge_props();
+    const PropertyColumn* col = store.column(k);
+    w.U8(col != nullptr ? 1 : 0);
+    if (col != nullptr) {
+      WriteColumn(&w, *col, meta.target == PropTargetKind::kVertex ? nv : ne);
+    }
+  }
+  return w.ok();
+}
+
+bool LoadGraph(const std::string& path, Graph* graph) {
+  APLUS_CHECK_EQ(graph->num_vertices(), 0u) << "LoadGraph needs an empty graph";
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    APLUS_LOG(Error) << "cannot open " << path;
+    return false;
+  }
+  Reader r(&in);
+  if (r.U32() != kMagic) {
+    APLUS_LOG(Error) << path << ": bad magic";
+    return false;
+  }
+  if (r.U32() != kVersion) {
+    APLUS_LOG(Error) << path << ": unsupported snapshot version";
+    return false;
+  }
+
+  Catalog& catalog = graph->catalog();
+  uint32_t num_vlabels = r.U32();
+  for (uint32_t i = 0; i < num_vlabels && r.ok(); ++i) catalog.AddVertexLabel(r.Str());
+  uint32_t num_elabels = r.U32();
+  for (uint32_t i = 0; i < num_elabels && r.ok(); ++i) catalog.AddEdgeLabel(r.Str());
+  uint32_t num_props = r.U32();
+  if (num_props > 65000 || !r.ok()) return false;
+  for (uint32_t i = 0; i < num_props && r.ok(); ++i) {
+    std::string name = r.Str();
+    ValueType type = static_cast<ValueType>(r.U8());
+    PropTargetKind target = r.U8() == 0 ? PropTargetKind::kVertex : PropTargetKind::kEdge;
+    uint32_t domain = r.U32();
+    prop_key_t key = catalog.AddProperty(name, target, type, domain);
+    uint64_t num_names = r.U64();
+    if (num_names > domain) return false;
+    for (uint64_t j = 0; j < num_names && r.ok(); ++j) {
+      catalog.RegisterCategoryValue(key, r.Str());
+    }
+  }
+
+  uint64_t nv = r.U64();
+  uint64_t ne = r.U64();
+  if (!r.ok() || nv > (1ULL << 32) || ne > (1ULL << 40)) return false;
+  for (uint64_t v = 0; v < nv && r.ok(); ++v) {
+    graph->AddVertex(static_cast<label_t>(r.U32()));
+  }
+  for (uint64_t e = 0; e < ne && r.ok(); ++e) {
+    vertex_id_t src = r.U32();
+    vertex_id_t dst = r.U32();
+    label_t label = static_cast<label_t>(r.U32());
+    if (src >= nv || dst >= nv) return false;
+    graph->AddEdge(src, dst, label);
+  }
+
+  for (prop_key_t k = 0; k < catalog.num_properties() && r.ok(); ++k) {
+    bool present = r.U8() != 0;
+    if (!present) continue;
+    const PropertyMeta& meta = catalog.property(k);
+    PropertyStore& store =
+        meta.target == PropTargetKind::kVertex ? graph->vertex_props() : graph->edge_props();
+    PropertyColumn* col = store.AddColumn(catalog, k);
+    if (!ReadColumn(&r, col, meta.target == PropTargetKind::kVertex ? nv : ne)) return false;
+  }
+  return r.ok();
+}
+
+}  // namespace aplus

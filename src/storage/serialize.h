@@ -1,0 +1,26 @@
+#ifndef APLUS_STORAGE_SERIALIZE_H_
+#define APLUS_STORAGE_SERIALIZE_H_
+
+#include <string>
+
+#include "storage/graph.h"
+
+namespace aplus {
+
+// Binary snapshot of a property graph: catalog (labels, property
+// metadata, category-value names), vertex/edge topology, and every
+// property column. Indexes are not serialized — they rebuild from the
+// graph deterministically (and reconfigurably), which is the point of
+// the A+ design.
+//
+// Format: little-endian, versioned magic header; not portable across
+// incompatible versions (the loader rejects unknown versions).
+bool SaveGraph(const Graph& graph, const std::string& path);
+
+// Loads a snapshot into `graph` (which must be default-constructed).
+// Returns false on I/O error, bad magic, or version mismatch.
+bool LoadGraph(const std::string& path, Graph* graph);
+
+}  // namespace aplus
+
+#endif  // APLUS_STORAGE_SERIALIZE_H_

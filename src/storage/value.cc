@@ -1,0 +1,90 @@
+#include "storage/value.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace aplus {
+
+const char* ToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+    case ValueType::kBool:
+      return "BOOL";
+    case ValueType::kCategory:
+      return "CATEGORY";
+  }
+  return "?";
+}
+
+int64_t Value::AsInt64() const {
+  APLUS_CHECK(type_ == ValueType::kInt64 || type_ == ValueType::kBool ||
+              type_ == ValueType::kCategory)
+      << "Value is " << aplus::ToString(type_);
+  return int_;
+}
+
+double Value::AsDouble() const {
+  if (type_ == ValueType::kDouble) return double_;
+  APLUS_CHECK(type_ == ValueType::kInt64 || type_ == ValueType::kCategory)
+      << "Value is " << aplus::ToString(type_);
+  return static_cast<double>(int_);
+}
+
+bool Value::AsBool() const {
+  APLUS_CHECK(type_ == ValueType::kBool) << "Value is " << aplus::ToString(type_);
+  return int_ != 0;
+}
+
+const std::string& Value::AsString() const {
+  APLUS_CHECK(type_ == ValueType::kString) << "Value is " << aplus::ToString(type_);
+  return string_;
+}
+
+int Value::Compare(const Value& a, const Value& b) {
+  // Nulls sort after every non-null value.
+  if (a.is_null() && b.is_null()) return 0;
+  if (a.is_null()) return 1;
+  if (b.is_null()) return -1;
+  if (a.type_ == ValueType::kString || b.type_ == ValueType::kString) {
+    APLUS_CHECK(a.type_ == b.type_) << "cannot compare string with non-string";
+    return a.string_.compare(b.string_) < 0 ? -1 : (a.string_ == b.string_ ? 0 : 1);
+  }
+  if (a.type_ == ValueType::kDouble || b.type_ == ValueType::kDouble) {
+    double x = a.AsDouble();
+    double y = b.AsDouble();
+    return x < y ? -1 : (x == y ? 0 : 1);
+  }
+  int64_t x = a.int_;
+  int64_t y = b.int_;
+  return x < y ? -1 : (x == y ? 0 : 1);
+}
+
+std::string Value::ToString() const {
+  char buf[64];
+  switch (type_) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt64:
+    case ValueType::kCategory:
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(int_));
+      return buf;
+    case ValueType::kDouble:
+      std::snprintf(buf, sizeof(buf), "%g", double_);
+      return buf;
+    case ValueType::kBool:
+      return int_ ? "true" : "false";
+    case ValueType::kString:
+      return string_;
+  }
+  return "?";
+}
+
+}  // namespace aplus

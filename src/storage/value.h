@@ -1,0 +1,88 @@
+#ifndef APLUS_STORAGE_VALUE_H_
+#define APLUS_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace aplus {
+
+// Types a vertex/edge property column can hold. kCategory is an integer
+// restricted to a small domain [0, domain_size) and is the only type the
+// nested partitioning levels of an A+ index accept (Section III-A1).
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kString = 3,
+  kBool = 4,
+  kCategory = 5,
+};
+
+const char* ToString(ValueType type);
+
+// A small tagged scalar used at API boundaries (predicate constants,
+// property reads in tests/examples). Hot paths read typed columns directly
+// and never materialize Values.
+class Value {
+ public:
+  Value() : type_(ValueType::kNull), int_(0) {}
+
+  static Value Null() { return Value(); }
+  static Value Int64(int64_t v) {
+    Value out;
+    out.type_ = ValueType::kInt64;
+    out.int_ = v;
+    return out;
+  }
+  static Value Double(double v) {
+    Value out;
+    out.type_ = ValueType::kDouble;
+    out.double_ = v;
+    return out;
+  }
+  static Value Bool(bool v) {
+    Value out;
+    out.type_ = ValueType::kBool;
+    out.int_ = v ? 1 : 0;
+    return out;
+  }
+  static Value String(std::string v) {
+    Value out;
+    out.type_ = ValueType::kString;
+    out.string_ = std::move(v);
+    return out;
+  }
+  static Value Category(int64_t v) {
+    Value out;
+    out.type_ = ValueType::kCategory;
+    out.int_ = v;
+    return out;
+  }
+
+  ValueType type() const { return type_; }
+  bool is_null() const { return type_ == ValueType::kNull; }
+
+  int64_t AsInt64() const;
+  double AsDouble() const;
+  bool AsBool() const;
+  const std::string& AsString() const;
+
+  // Three-way comparison: negative / zero / positive. Nulls order last
+  // (Section III-A2: "edges with null values on the sorting property are
+  // ordered last"). Numeric types compare cross-type via double widening.
+  static int Compare(const Value& a, const Value& b);
+
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) { return Compare(a, b) == 0; }
+
+ private:
+  ValueType type_;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+};
+
+}  // namespace aplus
+
+#endif  // APLUS_STORAGE_VALUE_H_

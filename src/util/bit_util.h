@@ -1,0 +1,45 @@
+#ifndef APLUS_UTIL_BIT_UTIL_H_
+#define APLUS_UTIL_BIT_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace aplus {
+
+// Number of bytes required to represent any offset in [0, max_value].
+// This is the fixed offset width rule of Section IV-B of the paper: "the
+// logarithm of the length of the longest of the 64 lists rounded to the
+// next byte".
+inline uint8_t BytesForValue(uint64_t max_value) {
+  if (max_value <= 0xffULL) return 1;
+  if (max_value <= 0xffffULL) return 2;
+  if (max_value <= 0xffffffULL) return 3;
+  if (max_value <= 0xffffffffULL) return 4;
+  if (max_value <= 0xffffffffffULL) return 5;
+  if (max_value <= 0xffffffffffffULL) return 6;
+  if (max_value <= 0xffffffffffffffULL) return 7;
+  return 8;
+}
+
+// Reads a little-endian unsigned integer of `width` bytes at `p`.
+inline uint64_t LoadFixedWidth(const uint8_t* p, uint8_t width) {
+  uint64_t v = 0;
+  for (uint8_t i = 0; i < width; ++i) {
+    v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+// Writes a little-endian unsigned integer of `width` bytes at `p`.
+inline void StoreFixedWidth(uint8_t* p, uint8_t width, uint64_t value) {
+  for (uint8_t i = 0; i < width; ++i) {
+    p[i] = static_cast<uint8_t>(value >> (8 * i));
+  }
+}
+
+// Rounds `n` up to the next multiple of `m` (m > 0).
+inline size_t RoundUp(size_t n, size_t m) { return (n + m - 1) / m * m; }
+
+}  // namespace aplus
+
+#endif  // APLUS_UTIL_BIT_UTIL_H_

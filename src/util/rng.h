@@ -1,0 +1,54 @@
+#ifndef APLUS_UTIL_RNG_H_
+#define APLUS_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace aplus {
+
+// Deterministic 64-bit PRNG (splitmix64 seeded xorshift128+). All dataset
+// generation in this repository is seeded, so every benchmark table is
+// reproducible bit-for-bit across runs.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // splitmix64 to spread the seed into two non-zero state words.
+    s0_ = SplitMix(&seed);
+    s1_ = SplitMix(&seed);
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) { return Next() % bound; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBounded(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace aplus
+
+#endif  // APLUS_UTIL_RNG_H_

@@ -1,0 +1,3 @@
+#include "util/timer.h"
+
+// WallTimer is header-only; this translation unit anchors the library.

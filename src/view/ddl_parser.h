@@ -1,0 +1,52 @@
+#ifndef APLUS_VIEW_DDL_PARSER_H_
+#define APLUS_VIEW_DDL_PARSER_H_
+
+#include <string>
+
+#include "index/index_config.h"
+#include "storage/catalog.h"
+#include "view/view_def.h"
+
+namespace aplus {
+
+// Parsed form of the paper's index definition commands (Section III):
+//
+//   RECONFIGURE PRIMARY INDEXES
+//     PARTITION BY eadj.label, eadj.currency SORT BY vnbr.city
+//
+//   CREATE 1-HOP VIEW LargeUSDTrnx
+//     MATCH vs-[eadj]->vd
+//     WHERE eadj.currency=USD, eadj.amt>10000
+//     INDEX AS FW-BW PARTITION BY eadj.label SORT BY vnbr.ID
+//
+//   CREATE 2-HOP VIEW MoneyFlow
+//     MATCH vs-[eb]->vd-[eadj]->vnbr
+//     WHERE eb.date<eadj.date, eadj.amt<eb.amt
+//     INDEX AS PARTITION BY eadj.label SORT BY vnbr.city
+//
+// Identifier constants (e.g. USD) resolve through the catalog's category
+// value names; numeric constants parse as int64 (or double when they
+// contain '.').
+struct DdlCommand {
+  enum class Kind { kReconfigure, kCreateVp, kCreateEp };
+
+  Kind kind = Kind::kReconfigure;
+  std::string view_name;
+  Predicate pred;
+  EpKind ep_kind = EpKind::kDstFwd;  // CREATE 2-HOP only
+  bool fwd = true;                   // CREATE 1-HOP: index directions
+  bool bwd = false;
+  IndexConfig config;
+
+  // Empty on success; a human-readable message otherwise.
+  std::string error;
+  bool ok() const { return error.empty(); }
+};
+
+// Parses one command. `edge_prop_target`/`vertex_prop_target` resolve
+// property names via the catalog; unknown names fail the parse.
+DdlCommand ParseDdl(const std::string& text, const Catalog& catalog);
+
+}  // namespace aplus
+
+#endif  // APLUS_VIEW_DDL_PARSER_H_

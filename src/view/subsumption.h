@@ -1,0 +1,33 @@
+#ifndef APLUS_VIEW_SUBSUMPTION_H_
+#define APLUS_VIEW_SUBSUMPTION_H_
+
+#include "view/predicate.h"
+
+namespace aplus {
+
+// Predicate subsumption checking per Section IV-A. The optimizer may use
+// an index whose lists satisfy predicate `index_pred` for a query step
+// that requires `query_pred` when every edge the query wants is present
+// in the index lists, i.e. query_pred implies index_pred. Two forms are
+// checked, exactly as the paper describes:
+//   1. Conjunctive subsumption: each conjunct of index_pred matches a
+//      conjunct of query_pred.
+//   2. Range subsumption: a conjunct of index_pred comparing a property
+//      against a constant is implied by a (possibly stricter) range or
+//      equality conjunct of query_pred on the same property, e.g.
+//      index eadj.amt > 10000 is implied by query eadj.amt > 15000.
+
+// True if query conjunct `qc` implies index conjunct `ic`.
+bool ConjunctImplies(const Comparison& qc, const Comparison& ic);
+
+// True if `query_pred` implies `index_pred` conjunct-wise. When true and
+// `residual` is non-null, `residual` receives the query conjuncts that are
+// not exactly guaranteed by the index and must still be FILTERed at run
+// time (a query conjunct is dropped only when an index conjunct implies
+// it back, i.e. they are equivalent).
+bool PredicateSubsumes(const Predicate& index_pred, const Predicate& query_pred,
+                       Predicate* residual);
+
+}  // namespace aplus
+
+#endif  // APLUS_VIEW_SUBSUMPTION_H_

@@ -1,0 +1,19 @@
+#include "view/view_def.h"
+
+namespace aplus {
+
+const char* ToString(EpKind kind) {
+  switch (kind) {
+    case EpKind::kDstFwd:
+      return "Destination-FW";
+    case EpKind::kDstBwd:
+      return "Destination-BW";
+    case EpKind::kSrcFwd:
+      return "Source-FW";
+    case EpKind::kSrcBwd:
+      return "Source-BW";
+  }
+  return "?";
+}
+
+}  // namespace aplus

@@ -1,0 +1,64 @@
+#ifndef APLUS_VIEW_VIEW_DEF_H_
+#define APLUS_VIEW_VIEW_DEF_H_
+
+#include <string>
+
+#include "storage/types.h"
+#include "view/predicate.h"
+
+namespace aplus {
+
+// The four ways a 2-hop view can be partitioned by one of its edges
+// (Section III-B2). eb is the bound (partitioning) edge with endpoints
+// vs -> vd; eadj is the adjacent edge; vnbr is eadj's far endpoint.
+enum class EpKind : uint8_t {
+  kDstFwd = 0,  // vs -[eb]-> vd -[eadj]-> vnbr
+  kDstBwd = 1,  // vs -[eb]-> vd <-[eadj]- vnbr
+  kSrcFwd = 2,  // vnbr -[eadj]-> vs -[eb]-> vd
+  kSrcBwd = 3,  // vnbr <-[eadj]- vs -[eb]-> vd
+};
+
+const char* ToString(EpKind kind);
+
+// The vertex shared between eb and eadj: vd for Destination-*, vs for
+// Source-*.
+inline bool AnchorIsDst(EpKind kind) { return kind == EpKind::kDstFwd || kind == EpKind::kDstBwd; }
+
+// The primary-index direction whose lists contain eadj at the anchor:
+// FW when eadj leaves the anchor, BW when it enters it.
+inline Direction AdjDirection(EpKind kind) {
+  switch (kind) {
+    case EpKind::kDstFwd:
+      return Direction::kFwd;
+    case EpKind::kDstBwd:
+      return Direction::kBwd;
+    case EpKind::kSrcFwd:
+      return Direction::kBwd;  // eadj points into vs
+    case EpKind::kSrcBwd:
+      return Direction::kFwd;  // eadj leaves vs
+  }
+  return Direction::kFwd;
+}
+
+// A 1-hop view (Section III-B1): arbitrary selection over single edges.
+// Sites allowed in the predicate: kAdjEdge, kSrcVertex, kDstVertex,
+// kNbrVertex. Output is a subset of the edge set, which is what makes the
+// offset-list storage possible.
+struct OneHopViewDef {
+  std::string name;
+  Predicate pred;
+};
+
+// A 2-hop view (Section III-B2). The predicate must reference both edges
+// of the 2-path (enforced at index creation), otherwise the index would
+// materialize duplicated adjacency lists and a 1-hop view should be used
+// instead.
+struct TwoHopViewDef {
+  std::string name;
+  EpKind kind = EpKind::kDstFwd;
+  Predicate pred;
+};
+
+}  // namespace aplus
+
+#endif  // APLUS_VIEW_VIEW_DEF_H_

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/example_graph.h"
+#include "datagen/power_law_generator.h"
+#include "index/bitmap_index.h"
+#include "index/vp_index.h"
+
+namespace aplus {
+namespace {
+
+class BitmapIndexTest : public ::testing::Test {
+ protected:
+  BitmapIndexTest() : ex_(BuildExampleGraph()), fwd_(&ex_.graph, Direction::kFwd) {
+    fwd_.Build(IndexConfig::Default());
+  }
+
+  OneHopViewDef AmountView(int64_t threshold) const {
+    OneHopViewDef view;
+    view.name = "large";
+    view.pred.AddConst(PropRef{PropSite::kAdjEdge, ex_.amount_key, false, false}, CmpOp::kGt,
+                       Value::Int64(threshold));
+    return view;
+  }
+
+  ExampleGraph ex_;
+  PrimaryIndex fwd_;
+};
+
+TEST_F(BitmapIndexTest, MarksExactlyTheViewEdges) {
+  BitmapIndex bitmap(&ex_.graph, &fwd_, AmountView(50));
+  bitmap.Build();
+  const PropertyColumn* amount = ex_.graph.edge_props().column(ex_.amount_key);
+  for (vertex_id_t v = 0; v < ex_.graph.num_vertices(); ++v) {
+    AdjListSlice primary = fwd_.GetFullList(v);
+    BitmapIndex::BitmapSlice bits = bitmap.GetBits(v, {});
+    ASSERT_EQ(bits.len, primary.len);
+    for (uint32_t i = 0; i < primary.size(); ++i) {
+      edge_id_t e = primary.EdgeAt(i);
+      bool expected = !amount->IsNull(e) && amount->GetInt64(e) > 50;
+      EXPECT_EQ(bits.TestAt(i), expected) << "v=" << v << " i=" << i;
+    }
+  }
+}
+
+TEST_F(BitmapIndexTest, AgreesWithVpIndexContents) {
+  BitmapIndex bitmap(&ex_.graph, &fwd_, AmountView(50));
+  bitmap.Build();
+  VpIndex vp(&ex_.graph, &fwd_, AmountView(50), IndexConfig::Default());
+  vp.Build();
+  EXPECT_EQ(bitmap.num_edges_indexed(), vp.num_edges_indexed());
+  for (vertex_id_t v = 0; v < ex_.graph.num_vertices(); ++v) {
+    std::set<edge_id_t> via_bits;
+    AdjListSlice primary = fwd_.GetFullList(v);
+    BitmapIndex::BitmapSlice bits = bitmap.GetBits(v, {});
+    for (uint32_t i = 0; i < primary.size(); ++i) {
+      if (bits.TestAt(i)) via_bits.insert(primary.EdgeAt(i));
+    }
+    std::set<edge_id_t> via_vp;
+    AdjListSlice vp_slice = vp.GetFullList(v);
+    for (uint32_t i = 0; i < vp_slice.size(); ++i) via_vp.insert(vp_slice.EdgeAt(i));
+    EXPECT_EQ(via_bits, via_vp) << "v=" << v;
+  }
+}
+
+TEST_F(BitmapIndexTest, SublistAlignedBits) {
+  BitmapIndex bitmap(&ex_.graph, &fwd_, AmountView(50));
+  bitmap.Build();
+  // The Wire slice of v1 aligns with its bits.
+  AdjListSlice wires = fwd_.GetList(ex_.accounts[0], {ex_.wire_label});
+  BitmapIndex::BitmapSlice bits = bitmap.GetBits(ex_.accounts[0], {ex_.wire_label});
+  ASSERT_EQ(bits.len, wires.len);
+  const PropertyColumn* amount = ex_.graph.edge_props().column(ex_.amount_key);
+  for (uint32_t i = 0; i < wires.size(); ++i) {
+    EXPECT_EQ(bits.TestAt(i), amount->GetInt64(wires.EdgeAt(i)) > 50);
+  }
+}
+
+TEST(BitmapIndexSpaceTest, ConstantBitsPerPrimaryEdge) {
+  // Section III-B3: bitmap memory tracks primary size regardless of the
+  // view's selectivity, unlike offset lists.
+  Graph graph;
+  PowerLawParams params;
+  params.num_vertices = 20000;
+  params.avg_degree = 12.0;
+  GeneratePowerLawGraph(params, &graph);
+  prop_key_t amt = graph.AddEdgeProperty("amt", ValueType::kInt64);
+  PropertyColumn* col = graph.edge_props().mutable_column(amt);
+  for (edge_id_t e = 0; e < graph.num_edges(); ++e) col->SetInt64(e, static_cast<int64_t>(e % 1000));
+  PrimaryIndex primary(&graph, Direction::kFwd);
+  primary.Build(IndexConfig::Default());
+
+  auto view_with_sel = [&](int64_t threshold) {
+    OneHopViewDef view;
+    view.name = "v";
+    view.pred.AddConst(PropRef{PropSite::kAdjEdge, amt, false, false}, CmpOp::kLt,
+                       Value::Int64(threshold));
+    return view;
+  };
+
+  BitmapIndex selective(&graph, &primary, view_with_sel(10));    // ~1%
+  BitmapIndex broad(&graph, &primary, view_with_sel(900));       // ~90%
+  selective.Build();
+  broad.Build();
+  EXPECT_EQ(selective.MemoryBytes(), broad.MemoryBytes());
+  EXPECT_LT(selective.num_edges_indexed(), broad.num_edges_indexed() / 10);
+
+  // Offset lists shrink with selectivity; bitmaps do not.
+  VpIndex vp_selective(&graph, &primary, view_with_sel(10), IndexConfig::Default());
+  VpIndex vp_broad(&graph, &primary, view_with_sel(900), IndexConfig::Default());
+  vp_selective.Build();
+  vp_broad.Build();
+  EXPECT_LT(vp_selective.MemoryBytes(), vp_broad.MemoryBytes());
+}
+
+}  // namespace
+}  // namespace aplus

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "datagen/example_graph.h"
+
+namespace aplus {
+namespace {
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  DatabaseTest() {
+    ExampleGraph ex = BuildExampleGraph();
+    account_label_ = ex.account_label;
+    customer_label_ = ex.customer_label;
+    wire_label_ = ex.wire_label;
+    dd_label_ = ex.dd_label;
+    owns_label_ = ex.owns_label;
+    amount_key_ = ex.amount_key;
+    currency_key_ = ex.currency_key;
+    date_key_ = ex.date_key;
+    city_key_ = ex.city_key;
+    accounts_ = ex.accounts;
+    db_ = std::make_unique<Database>(std::move(ex.graph));
+    db_->graph().catalog().RegisterCategoryValue(currency_key_, "USD");
+    db_->graph().catalog().RegisterCategoryValue(currency_key_, "EUR");
+    db_->graph().catalog().RegisterCategoryValue(currency_key_, "GBP");
+    db_->BuildPrimaryIndexes();
+  }
+
+  label_t account_label_, customer_label_, wire_label_, dd_label_, owns_label_;
+  prop_key_t amount_key_, currency_key_, date_key_, city_key_;
+  std::array<vertex_id_t, 5> accounts_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(DatabaseTest, RunSimpleQuery) {
+  QueryGraph query;
+  int a = query.AddVertex("a", account_label_);
+  int b = query.AddVertex("b", account_label_);
+  query.AddEdge(a, b, wire_label_);
+  QueryResult result = db_->Run(query);
+  EXPECT_EQ(result.count, 9u);
+  EXPECT_FALSE(result.plan.empty());
+}
+
+TEST_F(DatabaseTest, ReconfigureViaDdl) {
+  DdlResult result = db_->ExecuteDdl(
+      "RECONFIGURE PRIMARY INDEXES PARTITION BY eadj.label, eadj.currency SORT BY vnbr.city");
+  ASSERT_TRUE(result.ok) << result.message;
+  EXPECT_GE(result.seconds, 0.0);
+  EXPECT_EQ(db_->index_store().primary(Direction::kFwd)->config().partitions.size(), 2u);
+  // Queries still run correctly after reconfiguration.
+  QueryGraph query;
+  int a = query.AddVertex("a", account_label_);
+  int b = query.AddVertex("b", account_label_);
+  query.AddEdge(a, b, wire_label_);
+  EXPECT_EQ(db_->Run(query).count, 9u);
+}
+
+TEST_F(DatabaseTest, CreateOneHopViewViaDdl) {
+  DdlResult result = db_->ExecuteDdl(
+      "CREATE 1-HOP VIEW LargeTrnx "
+      "MATCH vs-[eadj]->vd WHERE eadj.amount>50 "
+      "INDEX AS FW-BW PARTITION BY eadj.label SORT BY vnbr.ID");
+  ASSERT_TRUE(result.ok) << result.message;
+  EXPECT_NE(db_->index_store().FindVpIndex("LargeTrnx", Direction::kFwd), nullptr);
+  EXPECT_NE(db_->index_store().FindVpIndex("LargeTrnx", Direction::kBwd), nullptr);
+}
+
+TEST_F(DatabaseTest, CreateTwoHopViewViaDdl) {
+  DdlResult result = db_->ExecuteDdl(
+      "CREATE 2-HOP VIEW MoneyFlow "
+      "MATCH vs-[eb]->vd-[eadj]->vnbr "
+      "WHERE eb.date<eadj.date, eadj.amount<eb.amount "
+      "INDEX AS PARTITION BY eadj.label SORT BY vnbr.city");
+  ASSERT_TRUE(result.ok) << result.message;
+  EpIndex* ep = db_->index_store().FindEpIndex("MoneyFlow");
+  ASSERT_NE(ep, nullptr);
+  EXPECT_EQ(ep->kind(), EpKind::kDstFwd);
+}
+
+TEST_F(DatabaseTest, DdlErrorsSurfaceCleanly) {
+  DdlResult bad = db_->ExecuteDdl("CREATE 3-HOP VIEW Nope");
+  EXPECT_FALSE(bad.ok);
+  EXPECT_FALSE(bad.message.empty());
+}
+
+TEST_F(DatabaseTest, ExplainShowsPlan) {
+  QueryGraph query;
+  int a = query.AddVertex("a", account_label_);
+  int b = query.AddVertex("b", account_label_);
+  query.AddEdge(a, b, wire_label_);
+  std::string plan = db_->Explain(query);
+  EXPECT_NE(plan.find("SCAN"), std::string::npos);
+}
+
+TEST_F(DatabaseTest, InsertThroughMaintainerThenQuery) {
+  QueryGraph query;
+  int a = query.AddVertex("a", account_label_);
+  int b = query.AddVertex("b", account_label_);
+  query.AddEdge(a, b, wire_label_);
+  uint64_t before = db_->Run(query).count;
+
+  Graph& g = db_->graph();
+  edge_id_t e = g.AddEdge(accounts_[0], accounts_[1], wire_label_);
+  g.edge_props().mutable_column(amount_key_)->SetInt64(e, 77);
+  g.edge_props().mutable_column(date_key_)->SetInt64(e, 99);
+  db_->maintainer().OnEdgeInserted(e);
+  // Run() flushes pending updates automatically.
+  EXPECT_EQ(db_->Run(query).count, before + 1);
+}
+
+TEST_F(DatabaseTest, MemoryReporting) {
+  size_t primary_only = db_->IndexMemoryBytes();
+  db_->ExecuteDdl(
+      "CREATE 1-HOP VIEW V1 MATCH vs-[eadj]->vd WHERE eadj.amount>50 "
+      "INDEX AS FW PARTITION BY eadj.label SORT BY vnbr.ID");
+  EXPECT_GT(db_->IndexMemoryBytes(), primary_only);
+}
+
+TEST_F(DatabaseTest, ExampleFourCurrencyQuery) {
+  // Example 4: Wire transfers in USD out of Alice's accounts, after the
+  // Section III reconfiguration the slice is read without predicates.
+  db_->ExecuteDdl(
+      "RECONFIGURE PRIMARY INDEXES PARTITION BY eadj.label, eadj.currency SORT BY vnbr.ID");
+  QueryGraph query;
+  int c1 = query.AddVertex("c1", customer_label_);
+  int a1 = query.AddVertex("a1", account_label_);
+  int a2 = query.AddVertex("a2", account_label_);
+  query.AddEdge(c1, a1, owns_label_, "r1");
+  query.AddEdge(a1, a2, wire_label_, "r2");
+  QueryComparison usd;
+  usd.lhs = QueryPropRef{1, true, currency_key_, false};
+  usd.op = CmpOp::kEq;
+  usd.rhs_const = Value::Category(0);  // USD
+  query.AddPredicate(usd);
+  QueryResult result = db_->Run(query);
+  // USD wires: t5 (v4->v2), t8 (v2->v4), t9 (v4->v5), t14 (v3->v4),
+  // t20 (v1->v4). Owned sources: v1..v5 all owned; all 5 qualify.
+  EXPECT_EQ(result.count, 5u);
+}
+
+}  // namespace
+}  // namespace aplus

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "datagen/example_graph.h"
+#include "datagen/financial_props.h"
+#include "datagen/label_assigner.h"
+#include "datagen/power_law_generator.h"
+
+namespace aplus {
+namespace {
+
+TEST(PowerLawGeneratorTest, HitsTargetSizes) {
+  Graph graph;
+  PowerLawParams params;
+  params.num_vertices = 5000;
+  params.avg_degree = 8.0;
+  GeneratePowerLawGraph(params, &graph);
+  EXPECT_EQ(graph.num_vertices(), 5000u);
+  EXPECT_EQ(graph.num_edges(), 40000u);
+  EXPECT_NEAR(graph.average_degree(), 8.0, 0.01);
+}
+
+TEST(PowerLawGeneratorTest, DeterministicForSeed) {
+  Graph a;
+  Graph b;
+  PowerLawParams params;
+  params.num_vertices = 2000;
+  params.avg_degree = 5.0;
+  params.seed = 7;
+  GeneratePowerLawGraph(params, &a);
+  GeneratePowerLawGraph(params, &b);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (edge_id_t e = 0; e < a.num_edges(); e += 97) {
+    EXPECT_EQ(a.edge_src(e), b.edge_src(e));
+    EXPECT_EQ(a.edge_dst(e), b.edge_dst(e));
+  }
+}
+
+TEST(PowerLawGeneratorTest, DegreeDistributionIsSkewed) {
+  Graph graph;
+  PowerLawParams params;
+  params.num_vertices = 10000;
+  params.avg_degree = 10.0;
+  GeneratePowerLawGraph(params, &graph);
+  std::vector<uint32_t> out_degree(graph.num_vertices(), 0);
+  for (edge_id_t e = 0; e < graph.num_edges(); ++e) out_degree[graph.edge_src(e)]++;
+  uint32_t max_degree = *std::max_element(out_degree.begin(), out_degree.end());
+  // Preferential attachment should produce hubs far above the mean.
+  EXPECT_GT(max_degree, 10 * params.avg_degree);
+}
+
+TEST(PowerLawGeneratorTest, NoSelfLoops) {
+  Graph graph;
+  PowerLawParams params;
+  params.num_vertices = 3000;
+  params.avg_degree = 6.0;
+  GeneratePowerLawGraph(params, &graph);
+  for (edge_id_t e = 0; e < graph.num_edges(); ++e) {
+    EXPECT_NE(graph.edge_src(e), graph.edge_dst(e));
+  }
+}
+
+TEST(DatasetSpecTest, TableOneSpecs) {
+  size_t count = 0;
+  const DatasetSpec* specs = TableOneDatasets(&count);
+  ASSERT_EQ(count, 4u);
+  EXPECT_EQ(specs[0].name, "Ork");
+  EXPECT_NEAR(specs[0].avg_degree, 39.03, 0.01);
+  EXPECT_EQ(specs[3].name, "Brk");
+}
+
+TEST(DatasetSpecTest, ScaledGeneration) {
+  size_t count = 0;
+  const DatasetSpec* specs = TableOneDatasets(&count);
+  Graph graph;
+  GenerateDataset(specs[3], 0.01, 1, &graph);  // Brk at 1%
+  EXPECT_NEAR(static_cast<double>(graph.num_vertices()), 6850, 10);
+  EXPECT_NEAR(graph.average_degree(), specs[3].avg_degree, 0.1);
+}
+
+TEST(LabelAssignerTest, GijMethodology) {
+  Graph graph;
+  PowerLawParams params;
+  params.num_vertices = 4000;
+  params.avg_degree = 4.0;
+  GeneratePowerLawGraph(params, &graph);
+  AssignRandomLabels(4, 2, 11, &graph);
+  EXPECT_EQ(graph.catalog().FindVertexLabel("VL3") != kInvalidLabel, true);
+  EXPECT_EQ(graph.catalog().FindEdgeLabel("EL1") != kInvalidLabel, true);
+  std::vector<uint64_t> vcounts(graph.catalog().num_vertex_labels(), 0);
+  for (vertex_id_t v = 0; v < graph.num_vertices(); ++v) vcounts[graph.vertex_label(v)]++;
+  // All four labels used, roughly uniformly.
+  label_t vl0 = graph.catalog().FindVertexLabel("VL0");
+  label_t vl3 = graph.catalog().FindVertexLabel("VL3");
+  EXPECT_GT(vcounts[vl0], 800u);
+  EXPECT_GT(vcounts[vl3], 800u);
+}
+
+TEST(FinancialPropsTest, RangesMatchPaper) {
+  Graph graph;
+  PowerLawParams params;
+  params.num_vertices = 2000;
+  params.avg_degree = 5.0;
+  GeneratePowerLawGraph(params, &graph);
+  FinancialPropKeys keys = AddFinancialProperties(5, &graph, 100);
+  const PropertyColumn* amount = graph.edge_props().column(keys.amount);
+  const PropertyColumn* date = graph.edge_props().column(keys.date);
+  for (edge_id_t e = 0; e < graph.num_edges(); ++e) {
+    EXPECT_GE(amount->GetInt64(e), 1);
+    EXPECT_LE(amount->GetInt64(e), 1000);
+    EXPECT_GE(date->GetInt64(e), 0);
+    EXPECT_LT(date->GetInt64(e), kFiveYearsSeconds);
+  }
+  const PropertyColumn* acc = graph.vertex_props().column(keys.acc);
+  const PropertyColumn* city = graph.vertex_props().column(keys.city);
+  for (vertex_id_t v = 0; v < graph.num_vertices(); ++v) {
+    EXPECT_LT(acc->GetCategoryOrNullSlot(v), kNumAccountTypes);
+    EXPECT_LT(city->GetCategoryOrNullSlot(v), 100u);
+  }
+}
+
+TEST(FinancialPropsTest, TimePropertySelectivityAnchor) {
+  Graph graph;
+  PowerLawParams params;
+  params.num_vertices = 2000;
+  params.avg_degree = 10.0;
+  GeneratePowerLawGraph(params, &graph);
+  prop_key_t time_key = AddTimeProperty(3, 1000000, &graph);
+  const PropertyColumn* time = graph.edge_props().column(time_key);
+  // alpha at the 5th percentile of the range -> ~5% of edges pass.
+  int64_t alpha = 50000;
+  uint64_t passing = 0;
+  for (edge_id_t e = 0; e < graph.num_edges(); ++e) {
+    if (time->GetInt64(e) < alpha) ++passing;
+  }
+  double fraction = static_cast<double>(passing) / static_cast<double>(graph.num_edges());
+  EXPECT_NEAR(fraction, 0.05, 0.01);
+}
+
+}  // namespace
+}  // namespace aplus

@@ -1,0 +1,162 @@
+// Parses the exact DDL commands that appear in Section III of the paper.
+
+#include <gtest/gtest.h>
+
+#include "datagen/example_graph.h"
+#include "view/ddl_parser.h"
+
+namespace aplus {
+namespace {
+
+class DdlParserTest : public ::testing::Test {
+ protected:
+  DdlParserTest() : ex_(BuildExampleGraph()) {
+    // Name the currency categories so identifier constants resolve.
+    Catalog& catalog = ex_.graph.catalog();
+    catalog.RegisterCategoryValue(ex_.currency_key, "USD");
+    catalog.RegisterCategoryValue(ex_.currency_key, "EUR");
+    catalog.RegisterCategoryValue(ex_.currency_key, "GBP");
+  }
+  ExampleGraph ex_;
+};
+
+TEST_F(DdlParserTest, ReconfigureFromSectionIII) {
+  DdlCommand cmd = ParseDdl(
+      "RECONFIGURE PRIMARY INDEXES "
+      "PARTITION BY eadj.label, eadj.currency "
+      "SORT BY vnbr.city",
+      ex_.graph.catalog());
+  ASSERT_TRUE(cmd.ok()) << cmd.error;
+  EXPECT_EQ(cmd.kind, DdlCommand::Kind::kReconfigure);
+  ASSERT_EQ(cmd.config.partitions.size(), 2u);
+  EXPECT_EQ(cmd.config.partitions[0].source, PartitionSource::kEdgeLabel);
+  EXPECT_EQ(cmd.config.partitions[1].source, PartitionSource::kEdgeProp);
+  EXPECT_EQ(cmd.config.partitions[1].key, ex_.currency_key);
+  ASSERT_EQ(cmd.config.sorts.size(), 1u);
+  EXPECT_EQ(cmd.config.sorts[0].source, SortSource::kNbrProp);
+  EXPECT_EQ(cmd.config.sorts[0].key, ex_.city_key);
+}
+
+TEST_F(DdlParserTest, AcceptsPaperTypoPartiton) {
+  DdlCommand cmd = ParseDdl(
+      "RECONFIGURE PRIMARY INDEXES PARTITON BY eadj.label SORT BY vnbr.city",
+      ex_.graph.catalog());
+  ASSERT_TRUE(cmd.ok()) << cmd.error;
+  EXPECT_EQ(cmd.config.partitions.size(), 1u);
+}
+
+TEST_F(DdlParserTest, CreateOneHopViewFromExample6) {
+  DdlCommand cmd = ParseDdl(
+      "CREATE 1-HOP VIEW LargeUSDTrnx "
+      "MATCH vs-[eadj]->vd "
+      "WHERE eadj.currency=USD, eadj.amount>10000 "
+      "INDEX AS FW-BW "
+      "PARTITION BY eadj.label SORT BY vnbr.ID",
+      ex_.graph.catalog());
+  ASSERT_TRUE(cmd.ok()) << cmd.error;
+  EXPECT_EQ(cmd.kind, DdlCommand::Kind::kCreateVp);
+  EXPECT_EQ(cmd.view_name, "LargeUSDTrnx");
+  EXPECT_TRUE(cmd.fwd);
+  EXPECT_TRUE(cmd.bwd);
+  ASSERT_EQ(cmd.pred.conjuncts().size(), 2u);
+  const Comparison& currency = cmd.pred.conjuncts()[0];
+  EXPECT_EQ(currency.lhs.site, PropSite::kAdjEdge);
+  EXPECT_EQ(currency.op, CmpOp::kEq);
+  EXPECT_EQ(currency.rhs_const.AsInt64(), 0);  // USD is category 0
+  const Comparison& amount = cmd.pred.conjuncts()[1];
+  EXPECT_EQ(amount.op, CmpOp::kGt);
+  EXPECT_EQ(amount.rhs_const.AsInt64(), 10000);
+  ASSERT_EQ(cmd.config.sorts.size(), 1u);
+  EXPECT_EQ(cmd.config.sorts[0].source, SortSource::kNbrId);
+}
+
+TEST_F(DdlParserTest, CreateTwoHopViewFromMoneyFlow) {
+  DdlCommand cmd = ParseDdl(
+      "CREATE 2-HOP VIEW MoneyFlow "
+      "MATCH vs-[eb]->vd-[eadj]->vnbr "
+      "WHERE eb.date<eadj.date, eadj.amount<eb.amount "
+      "INDEX AS PARTITION BY eadj.label SORT BY vnbr.city",
+      ex_.graph.catalog());
+  ASSERT_TRUE(cmd.ok()) << cmd.error;
+  EXPECT_EQ(cmd.kind, DdlCommand::Kind::kCreateEp);
+  EXPECT_EQ(cmd.ep_kind, EpKind::kDstFwd);
+  EXPECT_TRUE(cmd.pred.HasCrossEdgeConjunct());
+  ASSERT_EQ(cmd.config.partitions.size(), 1u);
+  EXPECT_EQ(cmd.config.sorts[0].source, SortSource::kNbrProp);
+  EXPECT_EQ(cmd.config.sorts[0].key, ex_.city_key);
+}
+
+TEST_F(DdlParserTest, AllFourTwoHopShapes) {
+  const char* kShapes[4] = {
+      "MATCH vs-[eb]->vd-[eadj]->vnbr",
+      "MATCH vs-[eb]->vd<-[eadj]-vnbr",
+      "MATCH vnbr-[eadj]->vs-[eb]->vd",
+      "MATCH vnbr<-[eadj]-vs-[eb]->vd",
+  };
+  const EpKind kKinds[4] = {EpKind::kDstFwd, EpKind::kDstBwd, EpKind::kSrcFwd, EpKind::kSrcBwd};
+  for (int i = 0; i < 4; ++i) {
+    std::string ddl = std::string("CREATE 2-HOP VIEW V") + std::to_string(i) + " " + kShapes[i] +
+                      " WHERE eb.date<eadj.date";
+    DdlCommand cmd = ParseDdl(ddl, ex_.graph.catalog());
+    ASSERT_TRUE(cmd.ok()) << ddl << ": " << cmd.error;
+    EXPECT_EQ(cmd.ep_kind, kKinds[i]) << ddl;
+  }
+}
+
+TEST_F(DdlParserTest, RejectsTwoHopWithoutCrossEdgePredicate) {
+  // The "Redundant" example of Section III-B2.
+  DdlCommand cmd = ParseDdl(
+      "CREATE 2-HOP VIEW Redundant "
+      "MATCH vs-[eb]->vd-[eadj]->vnbr "
+      "WHERE eadj.amount<10000",
+      ex_.graph.catalog());
+  EXPECT_FALSE(cmd.ok());
+  EXPECT_NE(cmd.error.find("both"), std::string::npos);
+}
+
+TEST_F(DdlParserTest, AddendInCrossEdgePredicate) {
+  DdlCommand cmd = ParseDdl(
+      "CREATE 2-HOP VIEW Flow "
+      "MATCH vs-[eb]->vd-[eadj]->vnbr "
+      "WHERE eadj.amount<eb.amount+500, eb.date<eadj.date",
+      ex_.graph.catalog());
+  ASSERT_TRUE(cmd.ok()) << cmd.error;
+  EXPECT_EQ(cmd.pred.conjuncts()[0].rhs_addend, 500);
+}
+
+TEST_F(DdlParserTest, UnknownPropertyFails) {
+  DdlCommand cmd = ParseDdl(
+      "CREATE 1-HOP VIEW Bad MATCH vs-[eadj]->vd WHERE eadj.nonexistent>5",
+      ex_.graph.catalog());
+  EXPECT_FALSE(cmd.ok());
+}
+
+TEST_F(DdlParserTest, UnknownCategoryValueFails) {
+  DdlCommand cmd = ParseDdl(
+      "CREATE 1-HOP VIEW Bad MATCH vs-[eadj]->vd WHERE eadj.currency=JPY",
+      ex_.graph.catalog());
+  EXPECT_FALSE(cmd.ok());
+}
+
+TEST_F(DdlParserTest, DirectionFlags) {
+  DdlCommand fw = ParseDdl(
+      "CREATE 1-HOP VIEW F MATCH vs-[eadj]->vd WHERE eadj.amount>1 INDEX AS FW",
+      ex_.graph.catalog());
+  ASSERT_TRUE(fw.ok()) << fw.error;
+  EXPECT_TRUE(fw.fwd);
+  EXPECT_FALSE(fw.bwd);
+  DdlCommand bw = ParseDdl(
+      "CREATE 1-HOP VIEW B MATCH vs-[eadj]->vd WHERE eadj.amount>1 INDEX AS BW",
+      ex_.graph.catalog());
+  ASSERT_TRUE(bw.ok()) << bw.error;
+  EXPECT_FALSE(bw.fwd);
+  EXPECT_TRUE(bw.bwd);
+}
+
+TEST_F(DdlParserTest, GarbageFails) {
+  EXPECT_FALSE(ParseDdl("DROP EVERYTHING", ex_.graph.catalog()).ok());
+  EXPECT_FALSE(ParseDdl("", ex_.graph.catalog()).ok());
+}
+
+}  // namespace
+}  // namespace aplus

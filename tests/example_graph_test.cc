@@ -1,0 +1,119 @@
+// Verifies that the reconstructed Figure 1 running-example graph
+// satisfies every behavioural fact the paper's text states about it
+// (Sections I, III-B2).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/example_graph.h"
+
+namespace aplus {
+namespace {
+
+class ExampleGraphTest : public ::testing::Test {
+ protected:
+  ExampleGraphTest() : ex_(BuildExampleGraph()) {}
+
+  edge_id_t T(int i) const { return ex_.transfers[i - 1]; }  // t_i
+  vertex_id_t V(int i) const { return ex_.accounts[i - 1]; }  // v_i
+
+  ExampleGraph ex_;
+};
+
+TEST_F(ExampleGraphTest, Cardinalities) {
+  EXPECT_EQ(ex_.graph.num_vertices(), 8u);
+  EXPECT_EQ(ex_.graph.num_edges(), 25u);  // 5 Owns + 20 Transfers
+}
+
+TEST_F(ExampleGraphTest, AliceOwnsV1) {
+  // Example 1/3 start from Alice's account v1.
+  vertex_id_t alice = ex_.customers[1];
+  prop_key_t name = ex_.name_key;
+  EXPECT_EQ(ex_.graph.vertex_props().Get(name, alice).AsString(), "Alice");
+  bool owns_v1 = false;
+  for (edge_id_t e : ex_.owns) {
+    if (ex_.graph.edge_src(e) == alice && ex_.graph.edge_dst(e) == V(1)) owns_v1 = true;
+  }
+  EXPECT_TRUE(owns_v1);
+}
+
+TEST_F(ExampleGraphTest, DatesFollowOrdinals) {
+  // ti.date < tj.date iff i < j.
+  for (int i = 1; i <= 20; ++i) {
+    EXPECT_EQ(ex_.graph.edge_props().Get(ex_.date_key, T(i)).AsInt64(), i);
+  }
+}
+
+TEST_F(ExampleGraphTest, T13GoesFromV2ToV5) {
+  // Example 7: "matches r1 to t13, which is from vertex v2 to v5".
+  EXPECT_EQ(ex_.graph.edge_src(T(13)), V(2));
+  EXPECT_EQ(ex_.graph.edge_dst(T(13)), V(5));
+}
+
+TEST_F(ExampleGraphTest, V2IncomingAndOutgoingTransfers) {
+  // Section III-B2 (Redundant example): v2's incoming transfer edges are
+  // {t5, t6, t15, t17} and its outgoing ones are {t7, t8, t13}.
+  std::set<edge_id_t> in;
+  std::set<edge_id_t> out;
+  for (int i = 1; i <= 20; ++i) {
+    if (ex_.graph.edge_dst(T(i)) == V(2)) in.insert(T(i));
+    if (ex_.graph.edge_src(T(i)) == V(2)) out.insert(T(i));
+  }
+  EXPECT_EQ(in, (std::set<edge_id_t>{T(5), T(6), T(15), T(17)}));
+  EXPECT_EQ(out, (std::set<edge_id_t>{T(7), T(8), T(13)}));
+}
+
+// MoneyFlow semantics of Example 7: Destination-FW adjacency of eb with
+// eb.date < eadj.date and eb.amt > eadj.amt.
+std::set<edge_id_t> MoneyFlowList(const ExampleGraph& ex, edge_id_t eb) {
+  std::set<edge_id_t> result;
+  const Graph& g = ex.graph;
+  vertex_id_t anchor = g.edge_dst(eb);
+  int64_t eb_date = g.edge_props().Get(ex.date_key, eb).AsInt64();
+  int64_t eb_amt = g.edge_props().Get(ex.amount_key, eb).AsInt64();
+  for (edge_id_t e = 0; e < g.num_edges(); ++e) {
+    if (e == eb || g.edge_src(e) != anchor) continue;
+    if (g.edge_label(e) != ex.dd_label && g.edge_label(e) != ex.wire_label) continue;
+    int64_t date = g.edge_props().Get(ex.date_key, e).AsInt64();
+    int64_t amt = g.edge_props().Get(ex.amount_key, e).AsInt64();
+    if (eb_date < date && eb_amt > amt) result.insert(e);
+  }
+  return result;
+}
+
+TEST_F(ExampleGraphTest, MoneyFlowListOfT13IsExactlyT19) {
+  // "It only scans t13's list which contains a single edge t19."
+  EXPECT_EQ(MoneyFlowList(ex_, T(13)), std::set<edge_id_t>{T(19)});
+}
+
+TEST_F(ExampleGraphTest, T17AppearsInMoneyFlowListsOfT1AndT16) {
+  // "edge t17 ... appears both in the adjacency list for t1 as well as
+  // t16" (Section III-B2).
+  EXPECT_TRUE(MoneyFlowList(ex_, T(1)).count(T(17)) > 0);
+  EXPECT_TRUE(MoneyFlowList(ex_, T(16)).count(T(17)) > 0);
+}
+
+TEST_F(ExampleGraphTest, CityAndAccountProperties) {
+  // Figure 1: v1 SV/SF, v2 CQ/SF, v3 SV/BOS, v4 CQ/BOS, v5 SV/LA.
+  const PropertyColumn* acc = ex_.graph.vertex_props().column(ex_.acc_key);
+  const PropertyColumn* city = ex_.graph.vertex_props().column(ex_.city_key);
+  EXPECT_EQ(acc->GetCategoryOrNullSlot(V(1)), 1u);
+  EXPECT_EQ(acc->GetCategoryOrNullSlot(V(2)), 0u);
+  EXPECT_EQ(city->GetCategoryOrNullSlot(V(1)), kCitySf);
+  EXPECT_EQ(city->GetCategoryOrNullSlot(V(3)), kCityBos);
+  EXPECT_EQ(city->GetCategoryOrNullSlot(V(5)), kCityLa);
+}
+
+TEST_F(ExampleGraphTest, TransferLabelsAndAmounts) {
+  EXPECT_EQ(ex_.graph.edge_label(T(4)), ex_.wire_label);   // t4:W
+  EXPECT_EQ(ex_.graph.edge_label(T(13)), ex_.dd_label);    // t13:DD
+  EXPECT_EQ(ex_.graph.edge_props().Get(ex_.amount_key, T(4)).AsInt64(), 200);
+  EXPECT_EQ(ex_.graph.edge_props().Get(ex_.amount_key, T(19)).AsInt64(), 5);
+  const PropertyColumn* cur = ex_.graph.edge_props().column(ex_.currency_key);
+  EXPECT_EQ(cur->GetCategoryOrNullSlot(T(4)), kCurrencyEur);
+  EXPECT_EQ(cur->GetCategoryOrNullSlot(T(13)), kCurrencyGbp);
+}
+
+}  // namespace
+}  // namespace aplus

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "datagen/example_graph.h"
+#include "index/index_store.h"
+
+namespace aplus {
+namespace {
+
+class IndexStoreTest : public ::testing::Test {
+ protected:
+  IndexStoreTest() : ex_(BuildExampleGraph()), store_(&ex_.graph) {
+    store_.BuildPrimary(IndexConfig::Default());
+  }
+
+  OneHopViewDef LargeView() {
+    OneHopViewDef view;
+    view.name = "large";
+    view.pred.AddConst(PropRef{PropSite::kAdjEdge, ex_.amount_key, false, false}, CmpOp::kGt,
+                       Value::Int64(100));
+    return view;
+  }
+
+  TwoHopViewDef FlowView() {
+    TwoHopViewDef view;
+    view.name = "flow";
+    view.kind = EpKind::kDstFwd;
+    view.pred.AddRef(PropRef{PropSite::kBoundEdge, ex_.date_key, false, false}, CmpOp::kLt,
+                     PropRef{PropSite::kAdjEdge, ex_.date_key, false, false});
+    return view;
+  }
+
+  ExampleGraph ex_;
+  IndexStore store_;
+};
+
+TEST_F(IndexStoreTest, VersionBumpsOnEveryIndexChange) {
+  uint64_t v0 = store_.version();
+  store_.BuildPrimary(IndexConfig::Default());
+  uint64_t v1 = store_.version();
+  EXPECT_GT(v1, v0);
+  store_.CreateVpIndex(LargeView(), IndexConfig::Default(), Direction::kFwd);
+  uint64_t v2 = store_.version();
+  EXPECT_GT(v2, v1);
+  store_.CreateEpIndex(FlowView(), IndexConfig::Default());
+  uint64_t v3 = store_.version();
+  EXPECT_GT(v3, v2);
+  store_.DropSecondaryIndexes();
+  EXPECT_GT(store_.version(), v3);
+}
+
+TEST_F(IndexStoreTest, FindByNameAndDirection) {
+  store_.CreateVpIndex(LargeView(), IndexConfig::Default(), Direction::kFwd);
+  store_.CreateVpIndex(LargeView(), IndexConfig::Default(), Direction::kBwd);
+  store_.CreateEpIndex(FlowView(), IndexConfig::Default());
+  EXPECT_NE(store_.FindVpIndex("large", Direction::kFwd), nullptr);
+  EXPECT_NE(store_.FindVpIndex("large", Direction::kBwd), nullptr);
+  EXPECT_EQ(store_.FindVpIndex("large", Direction::kFwd)->direction(), Direction::kFwd);
+  EXPECT_EQ(store_.FindVpIndex("missing", Direction::kFwd), nullptr);
+  EXPECT_NE(store_.FindEpIndex("flow"), nullptr);
+  EXPECT_EQ(store_.FindEpIndex("missing"), nullptr);
+}
+
+TEST_F(IndexStoreTest, MemoryAndEdgeAccounting) {
+  size_t primary_bytes = store_.PrimaryMemoryBytes();
+  EXPECT_GT(primary_bytes, 0u);
+  EXPECT_EQ(store_.SecondaryMemoryBytes(), 0u);
+  uint64_t edges_primary_only = store_.TotalEdgesIndexed();
+  EXPECT_EQ(edges_primary_only, ex_.graph.num_edges());
+
+  store_.CreateVpIndex(LargeView(), IndexConfig::Default(), Direction::kFwd);
+  EXPECT_GT(store_.SecondaryMemoryBytes(), 0u);
+  EXPECT_GT(store_.TotalEdgesIndexed(), edges_primary_only);
+  EXPECT_EQ(store_.TotalMemoryBytes(),
+            store_.PrimaryMemoryBytes() + store_.SecondaryMemoryBytes());
+
+  store_.DropSecondaryIndexes();
+  EXPECT_EQ(store_.SecondaryMemoryBytes(), 0u);
+  EXPECT_EQ(store_.TotalEdgesIndexed(), edges_primary_only);
+}
+
+TEST_F(IndexStoreTest, ReconfigureRebuildsSecondaries) {
+  VpIndex* vp = store_.CreateVpIndex(LargeView(), IndexConfig::Default(), Direction::kFwd);
+  uint64_t before = vp->num_edges_indexed();
+  // Reconfigure the primary with a different sort; the secondary must be
+  // rebuilt (offsets are invalidated) and keep indexing the same edges.
+  IndexConfig resorted = IndexConfig::Default();
+  resorted.sorts.clear();
+  resorted.sorts.push_back({SortSource::kEdgeProp, ex_.date_key});
+  store_.BuildPrimary(resorted);
+  EXPECT_EQ(vp->num_edges_indexed(), before);
+  // Contents still resolve correctly through the new primary layout.
+  for (vertex_id_t v = 0; v < ex_.graph.num_vertices(); ++v) {
+    AdjListSlice slice = vp->GetFullList(v);
+    for (uint32_t i = 0; i < slice.size(); ++i) {
+      edge_id_t e = slice.EdgeAt(i);
+      EXPECT_GT(ex_.graph.edge_props().Get(ex_.amount_key, e).AsInt64(), 100);
+      EXPECT_EQ(ex_.graph.edge_src(e), v);
+    }
+  }
+}
+
+TEST_F(IndexStoreTest, FlushAllIsIdempotent) {
+  EXPECT_FALSE(store_.HasPendingUpdates());
+  store_.FlushAll();
+  EXPECT_FALSE(store_.HasPendingUpdates());
+  // Inserting marks pending; flushing clears.
+  edge_id_t e = ex_.graph.AddEdge(ex_.accounts[0], ex_.accounts[1], ex_.wire_label);
+  ex_.graph.edge_props().mutable_column(ex_.amount_key)->SetInt64(e, 7);
+  ex_.graph.edge_props().mutable_column(ex_.date_key)->SetInt64(e, 21);
+  store_.primary(Direction::kFwd)->InsertEdge(e);
+  store_.primary(Direction::kBwd)->InsertEdge(e);
+  EXPECT_TRUE(store_.HasPendingUpdates());
+  store_.FlushAll();
+  EXPECT_FALSE(store_.HasPendingUpdates());
+  EXPECT_EQ(store_.primary(Direction::kFwd)->num_edges_indexed(), ex_.graph.num_edges());
+}
+
+}  // namespace
+}  // namespace aplus

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/example_graph.h"
+#include "datagen/financial_props.h"
+#include "datagen/power_law_generator.h"
+#include "index/maintenance.h"
+#include "util/rng.h"
+
+namespace aplus {
+namespace {
+
+std::set<edge_id_t> SliceEdges(const AdjListSlice& slice) {
+  std::set<edge_id_t> edges;
+  for (uint32_t i = 0; i < slice.size(); ++i) edges.insert(slice.EdgeAt(i));
+  return edges;
+}
+
+TEST(MaintenanceTest, PrimaryInsertThenFlushMatchesRebuild) {
+  // Load half the edges via Build, insert the rest one at a time, flush,
+  // and compare against an index built over the whole graph.
+  Graph graph;
+  PowerLawParams params;
+  params.num_vertices = 1500;
+  params.avg_degree = 6.0;
+  GeneratePowerLawGraph(params, &graph);
+
+  // Snapshot all edges, rebuild a half-graph, then stream the rest.
+  struct EdgeTriple {
+    vertex_id_t src, dst;
+    label_t label;
+  };
+  std::vector<EdgeTriple> all;
+  for (edge_id_t e = 0; e < graph.num_edges(); ++e) {
+    all.push_back({graph.edge_src(e), graph.edge_dst(e), graph.edge_label(e)});
+  }
+  Graph half;
+  label_t vlabel = half.catalog().AddVertexLabel("V");
+  half.catalog().AddEdgeLabel("E");
+  for (vertex_id_t v = 0; v < graph.num_vertices(); ++v) half.AddVertex(vlabel);
+  size_t split = all.size() / 2;
+  for (size_t i = 0; i < split; ++i) half.AddEdge(all[i].src, all[i].dst, all[i].label);
+
+  IndexStore store(&half);
+  store.BuildPrimary(IndexConfig::Default());
+  Maintainer maintainer(&half, &store);
+  for (size_t i = split; i < all.size(); ++i) {
+    edge_id_t e = half.AddEdge(all[i].src, all[i].dst, all[i].label);
+    maintainer.OnEdgeInserted(e);
+  }
+  maintainer.Finalize();
+  EXPECT_FALSE(store.HasPendingUpdates());
+  EXPECT_EQ(store.primary(Direction::kFwd)->num_edges_indexed(), half.num_edges());
+
+  IndexStore reference(&half);
+  reference.BuildPrimary(IndexConfig::Default());
+  for (vertex_id_t v = 0; v < half.num_vertices(); ++v) {
+    EXPECT_EQ(SliceEdges(store.primary(Direction::kFwd)->GetFullList(v)),
+              SliceEdges(reference.primary(Direction::kFwd)->GetFullList(v)))
+        << "v=" << v;
+    EXPECT_EQ(SliceEdges(store.primary(Direction::kBwd)->GetFullList(v)),
+              SliceEdges(reference.primary(Direction::kBwd)->GetFullList(v)))
+        << "v=" << v;
+  }
+}
+
+TEST(MaintenanceTest, DeletionsTombstoneAndMerge) {
+  ExampleGraph ex = BuildExampleGraph();
+  IndexStore store(&ex.graph);
+  store.BuildPrimary(IndexConfig::Default());
+  Maintainer maintainer(&ex.graph, &store);
+  // Delete t4 (v1 -W-> v3).
+  maintainer.OnEdgeDeleted(ex.transfers[3]);
+  maintainer.Finalize();
+  std::set<edge_id_t> v1_out = SliceEdges(store.primary(Direction::kFwd)->GetFullList(ex.accounts[0]));
+  EXPECT_EQ(v1_out.count(ex.transfers[3]), 0u);
+  EXPECT_EQ(v1_out.size(), 3u);
+  std::set<edge_id_t> v3_in = SliceEdges(store.primary(Direction::kBwd)->GetFullList(ex.accounts[2]));
+  EXPECT_EQ(v3_in.count(ex.transfers[3]), 0u);
+}
+
+TEST(MaintenanceTest, VpIndexTracksInserts) {
+  ExampleGraph ex = BuildExampleGraph();
+  IndexStore store(&ex.graph);
+  store.BuildPrimary(IndexConfig::Default());
+  OneHopViewDef view;
+  view.name = "large";
+  view.pred.AddConst(PropRef{PropSite::kAdjEdge, ex.amount_key, false, false}, CmpOp::kGt,
+                     Value::Int64(100));
+  VpIndex* vp = store.CreateVpIndex(view, IndexConfig::Default(), Direction::kFwd);
+  uint64_t before = vp->num_edges_indexed();
+
+  Maintainer maintainer(&ex.graph, &store);
+  // New transfer v1 -W-> v2 with amount 500 (passes the view predicate).
+  edge_id_t e = ex.graph.AddEdge(ex.accounts[0], ex.accounts[1], ex.wire_label);
+  ex.graph.edge_props().mutable_column(ex.amount_key)->SetInt64(e, 500);
+  ex.graph.edge_props().mutable_column(ex.date_key)->SetInt64(e, 21);
+  maintainer.OnEdgeInserted(e);
+  maintainer.Finalize();
+  EXPECT_EQ(vp->num_edges_indexed(), before + 1);
+  EXPECT_TRUE(SliceEdges(vp->GetFullList(ex.accounts[0])).count(e) > 0);
+
+  // And one failing the predicate.
+  edge_id_t small = ex.graph.AddEdge(ex.accounts[0], ex.accounts[2], ex.wire_label);
+  ex.graph.edge_props().mutable_column(ex.amount_key)->SetInt64(small, 1);
+  ex.graph.edge_props().mutable_column(ex.date_key)->SetInt64(small, 22);
+  maintainer.OnEdgeInserted(small);
+  maintainer.Finalize();
+  EXPECT_EQ(vp->num_edges_indexed(), before + 1);
+  EXPECT_EQ(SliceEdges(vp->GetFullList(ex.accounts[0])).count(small), 0u);
+}
+
+TEST(MaintenanceTest, EpIndexDeltaQueriesOnInsert) {
+  ExampleGraph ex = BuildExampleGraph();
+  IndexStore store(&ex.graph);
+  store.BuildPrimary(IndexConfig::Default());
+  TwoHopViewDef view;
+  view.name = "MoneyFlow";
+  view.kind = EpKind::kDstFwd;
+  view.pred.AddRef(PropRef{PropSite::kBoundEdge, ex.date_key, false, false}, CmpOp::kLt,
+                   PropRef{PropSite::kAdjEdge, ex.date_key, false, false});
+  view.pred.AddRef(PropRef{PropSite::kBoundEdge, ex.amount_key, false, false}, CmpOp::kGt,
+                   PropRef{PropSite::kAdjEdge, ex.amount_key, false, false});
+  EpIndex* ep = store.CreateEpIndex(view, IndexConfig::Default());
+
+  Maintainer maintainer(&ex.graph, &store);
+  // New edge from v5 (dst of t13) with a later date and smaller amount
+  // than t13: must join t13's MoneyFlow list.
+  edge_id_t e = ex.graph.AddEdge(ex.accounts[4], ex.accounts[0], ex.wire_label);
+  ex.graph.edge_props().mutable_column(ex.amount_key)->SetInt64(e, 2);
+  ex.graph.edge_props().mutable_column(ex.date_key)->SetInt64(e, 30);
+  maintainer.OnEdgeInserted(e);
+  maintainer.Finalize();
+  std::set<edge_id_t> t13_list = SliceEdges(ep->GetFullList(ex.transfers[12]));
+  EXPECT_TRUE(t13_list.count(e) > 0);
+  EXPECT_TRUE(t13_list.count(ex.transfers[18]) > 0);  // t19 still there
+
+  // The new edge also gets its own list (possibly empty).
+  AdjListSlice own = ep->GetFullList(e);
+  for (uint32_t i = 0; i < own.size(); ++i) {
+    EXPECT_EQ(ex.graph.edge_src(own.EdgeAt(i)), ex.accounts[0]);
+  }
+}
+
+TEST(MaintenanceTest, StreamedHalfEqualsBulkBuildForSecondaryIndexes) {
+  Graph graph;
+  PowerLawParams params;
+  params.num_vertices = 800;
+  params.avg_degree = 5.0;
+  GeneratePowerLawGraph(params, &graph);
+  AddFinancialProperties(23, &graph, 20);
+  prop_key_t amount = graph.catalog().FindProperty("amount", PropTargetKind::kEdge);
+  prop_key_t date = graph.catalog().FindProperty("date", PropTargetKind::kEdge);
+
+  // Reference: everything bulk-built.
+  IndexStore reference(&graph);
+  reference.BuildPrimary(IndexConfig::Default());
+  OneHopViewDef vp_view;
+  vp_view.name = "big";
+  vp_view.pred.AddConst(PropRef{PropSite::kAdjEdge, amount, false, false}, CmpOp::kGt,
+                        Value::Int64(500));
+  VpIndex* vp_ref = reference.CreateVpIndex(vp_view, IndexConfig::Default(), Direction::kFwd);
+  TwoHopViewDef ep_view;
+  ep_view.name = "flow";
+  ep_view.kind = EpKind::kDstFwd;
+  ep_view.pred.AddRef(PropRef{PropSite::kBoundEdge, date, false, false}, CmpOp::kLt,
+                      PropRef{PropSite::kAdjEdge, date, false, false});
+  EpIndex* ep_ref = reference.CreateEpIndex(ep_view, IndexConfig::Default());
+
+  // Streamed: rebuild on a graph prefix, then insert the tail.
+  // To keep edge ids aligned we rebuild the same Graph object's indexes
+  // from scratch and replay inserts (graph storage already has all
+  // edges; the indexes start from a half-empty view by building against
+  // a prefix-truncated copy).
+  Graph prefix;
+  label_t vlabel = prefix.catalog().AddVertexLabel("V");
+  prefix.catalog().AddEdgeLabel("E");
+  for (vertex_id_t v = 0; v < graph.num_vertices(); ++v) prefix.AddVertex(vlabel);
+  prefix.AddVertexProperty("acc", ValueType::kCategory, kNumAccountTypes);
+  prefix.AddVertexProperty("city", ValueType::kCategory, 20);
+  prop_key_t p_amount = prefix.AddEdgeProperty("amount", ValueType::kInt64);
+  prop_key_t p_date = prefix.AddEdgeProperty("date", ValueType::kInt64);
+
+  size_t split = graph.num_edges() / 2;
+  auto copy_edge = [&](edge_id_t e) {
+    edge_id_t ne = prefix.AddEdge(graph.edge_src(e), graph.edge_dst(e), graph.edge_label(e));
+    prefix.edge_props().mutable_column(p_amount)->SetInt64(
+        ne, graph.edge_props().Get(amount, e).AsInt64());
+    prefix.edge_props().mutable_column(p_date)->SetInt64(
+        ne, graph.edge_props().Get(date, e).AsInt64());
+    return ne;
+  };
+  for (edge_id_t e = 0; e < split; ++e) copy_edge(e);
+
+  IndexStore streamed(&prefix);
+  streamed.BuildPrimary(IndexConfig::Default());
+  OneHopViewDef vp_view2 = vp_view;
+  vp_view2.pred = Predicate();
+  vp_view2.pred.AddConst(PropRef{PropSite::kAdjEdge, p_amount, false, false}, CmpOp::kGt,
+                         Value::Int64(500));
+  VpIndex* vp_str = streamed.CreateVpIndex(vp_view2, IndexConfig::Default(), Direction::kFwd);
+  TwoHopViewDef ep_view2 = ep_view;
+  ep_view2.pred = Predicate();
+  ep_view2.pred.AddRef(PropRef{PropSite::kBoundEdge, p_date, false, false}, CmpOp::kLt,
+                       PropRef{PropSite::kAdjEdge, p_date, false, false});
+  EpIndex* ep_str = streamed.CreateEpIndex(ep_view2, IndexConfig::Default());
+
+  Maintainer maintainer(&prefix, &streamed);
+  for (edge_id_t e = split; e < graph.num_edges(); ++e) {
+    edge_id_t ne = copy_edge(e);
+    maintainer.OnEdgeInserted(ne);
+  }
+  maintainer.Finalize();
+
+  EXPECT_EQ(vp_str->num_edges_indexed(), vp_ref->num_edges_indexed());
+  EXPECT_EQ(ep_str->num_edges_indexed(), ep_ref->num_edges_indexed());
+  for (vertex_id_t v = 0; v < graph.num_vertices(); v += 7) {
+    EXPECT_EQ(SliceEdges(vp_str->GetFullList(v)), SliceEdges(vp_ref->GetFullList(v))) << v;
+  }
+  for (edge_id_t e = 0; e < graph.num_edges(); e += 13) {
+    EXPECT_EQ(SliceEdges(ep_str->GetFullList(e)), SliceEdges(ep_ref->GetFullList(e))) << e;
+  }
+}
+
+}  // namespace
+}  // namespace aplus

@@ -1,0 +1,247 @@
+// Randomized end-to-end correctness: random small graphs, random
+// connected query shapes with random labels/predicates, random index
+// configurations (including secondary VP/EP indexes) — the optimizer's
+// plan must always count exactly what brute-force enumeration counts.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/database.h"
+#include "datagen/financial_props.h"
+#include "datagen/label_assigner.h"
+#include "datagen/power_law_generator.h"
+#include "util/rng.h"
+
+namespace aplus {
+namespace {
+
+// Brute force: enumerate vertex assignments (pruning each new vertex by
+// the query edges to already-assigned vertices, so connected queries
+// stay tractable), then all edge bindings.
+class BruteForcer {
+ public:
+  BruteForcer(const Graph& graph, const QueryGraph& query) : graph_(graph), query_(query) {
+    // Adjacency for candidate pruning.
+    out_.resize(graph.num_vertices());
+    in_.resize(graph.num_vertices());
+    for (edge_id_t e = 0; e < graph.num_edges(); ++e) {
+      out_[graph.edge_src(e)].push_back(graph.edge_dst(e));
+      in_[graph.edge_dst(e)].push_back(graph.edge_src(e));
+    }
+  }
+
+  uint64_t Count() {
+    MatchState state;
+    state.Reset(query_.num_vertices(), query_.num_edges());
+    count_ = 0;
+    RecurseVertices(0, &state);
+    return count_;
+  }
+
+ private:
+  void RecurseVertices(int var, MatchState* state) {
+    if (var == query_.num_vertices()) {
+      BindEdges(0, state);
+      return;
+    }
+    const QueryVertex& qv = query_.vertex(var);
+    // Candidates: neighbours along any query edge to an assigned vertex
+    // (vertices are assigned in order, so queries built with a spanning
+    // chain always have one); otherwise all vertices.
+    std::vector<vertex_id_t> candidates;
+    bool restricted = false;
+    for (int qe = 0; qe < query_.num_edges() && !restricted; ++qe) {
+      const QueryEdge& edge = query_.edge(qe);
+      if (edge.from == var && edge.to < var) {
+        candidates = in_[state->v[edge.to]];
+        restricted = true;
+      } else if (edge.to == var && edge.from < var) {
+        candidates = out_[state->v[edge.from]];
+        restricted = true;
+      }
+    }
+    if (!restricted) {
+      candidates.resize(graph_.num_vertices());
+      for (vertex_id_t v = 0; v < graph_.num_vertices(); ++v) candidates[v] = v;
+    } else {
+      std::sort(candidates.begin(), candidates.end());
+      candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
+    }
+    for (vertex_id_t v : candidates) {
+      if (qv.bound != kInvalidVertex && qv.bound != v) continue;
+      if (qv.label != kInvalidLabel && graph_.vertex_label(v) != qv.label) continue;
+      if (state->VertexAlreadyBound(v)) continue;
+      state->v[var] = v;
+      RecurseVertices(var + 1, state);
+      state->v[var] = kInvalidVertex;
+    }
+  }
+
+  void BindEdges(int qe, MatchState* state) {
+    if (qe == query_.num_edges()) {
+      for (const QueryComparison& cmp : query_.predicates()) {
+        if (!EvalQueryComparison(graph_, cmp, *state)) return;
+      }
+      ++count_;
+      return;
+    }
+    const QueryEdge& edge = query_.edge(qe);
+    for (edge_id_t e = 0; e < graph_.num_edges(); ++e) {
+      if (graph_.edge_src(e) != state->v[edge.from]) continue;
+      if (graph_.edge_dst(e) != state->v[edge.to]) continue;
+      if (edge.label != kInvalidLabel && graph_.edge_label(e) != edge.label) continue;
+      if (state->EdgeAlreadyBound(e)) continue;
+      state->e[qe] = e;
+      BindEdges(qe + 1, state);
+      state->e[qe] = kInvalidEdge;
+    }
+  }
+
+  const Graph& graph_;
+  const QueryGraph& query_;
+  std::vector<std::vector<vertex_id_t>> out_;
+  std::vector<std::vector<vertex_id_t>> in_;
+  uint64_t count_ = 0;
+};
+
+// Random connected query: a spanning chain plus random extra edges.
+QueryGraph RandomQuery(Rng* rng, const Graph& graph, const FinancialPropKeys& keys) {
+  QueryGraph query;
+  int n = 3 + static_cast<int>(rng->NextBounded(2));  // 3..4 vertices
+  for (int i = 0; i < n; ++i) {
+    label_t label = kInvalidLabel;
+    if (rng->NextDouble() < 0.5) {
+      label = static_cast<label_t>(rng->NextBounded(graph.catalog().num_vertex_labels()));
+    }
+    query.AddVertex("q" + std::to_string(i), label);
+  }
+  auto random_edge_label = [&]() -> label_t {
+    if (rng->NextDouble() < 0.6) {
+      return static_cast<label_t>(rng->NextBounded(graph.catalog().num_edge_labels()));
+    }
+    return kInvalidLabel;
+  };
+  // Spanning chain with random orientation.
+  for (int i = 1; i < n; ++i) {
+    if (rng->NextDouble() < 0.5) {
+      query.AddEdge(i - 1, i, random_edge_label());
+    } else {
+      query.AddEdge(i, i - 1, random_edge_label());
+    }
+  }
+  // Extra edges (may create cycles / multi-edges).
+  int extra = static_cast<int>(rng->NextBounded(3));
+  for (int i = 0; i < extra; ++i) {
+    int a = static_cast<int>(rng->NextBounded(n));
+    int b = static_cast<int>(rng->NextBounded(n));
+    if (a == b) continue;
+    query.AddEdge(a, b, random_edge_label());
+  }
+  // Pin one vertex sometimes (keeps brute force fast too).
+  if (rng->NextDouble() < 0.6) {
+    query.mutable_vertex(0).bound =
+        static_cast<vertex_id_t>(rng->NextBounded(graph.num_vertices()));
+    query.mutable_vertex(0).label = kInvalidLabel;
+  }
+  // Random predicates from the workload menu.
+  if (rng->NextDouble() < 0.5) {
+    QueryComparison amount;
+    amount.lhs = QueryPropRef{0, true, keys.amount, false};
+    amount.op = rng->NextDouble() < 0.5 ? CmpOp::kGt : CmpOp::kLt;
+    amount.rhs_const = Value::Int64(rng->NextInRange(1, 1000));
+    query.AddPredicate(amount);
+  }
+  if (rng->NextDouble() < 0.4 && query.num_vertices() >= 3) {
+    QueryComparison city_eq;
+    city_eq.lhs = QueryPropRef{1, false, keys.city, false};
+    city_eq.op = CmpOp::kEq;
+    city_eq.rhs_is_const = false;
+    city_eq.rhs_ref = QueryPropRef{2, false, keys.city, false};
+    query.AddPredicate(city_eq);
+  }
+  if (rng->NextDouble() < 0.4 && query.num_edges() >= 2) {
+    QueryComparison flow;
+    flow.lhs = QueryPropRef{0, true, keys.date, false};
+    flow.op = CmpOp::kLt;
+    flow.rhs_is_const = false;
+    flow.rhs_ref = QueryPropRef{1, true, keys.date, false};
+    query.AddPredicate(flow);
+  }
+  return query;
+}
+
+class OptimizerFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimizerFuzzTest, PlansMatchBruteForce) {
+  uint64_t seed = static_cast<uint64_t>(GetParam());
+  Rng rng(seed * 7919 + 13);
+
+  Graph graph;
+  PowerLawParams params;
+  params.num_vertices = 150 + rng.NextBounded(100);
+  params.avg_degree = 3.0 + rng.NextDouble() * 3.0;
+  params.seed = seed + 1;
+  GeneratePowerLawGraph(params, &graph);
+  AssignRandomLabels(2, 2, seed + 2, &graph);
+  FinancialPropKeys keys = AddFinancialProperties(seed + 3, &graph, 10);
+
+  Database db(std::move(graph));
+
+  // Random primary configuration.
+  IndexConfig config;
+  switch (rng.NextBounded(4)) {
+    case 0:
+      config = IndexConfig::Flat();
+      break;
+    case 1:
+      config = IndexConfig::Default();
+      break;
+    case 2:
+      config = IndexConfig::Default();
+      config.partitions.push_back({PartitionSource::kNbrLabel, kInvalidPropKey});
+      break;
+    default:
+      config = IndexConfig::Default();
+      config.sorts.clear();
+      config.sorts.push_back({SortSource::kNbrLabel, kInvalidPropKey});
+      config.sorts.push_back({SortSource::kNbrId, kInvalidPropKey});
+      break;
+  }
+  db.BuildPrimaryIndexes(config);
+
+  // Random secondary indexes.
+  if (rng.NextDouble() < 0.5) {
+    IndexConfig vpc = IndexConfig::Default();
+    vpc.sorts.clear();
+    vpc.sorts.push_back({SortSource::kNbrProp, keys.city});
+    db.CreateVpIndex("VPc", Predicate(), vpc, Direction::kFwd);
+    db.CreateVpIndex("VPc", Predicate(), vpc, Direction::kBwd);
+  }
+  if (rng.NextDouble() < 0.4) {
+    Predicate large;
+    large.AddConst(PropRef{PropSite::kAdjEdge, keys.amount, false, false}, CmpOp::kGt,
+                   Value::Int64(500));
+    db.CreateVpIndex("big", large, IndexConfig::Default(), Direction::kFwd);
+  }
+  if (rng.NextDouble() < 0.4) {
+    Predicate flow;
+    flow.AddRef(PropRef{PropSite::kBoundEdge, keys.date, false, false}, CmpOp::kLt,
+                PropRef{PropSite::kAdjEdge, keys.date, false, false});
+    db.CreateEpIndex("flow", EpKind::kDstFwd, flow, IndexConfig::Default());
+  }
+
+  for (int q = 0; q < 4; ++q) {
+    QueryGraph query = RandomQuery(&rng, db.graph(), keys);
+    uint64_t expected = BruteForcer(db.graph(), query).Count();
+    QueryResult result = db.Run(query);
+    ASSERT_EQ(result.count, expected)
+        << "seed=" << seed << " query=" << q << "\nplan:\n"
+        << result.plan;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizerFuzzTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace aplus

@@ -1,0 +1,335 @@
+#include <gtest/gtest.h>
+
+#include "datagen/example_graph.h"
+#include "index/index_store.h"
+#include "optimizer/dp_optimizer.h"
+#include "optimizer/index_advisor.h"
+#include "optimizer/plan_printer.h"
+
+namespace aplus {
+namespace {
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  OptimizerTest() : ex_(BuildExampleGraph()), store_(&ex_.graph) {
+    store_.BuildPrimary(IndexConfig::Default());
+  }
+
+  // Brute-force reference: enumerate all isomorphic matches.
+  uint64_t BruteForce(const QueryGraph& query) {
+    uint64_t count = 0;
+    MatchState state;
+    state.Reset(query.num_vertices(), query.num_edges());
+    BruteRecurse(query, 0, &state, &count);
+    return count;
+  }
+
+  void BruteRecurse(const QueryGraph& query, int var, MatchState* state, uint64_t* count) {
+    if (var == query.num_vertices()) {
+      // Bind edges in all possible ways.
+      BindEdges(query, 0, state, count);
+      return;
+    }
+    const QueryVertex& qv = query.vertex(var);
+    for (vertex_id_t v = 0; v < ex_.graph.num_vertices(); ++v) {
+      if (qv.bound != kInvalidVertex && qv.bound != v) continue;
+      if (qv.label != kInvalidLabel && ex_.graph.vertex_label(v) != qv.label) continue;
+      if (state->VertexAlreadyBound(v)) continue;
+      state->v[var] = v;
+      BruteRecurse(query, var + 1, state, count);
+      state->v[var] = kInvalidVertex;
+    }
+  }
+
+  void BindEdges(const QueryGraph& query, int qe, MatchState* state, uint64_t* count) {
+    if (qe == query.num_edges()) {
+      for (const QueryComparison& cmp : query.predicates()) {
+        if (!EvalQueryComparison(ex_.graph, cmp, *state)) return;
+      }
+      ++(*count);
+      return;
+    }
+    const QueryEdge& edge = query.edge(qe);
+    for (edge_id_t e = 0; e < ex_.graph.num_edges(); ++e) {
+      if (ex_.graph.edge_src(e) != state->v[edge.from]) continue;
+      if (ex_.graph.edge_dst(e) != state->v[edge.to]) continue;
+      if (edge.label != kInvalidLabel && ex_.graph.edge_label(e) != edge.label) continue;
+      if (state->EdgeAlreadyBound(e)) continue;
+      state->e[qe] = e;
+      BindEdges(query, qe + 1, state, count);
+      state->e[qe] = kInvalidEdge;
+    }
+  }
+
+  ExampleGraph ex_;
+  IndexStore store_;
+};
+
+TEST_F(OptimizerTest, SingleEdgeQuery) {
+  QueryGraph query;
+  int a = query.AddVertex("a", ex_.account_label);
+  int b = query.AddVertex("b", ex_.account_label);
+  query.AddEdge(a, b, ex_.wire_label);
+  DpOptimizer optimizer(&ex_.graph, &store_);
+  auto plan = optimizer.Optimize(query);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->Execute(), BruteForce(query));
+}
+
+TEST_F(OptimizerTest, TwoHopMatchesBruteForce) {
+  QueryGraph query;
+  int c1 = query.AddVertex("c1", ex_.customer_label);
+  int a1 = query.AddVertex("a1", ex_.account_label);
+  int a2 = query.AddVertex("a2", ex_.account_label);
+  query.AddEdge(c1, a1, ex_.owns_label);
+  query.AddEdge(a1, a2, ex_.wire_label);
+  DpOptimizer optimizer(&ex_.graph, &store_);
+  auto plan = optimizer.Optimize(query);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->Execute(), BruteForce(query));
+}
+
+TEST_F(OptimizerTest, LabelledTriangleUsesIntersection) {
+  // Example 3 analogue: 3-edge cyclic Wire transfers. Edge labels pin
+  // the innermost (neighbour-ID sorted) sublists, enabling the WCOJ
+  // intersection.
+  QueryGraph query;
+  int a = query.AddVertex("a");
+  int b = query.AddVertex("b");
+  int c = query.AddVertex("c");
+  query.AddEdge(a, b, ex_.wire_label);
+  query.AddEdge(b, c, ex_.wire_label);
+  query.AddEdge(a, c, ex_.wire_label);
+  DpOptimizer optimizer(&ex_.graph, &store_);
+  auto plan = optimizer.Optimize(query);
+  ASSERT_NE(plan, nullptr);
+  uint64_t count = plan->Execute();
+  EXPECT_EQ(count, BruteForce(query));
+  EXPECT_GE(count, 1u);  // v1 -t17-> v2 -t8-> v4, v1 -t20-> v4
+  // The last extension closes two edges -> must be an intersection.
+  bool has_intersect = false;
+  for (const PlanStep& step : optimizer.last_steps()) {
+    if (step.kind == PlanStep::Kind::kExtendIntersect) has_intersect = true;
+  }
+  EXPECT_TRUE(has_intersect);
+}
+
+TEST_F(OptimizerTest, UnlabelledTriangleFallsBackToVerify) {
+  // Without edge labels the default config's whole-vertex slices span
+  // label partitions and are not neighbour-sorted; the optimizer must
+  // use the extend+verify fallback and still count correctly.
+  QueryGraph query;
+  int a = query.AddVertex("a");
+  int b = query.AddVertex("b");
+  int c = query.AddVertex("c");
+  query.AddEdge(a, b);
+  query.AddEdge(b, c);
+  query.AddEdge(a, c);
+  DpOptimizer optimizer(&ex_.graph, &store_);
+  auto plan = optimizer.Optimize(query);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->Execute(), BruteForce(query));
+}
+
+TEST_F(OptimizerTest, PredicatePushedIntoScanAndResiduals) {
+  QueryGraph query;
+  int a = query.AddVertex("a", ex_.account_label);
+  int b = query.AddVertex("b", ex_.account_label);
+  query.AddEdge(a, b, ex_.dd_label, "e1");
+  QueryComparison amount_pred;
+  amount_pred.lhs = QueryPropRef{0, true, ex_.amount_key, false};
+  amount_pred.op = CmpOp::kGt;
+  amount_pred.rhs_const = Value::Int64(60);
+  query.AddPredicate(amount_pred);
+  DpOptimizer optimizer(&ex_.graph, &store_);
+  auto plan = optimizer.Optimize(query);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->Execute(), BruteForce(query));
+}
+
+TEST_F(OptimizerTest, UsesVpIndexWhenPredicateSubsumes) {
+  // Create a VP index on amount > 50; query wants amount > 100.
+  OneHopViewDef view;
+  view.name = "large";
+  view.pred.AddConst(PropRef{PropSite::kAdjEdge, ex_.amount_key, false, false}, CmpOp::kGt,
+                     Value::Int64(50));
+  store_.CreateVpIndex(view, IndexConfig::Default(), Direction::kFwd);
+
+  QueryGraph query;
+  int a = query.AddVertex("a", kInvalidLabel, ex_.accounts[0]);
+  int b = query.AddVertex("b");
+  query.AddEdge(a, b, kInvalidLabel, "e1");
+  QueryComparison pred;
+  pred.lhs = QueryPropRef{0, true, ex_.amount_key, false};
+  pred.op = CmpOp::kGt;
+  pred.rhs_const = Value::Int64(100);
+  query.AddPredicate(pred);
+
+  DpOptimizer optimizer(&ex_.graph, &store_);
+  auto plan = optimizer.Optimize(query);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->Execute(), BruteForce(query));
+  // The chosen extend should read the VP index (it is smaller).
+  bool uses_vp = false;
+  for (const PlanStep& step : optimizer.last_steps()) {
+    for (const ListDescriptor& list : step.lists) {
+      if (list.source == ListDescriptor::Source::kVp) uses_vp = true;
+    }
+  }
+  EXPECT_TRUE(uses_vp);
+}
+
+TEST_F(OptimizerTest, RejectsVpIndexWhenQueryIsBroader) {
+  // Index on amount > 50 must NOT serve a query wanting amount > 10.
+  OneHopViewDef view;
+  view.name = "large";
+  view.pred.AddConst(PropRef{PropSite::kAdjEdge, ex_.amount_key, false, false}, CmpOp::kGt,
+                     Value::Int64(50));
+  store_.CreateVpIndex(view, IndexConfig::Default(), Direction::kFwd);
+
+  QueryGraph query;
+  int a = query.AddVertex("a", kInvalidLabel, ex_.accounts[0]);
+  int b = query.AddVertex("b");
+  query.AddEdge(a, b, kInvalidLabel, "e1");
+  QueryComparison pred;
+  pred.lhs = QueryPropRef{0, true, ex_.amount_key, false};
+  pred.op = CmpOp::kGt;
+  pred.rhs_const = Value::Int64(10);
+  query.AddPredicate(pred);
+
+  DpOptimizer optimizer(&ex_.graph, &store_);
+  auto plan = optimizer.Optimize(query);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->Execute(), BruteForce(query));
+  for (const PlanStep& step : optimizer.last_steps()) {
+    for (const ListDescriptor& list : step.lists) {
+      EXPECT_NE(list.source, ListDescriptor::Source::kVp);
+    }
+  }
+}
+
+TEST_F(OptimizerTest, MultiExtendChosenForCityEquality) {
+  // MF1-style core: a2, a4 both adjacent to a1 with a2.city = a4.city
+  // and city-sorted VP indexes available in both directions.
+  IndexConfig city_config = IndexConfig::Default();
+  city_config.sorts.clear();
+  city_config.sorts.push_back({SortSource::kNbrProp, ex_.city_key});
+  OneHopViewDef all;
+  all.name = "VPc";
+  store_.CreateVpIndex(all, city_config, Direction::kFwd);
+  store_.CreateVpIndex(all, city_config, Direction::kBwd);
+
+  QueryGraph query;
+  int a1 = query.AddVertex("a1", kInvalidLabel, ex_.accounts[1]);  // v2
+  int a2 = query.AddVertex("a2");
+  int a4 = query.AddVertex("a4");
+  query.AddEdge(a1, a2, ex_.wire_label, "e1");
+  query.AddEdge(a1, a4, ex_.dd_label, "e2");
+  QueryComparison eq;
+  eq.lhs = QueryPropRef{a2, false, ex_.city_key, false};
+  eq.op = CmpOp::kEq;
+  eq.rhs_is_const = false;
+  eq.rhs_ref = QueryPropRef{a4, false, ex_.city_key, false};
+  query.AddPredicate(eq);
+
+  DpOptimizer optimizer(&ex_.graph, &store_);
+  auto plan = optimizer.Optimize(query);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->Execute(), BruteForce(query));
+  bool has_multi = false;
+  for (const PlanStep& step : optimizer.last_steps()) {
+    if (step.kind == PlanStep::Kind::kMultiExtend) has_multi = true;
+  }
+  EXPECT_TRUE(has_multi);
+}
+
+TEST_F(OptimizerTest, EpIndexUsedForCrossEdgePredicate) {
+  // Example 7 core: r1 bound to t13; extend to r2 with Pf(r1, r2).
+  TwoHopViewDef view;
+  view.name = "MoneyFlow";
+  view.kind = EpKind::kDstFwd;
+  view.pred.AddRef(PropRef{PropSite::kBoundEdge, ex_.date_key, false, false}, CmpOp::kLt,
+                   PropRef{PropSite::kAdjEdge, ex_.date_key, false, false});
+  view.pred.AddRef(PropRef{PropSite::kBoundEdge, ex_.amount_key, false, false}, CmpOp::kGt,
+                   PropRef{PropSite::kAdjEdge, ex_.amount_key, false, false});
+  store_.CreateEpIndex(view, IndexConfig::Default());
+
+  QueryGraph query;
+  int a1 = query.AddVertex("a1", kInvalidLabel, ex_.accounts[1]);  // v2 (src of t13)
+  int a2 = query.AddVertex("a2", kInvalidLabel, ex_.accounts[4]);  // v5 (dst of t13)
+  int a3 = query.AddVertex("a3");
+  query.AddEdge(a1, a2, kInvalidLabel, "r1");
+  query.AddEdge(a2, a3, kInvalidLabel, "r2");
+  QueryComparison date_pred;
+  date_pred.lhs = QueryPropRef{0, true, ex_.date_key, false};
+  date_pred.op = CmpOp::kLt;
+  date_pred.rhs_is_const = false;
+  date_pred.rhs_ref = QueryPropRef{1, true, ex_.date_key, false};
+  query.AddPredicate(date_pred);
+  QueryComparison amt_pred;
+  amt_pred.lhs = QueryPropRef{0, true, ex_.amount_key, false};
+  amt_pred.op = CmpOp::kGt;
+  amt_pred.rhs_is_const = false;
+  amt_pred.rhs_ref = QueryPropRef{1, true, ex_.amount_key, false};
+  query.AddPredicate(amt_pred);
+
+  DpOptimizer optimizer(&ex_.graph, &store_);
+  auto plan = optimizer.Optimize(query);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->Execute(), BruteForce(query));
+  bool uses_ep = false;
+  for (const PlanStep& step : optimizer.last_steps()) {
+    for (const ListDescriptor& list : step.lists) {
+      if (list.source == ListDescriptor::Source::kEp) uses_ep = true;
+    }
+  }
+  EXPECT_TRUE(uses_ep);
+}
+
+TEST_F(OptimizerTest, PlanTreeRenders) {
+  QueryGraph query;
+  int a = query.AddVertex("a", ex_.account_label);
+  int b = query.AddVertex("b", ex_.account_label);
+  query.AddEdge(a, b, ex_.wire_label);
+  DpOptimizer optimizer(&ex_.graph, &store_);
+  auto plan = optimizer.Optimize(query);
+  ASSERT_NE(plan, nullptr);
+  std::string tree = RenderPlanTree(query, ex_.graph.catalog(), optimizer.last_steps());
+  EXPECT_NE(tree.find("SCAN"), std::string::npos);
+  EXPECT_NE(tree.find("EXTEND"), std::string::npos);
+}
+
+TEST_F(OptimizerTest, IndexAdvisorEnumeratesCandidates) {
+  QueryGraph query;
+  int a = query.AddVertex("a");
+  int b = query.AddVertex("b");
+  query.AddEdge(a, b, kInvalidLabel, "e1");
+  QueryComparison eq_cur;
+  eq_cur.lhs = QueryPropRef{0, true, ex_.currency_key, false};
+  eq_cur.op = CmpOp::kEq;
+  eq_cur.rhs_const = Value::Category(kCurrencyUsd);
+  query.AddPredicate(eq_cur);
+  QueryComparison range_amt;
+  range_amt.lhs = QueryPropRef{0, true, ex_.amount_key, false};
+  range_amt.op = CmpOp::kGt;
+  range_amt.rhs_const = Value::Int64(10000);
+  query.AddPredicate(range_amt);
+
+  std::vector<const QueryGraph*> workload{&query};
+  std::vector<IndexCandidate> candidates = EnumerateIndexCandidates(ex_.graph, workload);
+  bool has_partition = false;
+  bool has_sort = false;
+  for (const IndexCandidate& c : candidates) {
+    if (c.kind == IndexCandidate::Kind::kPartitionCriterion && c.key == ex_.currency_key) {
+      has_partition = true;
+    }
+    if (c.kind == IndexCandidate::Kind::kSortCriterion && c.key == ex_.amount_key) {
+      has_sort = true;
+    }
+  }
+  EXPECT_TRUE(has_partition);
+  EXPECT_TRUE(has_sort);
+}
+
+}  // namespace
+}  // namespace aplus

@@ -1,0 +1,131 @@
+// Tests for the two forms of predicate subsumption the optimizer checks
+// (Section IV-A): conjunctive matching and range subsumption.
+
+#include <gtest/gtest.h>
+
+#include "view/subsumption.h"
+
+namespace aplus {
+namespace {
+
+PropRef Amt() { return PropRef{PropSite::kAdjEdge, 0, false, false}; }
+PropRef Date() { return PropRef{PropSite::kAdjEdge, 1, false, false}; }
+PropRef EbAmt() { return PropRef{PropSite::kBoundEdge, 0, false, false}; }
+
+Comparison Const(PropRef ref, CmpOp op, int64_t v) {
+  Comparison cmp;
+  cmp.lhs = ref;
+  cmp.op = op;
+  cmp.rhs_is_const = true;
+  cmp.rhs_const = Value::Int64(v);
+  return cmp;
+}
+
+Comparison Ref(PropRef lhs, CmpOp op, PropRef rhs, int64_t addend = 0) {
+  Comparison cmp;
+  cmp.lhs = lhs;
+  cmp.op = op;
+  cmp.rhs_is_const = false;
+  cmp.rhs_ref = rhs;
+  cmp.rhs_addend = addend;
+  return cmp;
+}
+
+TEST(ConjunctImpliesTest, ExactMatch) {
+  EXPECT_TRUE(ConjunctImplies(Const(Amt(), CmpOp::kGt, 100), Const(Amt(), CmpOp::kGt, 100)));
+}
+
+TEST(ConjunctImpliesTest, PaperRangeExample) {
+  // Query eadj.amt > 15000 implies index eadj.amt > 10000 (Section IV-A).
+  EXPECT_TRUE(ConjunctImplies(Const(Amt(), CmpOp::kGt, 15000), Const(Amt(), CmpOp::kGt, 10000)));
+  // ... but not the other way around.
+  EXPECT_FALSE(ConjunctImplies(Const(Amt(), CmpOp::kGt, 10000), Const(Amt(), CmpOp::kGt, 15000)));
+}
+
+TEST(ConjunctImpliesTest, MixedOperators) {
+  EXPECT_TRUE(ConjunctImplies(Const(Amt(), CmpOp::kGe, 11), Const(Amt(), CmpOp::kGt, 10)));
+  EXPECT_FALSE(ConjunctImplies(Const(Amt(), CmpOp::kGe, 10), Const(Amt(), CmpOp::kGt, 10)));
+  EXPECT_TRUE(ConjunctImplies(Const(Amt(), CmpOp::kLt, 5), Const(Amt(), CmpOp::kLe, 5)));
+  EXPECT_TRUE(ConjunctImplies(Const(Amt(), CmpOp::kEq, 7), Const(Amt(), CmpOp::kLt, 10)));
+  EXPECT_TRUE(ConjunctImplies(Const(Amt(), CmpOp::kEq, 7), Const(Amt(), CmpOp::kGe, 7)));
+  EXPECT_FALSE(ConjunctImplies(Const(Amt(), CmpOp::kEq, 17), Const(Amt(), CmpOp::kLt, 10)));
+  EXPECT_TRUE(ConjunctImplies(Const(Amt(), CmpOp::kEq, 3), Const(Amt(), CmpOp::kNe, 10)));
+  EXPECT_TRUE(ConjunctImplies(Const(Amt(), CmpOp::kLt, 10), Const(Amt(), CmpOp::kNe, 10)));
+}
+
+TEST(ConjunctImpliesTest, DifferentPropertiesNeverImply) {
+  EXPECT_FALSE(ConjunctImplies(Const(Amt(), CmpOp::kGt, 100), Const(Date(), CmpOp::kGt, 1)));
+}
+
+TEST(ConjunctImpliesTest, RefVsRefExactAndFlipped) {
+  Comparison q = Ref(EbAmt(), CmpOp::kGt, Amt());   // eb.amt > eadj.amt
+  Comparison i1 = Ref(EbAmt(), CmpOp::kGt, Amt());  // same
+  Comparison i2 = Ref(Amt(), CmpOp::kLt, EbAmt());  // flipped spelling
+  EXPECT_TRUE(ConjunctImplies(q, i1));
+  EXPECT_TRUE(ConjunctImplies(q, i2));
+}
+
+TEST(ConjunctImpliesTest, AddendRange) {
+  // eadj.amt < eb.amt + 100 implies eadj.amt < eb.amt + 500.
+  Comparison tight = Ref(Amt(), CmpOp::kLt, EbAmt(), 100);
+  Comparison loose = Ref(Amt(), CmpOp::kLt, EbAmt(), 500);
+  EXPECT_TRUE(ConjunctImplies(tight, loose));
+  EXPECT_FALSE(ConjunctImplies(loose, tight));
+}
+
+TEST(PredicateSubsumesTest, EmptyIndexPredicateAlwaysSubsumes) {
+  Predicate index;
+  Predicate query;
+  query.Add(Const(Amt(), CmpOp::kGt, 5));
+  Predicate residual;
+  EXPECT_TRUE(PredicateSubsumes(index, query, &residual));
+  EXPECT_EQ(residual.conjuncts().size(), 1u);  // nothing covered
+}
+
+TEST(PredicateSubsumesTest, CoveredConjunctsDropFromResidual) {
+  Predicate index;
+  index.Add(Const(Amt(), CmpOp::kGt, 100));
+  Predicate query;
+  query.Add(Const(Amt(), CmpOp::kGt, 100));  // exactly guaranteed
+  query.Add(Const(Date(), CmpOp::kLt, 50));  // extra
+  Predicate residual;
+  EXPECT_TRUE(PredicateSubsumes(index, query, &residual));
+  ASSERT_EQ(residual.conjuncts().size(), 1u);
+  EXPECT_EQ(residual.conjuncts()[0].lhs.key, Date().key);
+}
+
+TEST(PredicateSubsumesTest, StricterQueryKeepsResidual) {
+  Predicate index;
+  index.Add(Const(Amt(), CmpOp::kGt, 10000));
+  Predicate query;
+  query.Add(Const(Amt(), CmpOp::kGt, 15000));
+  Predicate residual;
+  EXPECT_TRUE(PredicateSubsumes(index, query, &residual));
+  // The index guarantees > 10000 but not > 15000: the query conjunct
+  // must be re-checked.
+  ASSERT_EQ(residual.conjuncts().size(), 1u);
+}
+
+TEST(PredicateSubsumesTest, FailsWhenIndexIsMoreSelective) {
+  Predicate index;
+  index.Add(Const(Amt(), CmpOp::kGt, 100));
+  Predicate query;  // query wants ALL edges
+  EXPECT_FALSE(PredicateSubsumes(index, query, nullptr));
+}
+
+TEST(PredicateSubsumesTest, MultiConjunctIndex) {
+  Predicate index;
+  index.Add(Const(Amt(), CmpOp::kGt, 10));
+  index.Add(Const(Date(), CmpOp::kLt, 100));
+  Predicate query;
+  query.Add(Const(Amt(), CmpOp::kGt, 20));
+  query.Add(Const(Date(), CmpOp::kLt, 100));
+  EXPECT_TRUE(PredicateSubsumes(index, query, nullptr));
+  // Remove one query conjunct -> index conjunct unsupported -> fail.
+  Predicate query2;
+  query2.Add(Const(Amt(), CmpOp::kGt, 20));
+  EXPECT_FALSE(PredicateSubsumes(index, query2, nullptr));
+}
+
+}  // namespace
+}  // namespace aplus

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/bit_util.h"
+#include "util/memory_tracker.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace aplus {
+namespace {
+
+TEST(BitUtilTest, BytesForValueBoundaries) {
+  EXPECT_EQ(BytesForValue(0), 1);
+  EXPECT_EQ(BytesForValue(255), 1);
+  EXPECT_EQ(BytesForValue(256), 2);
+  EXPECT_EQ(BytesForValue(65535), 2);
+  EXPECT_EQ(BytesForValue(65536), 3);
+  EXPECT_EQ(BytesForValue((1ULL << 24) - 1), 3);
+  EXPECT_EQ(BytesForValue(1ULL << 24), 4);
+  EXPECT_EQ(BytesForValue(0xffffffffULL), 4);
+  EXPECT_EQ(BytesForValue(0x1ffffffffULL), 5);
+  EXPECT_EQ(BytesForValue(~0ULL), 8);
+}
+
+TEST(BitUtilTest, FixedWidthRoundTrip) {
+  uint8_t buf[8];
+  for (uint8_t width = 1; width <= 8; ++width) {
+    uint64_t max = width == 8 ? ~0ULL : (1ULL << (8 * width)) - 1;
+    for (uint64_t value : {uint64_t{0}, uint64_t{1}, max / 2, max}) {
+      StoreFixedWidth(buf, width, value);
+      EXPECT_EQ(LoadFixedWidth(buf, width), value) << "width=" << int(width);
+    }
+  }
+}
+
+TEST(BitUtilTest, RoundUp) {
+  EXPECT_EQ(RoundUp(0, 64), 0u);
+  EXPECT_EQ(RoundUp(1, 64), 64u);
+  EXPECT_EQ(RoundUp(64, 64), 64u);
+  EXPECT_EQ(RoundUp(65, 64), 128u);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+    int64_t v = rng.NextInRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, RoughlyUniform) {
+  Rng rng(99);
+  std::vector<int> buckets(10, 0);
+  for (int i = 0; i < 100000; ++i) buckets[rng.NextBounded(10)]++;
+  for (int count : buckets) {
+    EXPECT_GT(count, 8000);
+    EXPECT_LT(count, 12000);
+  }
+}
+
+TEST(MemoryTrackerTest, Accounting) {
+  MemoryTracker tracker;
+  int a = tracker.RegisterCategory("primary");
+  int b = tracker.RegisterCategory("secondary");
+  EXPECT_EQ(tracker.RegisterCategory("primary"), a);  // idempotent
+  tracker.Set(a, 1000);
+  tracker.Add(b, 500);
+  tracker.Add(b, -100);
+  EXPECT_EQ(tracker.Get(a), 1000u);
+  EXPECT_EQ(tracker.Get(b), 400u);
+  EXPECT_EQ(tracker.Total(), 1400u);
+  EXPECT_NE(tracker.Report().find("primary"), std::string::npos);
+}
+
+TEST(TimerTest, MeasuresSomething) {
+  WallTimer timer;
+  volatile uint64_t x = 0;
+  for (int i = 0; i < 100000; ++i) x += i;
+  EXPECT_GE(timer.ElapsedSeconds(), 0.0);
+  EXPECT_GE(timer.ElapsedNanos(), 0);
+  timer.Restart();
+  EXPECT_LT(timer.ElapsedSeconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace aplus
