@@ -8,6 +8,7 @@
 // and Dp closes that gap.
 
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "baseline/flat_adj_engine.h"
@@ -85,8 +86,15 @@ int main() {
       table.AddRow(row);
     }
     // Baseline time limit, like the paper's TL (>30min there; scaled
-    // down with the graphs here).
-    const double kTimeLimitSeconds = 60.0;
+    // down with the graphs here). APLUS_BASELINE_TL_SECONDS overrides it
+    // so smoke runs can cap the slow baselines at a couple of seconds.
+    double time_limit_seconds = 60.0;
+    if (const char* env = std::getenv("APLUS_BASELINE_TL_SECONDS")) {
+      char* end = nullptr;
+      double parsed = std::strtod(env, &end);
+      if (end != env && parsed > 0.0) time_limit_seconds = parsed;
+    }
+    const double kTimeLimitSeconds = time_limit_seconds;
     // TigerGraph-like: flat adjacency; distinct-frontier mode for SQ13.
     {
       std::vector<std::string> row = {"TG-like"};

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Smoke-runs every bench binary with a tiny workload and records one
+# BENCH_<name>.json per binary so CI starts a perf trajectory.
+#
+# Usage: scripts/bench_smoke.sh [build_dir] [output_dir]
+#
+# The table/bench drivers read APLUS_SCALE (a multiplier on the paper's
+# dataset sizes); bench_micro_index takes Google Benchmark flags. Both
+# are pinned to a few-second budget here — this job guards "the benches
+# still run", not absolute numbers.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-${BUILD_DIR}/bench-smoke}"
+SCALE="${APLUS_SMOKE_SCALE:-0.0002}"
+# Cap the baseline engines' per-query time limit (default 60s in the
+# bench) so smoke runs stay at a few seconds per binary.
+export APLUS_BASELINE_TL_SECONDS="${APLUS_BASELINE_TL_SECONDS:-2}"
+mkdir -p "${OUT_DIR}"
+
+GIT_SHA="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+HOST="$(uname -sm)"
+
+run_one() {
+  local name="$1"
+  shift
+  local bin="${BUILD_DIR}/${name}"
+  local log="${OUT_DIR}/${name}.log"
+  local start end status elapsed
+  start=$(date +%s.%N)
+  if "$@" "${bin}" ${EXTRA_ARGS:-} > "${log}" 2>&1; then
+    status=0
+  else
+    status=$?
+  fi
+  end=$(date +%s.%N)
+  elapsed=$(awk -v a="${start}" -v b="${end}" 'BEGIN { printf "%.3f", b - a }')
+  cat > "${OUT_DIR}/BENCH_${name}.json" <<EOF
+{
+  "bench": "${name}",
+  "status": ${status},
+  "wall_seconds": ${elapsed},
+  "scale": "${SCALE}",
+  "git_sha": "${GIT_SHA}",
+  "host": "${HOST}"
+}
+EOF
+  if [[ ${status} -ne 0 ]]; then
+    echo "FAIL ${name} (rc=${status}); last log lines:" >&2
+    tail -20 "${log}" >&2
+    return "${status}"
+  fi
+  echo "OK   ${name} (${elapsed}s)"
+}
+
+# Discover the built bench binaries rather than duplicating the list
+# in bench/CMakeLists.txt; a new bench_* target is smoked automatically.
+mapfile -t BENCHES < <(find "${BUILD_DIR}" -maxdepth 1 -name 'bench_*' -type f -executable \
+  | sort | xargs -r -n1 basename)
+if [[ ${#BENCHES[@]} -eq 0 ]]; then
+  echo "ERROR: no bench_* binaries in ${BUILD_DIR}; build the bench_all target first" >&2
+  exit 1
+fi
+
+FAILED=0
+for bench in "${BENCHES[@]}"; do
+  if [[ "${bench}" == "bench_micro_index" ]]; then
+    # Google Benchmark micro-suite; 1.7.x wants a bare double for min_time.
+    EXTRA_ARGS="--benchmark_min_time=0.01" run_one "${bench}" env || FAILED=1
+  else
+    run_one "${bench}" env APLUS_SCALE="${SCALE}" || FAILED=1
+  fi
+done
+
+echo
+echo "Smoke results in ${OUT_DIR}:"
+ls "${OUT_DIR}"/BENCH_*.json 2>/dev/null || true
+exit "${FAILED}"

@@ -7,7 +7,7 @@ namespace aplus {
 LinkedListEngine::LinkedListEngine(const Graph* graph)
     : graph_(graph), num_edge_labels_(graph->catalog().num_edge_labels()) {
   uint32_t num_labels = num_edge_labels_ == 0 ? 1 : num_edge_labels_;
-  size_t heads = static_cast<size_t>(graph->num_vertices()) * num_labels;
+  size_t heads = graph->num_vertices() * num_labels;
   out_heads_.assign(heads, -1);
   in_heads_.assign(heads, -1);
   records_.resize(graph->num_edges());

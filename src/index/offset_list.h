@@ -40,7 +40,7 @@ struct OffsetListPage {
     uint32_t max_offset = 0;
     for (uint32_t o : offsets) max_offset = o > max_offset ? o : max_offset;
     width = BytesForValue(max_offset);
-    bytes.assign(static_cast<size_t>(offsets.size()) * width, 0);
+    bytes.assign(offsets.size() * width, 0);
     for (size_t i = 0; i < offsets.size(); ++i) {
       StoreFixedWidth(bytes.data() + i * width, width, offsets[i]);
     }
