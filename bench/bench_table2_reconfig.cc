@@ -8,6 +8,7 @@
 // every query with zero memory overhead; Dp beats Ds with a small
 // (~1.05-1.15x) memory overhead from the extra partitioning level.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -57,6 +58,12 @@ int main() {
       {"LJ2,4", 1, 2, 4},
       {"WT4,2", 2, 4, 2},
   };
+  // Smoke knobs: cap the per-dataset query count (SQ5/SQ13 dominate the
+  // full sweep) and/or the dataset count so a smoke run finishes in a
+  // few seconds; both default to the full Table II sweep.
+  const size_t max_queries = static_cast<size_t>(IntFromEnv("APLUS_TABLE2_QUERIES", 13));
+  const size_t max_datasets = static_cast<size_t>(IntFromEnv("APLUS_TABLE2_DATASETS", runs.size()));
+  if (max_datasets < runs.size()) runs.resize(max_datasets);
 
   for (const DatasetRun& run : runs) {
     Graph graph;
@@ -74,7 +81,7 @@ int main() {
       uint64_t count;
     };
     // Query -> config -> result. SQ14 is omitted like in the paper.
-    const size_t kNumQueries = 13;
+    const size_t kNumQueries = std::min<size_t>(13, max_queries);
     std::vector<std::vector<ConfigResult>> results(kNumQueries);
 
     double ir_ds = 0.0;

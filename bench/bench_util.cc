@@ -1,6 +1,7 @@
 #include "bench_util.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 namespace aplus {
 
@@ -75,6 +76,13 @@ std::string TablePrinter::Count(uint64_t n) {
 void PrintBanner(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
   std::fflush(stdout);
+}
+
+uint64_t IntFromEnv(const char* name, uint64_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  long long v = std::atoll(env);
+  return v > 0 ? static_cast<uint64_t>(v) : fallback;
 }
 
 }  // namespace aplus

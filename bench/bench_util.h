@@ -29,6 +29,11 @@ class TablePrinter {
 // Prints a "=== title ===" banner.
 void PrintBanner(const std::string& title);
 
+// Reads a positive integer from the environment, falling back when the
+// variable is unset or unparsable. Benches use this for smoke-path knobs
+// (iteration counts, sub-workload sizes).
+uint64_t IntFromEnv(const char* name, uint64_t fallback);
+
 }  // namespace aplus
 
 #endif  // APLUS_BENCH_BENCH_UTIL_H_

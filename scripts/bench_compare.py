@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Regression gate over BENCH_*.json artifacts.
+
+Compares two directories of bench results (as written by
+scripts/bench_smoke.sh plus any per-case APLUS_BENCH_JSON files the
+bench binaries emit) and fails when the new run regresses past the
+threshold:
+
+    scripts/bench_compare.py <base_dir> <new_dir> [--threshold 1.15]
+                             [--min-seconds 0.05]
+
+Rules:
+  * Only benches present in BOTH directories with status 0 are compared;
+    a bench that newly appears is reported as informational, a bench
+    that disappeared fails the gate (a perf artifact silently vanishing
+    is exactly what the gate exists to catch).
+  * `cases` sub-metrics (per-workload, best-of-reps seconds emitted by
+    e.g. bench_intersect via APLUS_BENCH_JSON) are the precise gate:
+    they are compared case by case against --threshold.
+  * Top-level `wall_seconds` comparisons are single-sample whole-binary
+    wall times (process startup + data generation included), so they are
+    gated loosely against --wall-threshold — a catastrophic-regression
+    backstop, not a precision gate. A PR that legitimately grows a
+    bench's workload may need a one-off --wall-threshold override.
+
+Exit status: 0 clean, 1 regression or missing bench, 2 usage error.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_results(directory):
+    results = {}
+    for path in sorted(pathlib.Path(directory).glob("BENCH_*.json")):
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"WARNING: skipping unreadable {path}: {exc}")
+            continue
+        name = data.get("bench", path.stem)
+        # Detail files ({"bench": ..., "cases": {...}}) merge into the
+        # smoke entry of the same bench when both exist.
+        entry = results.setdefault(name, {})
+        for key, value in data.items():
+            if key == "cases" and "cases" in entry:
+                entry["cases"].update(value)
+            else:
+                entry[key] = value
+    return results
+
+
+def compare_metric(label, base_s, new_s, threshold, min_seconds, failures):
+    if base_s is None or new_s is None:
+        return
+    if base_s < min_seconds and new_s < min_seconds:
+        return  # both under the noise floor
+    ratio = new_s / base_s if base_s > 0 else float("inf")
+    marker = "ok"
+    if ratio > threshold:
+        marker = "REGRESSION"
+        failures.append(f"{label}: {base_s:.3f}s -> {new_s:.3f}s ({ratio:.2f}x)")
+    elif ratio < 1.0 / threshold:
+        marker = "improved"
+    print(f"  {label:<44} {base_s:>9.3f}s {new_s:>9.3f}s {ratio:>6.2f}x  {marker}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("base_dir", help="BENCH_*.json directory of the base run")
+    parser.add_argument("new_dir", help="BENCH_*.json directory of the new run")
+    parser.add_argument("--threshold", type=float, default=1.15,
+                        help="fail when a per-case new/base ratio exceeds this (default 1.15)")
+    parser.add_argument("--wall-threshold", type=float, default=1.5,
+                        help="fail when a whole-binary wall-time ratio exceeds this "
+                             "(default 1.5; wall times are single-sample and noisy)")
+    parser.add_argument("--min-seconds", type=float, default=0.05,
+                        help="ignore wall times where both sides are under this (default 0.05)")
+    parser.add_argument("--min-case-seconds", type=float, default=0.02,
+                        help="ignore per-case timings where both sides are under this "
+                             "(default 0.02; per-case loops are tighter than wall times)")
+    args = parser.parse_args()
+
+    base = load_results(args.base_dir)
+    new = load_results(args.new_dir)
+    if not base:
+        # An empty base (e.g. the merge-base predates the bench harness)
+        # cannot gate anything; succeed explicitly rather than crash.
+        print(f"No BENCH_*.json in {args.base_dir}; nothing to compare.")
+        return 0
+    if not new:
+        print(f"ERROR: no BENCH_*.json in {args.new_dir}")
+        return 1
+
+    failures = []
+    print(f"{'metric':<46} {'base':>10} {'new':>10} {'ratio':>7}")
+    for name in sorted(base):
+        if name not in new:
+            failures.append(f"{name}: present in base but missing from new run")
+            print(f"  {name:<44} MISSING from new run")
+            continue
+        b, n = base[name], new[name]
+        if b.get("status", 0) != 0 or n.get("status", 0) != 0:
+            print(f"  {name:<44} skipped (non-zero status)")
+            continue
+        compare_metric(name, b.get("wall_seconds"), n.get("wall_seconds"),
+                       args.wall_threshold, args.min_seconds, failures)
+        base_cases = b.get("cases", {})
+        new_cases = n.get("cases", {})
+        for case in sorted(base_cases):
+            if case not in new_cases:
+                failures.append(f"{name}/{case}: case missing from new run")
+                continue
+            compare_metric(f"{name}/{case}", base_cases[case].get("seconds"),
+                           new_cases[case].get("seconds"), args.threshold,
+                           args.min_case_seconds, failures)
+    for name in sorted(set(new) - set(base)):
+        print(f"  {name:<44} new bench (no base to compare)")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} regression(s) past the threshold "
+              f"(cases {args.threshold:.2f}x, wall {args.wall_threshold:.2f}x):")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("\nOK: no regressions past the threshold.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,6 +27,9 @@ run_one() {
   local bin="${BUILD_DIR}/${name}"
   local log="${OUT_DIR}/${name}.log"
   local start end status elapsed
+  # Benches that support it write per-case metrics here; the file name
+  # keeps the BENCH_ prefix so bench_compare.py picks it up.
+  export APLUS_BENCH_JSON="${OUT_DIR}/BENCH_${name}_cases.json"
   start=$(date +%s.%N)
   if "$@" "${bin}" ${EXTRA_ARGS:-} > "${log}" 2>&1; then
     status=0
@@ -67,6 +70,17 @@ for bench in "${BENCHES[@]}"; do
   if [[ "${bench}" == "bench_micro_index" ]]; then
     # Google Benchmark micro-suite; 1.7.x wants a bare double for min_time.
     EXTRA_ARGS="--benchmark_min_time=0.01" run_one "${bench}" env || FAILED=1
+  elif [[ "${bench}" == "bench_table2_reconfig" ]]; then
+    # SQ5/SQ13 dominate the full Table II sweep (tens of seconds even at
+    # smoke scale); the smoke path caps the per-dataset query count.
+    run_one "${bench}" env APLUS_SCALE="${SCALE}" \
+      APLUS_TABLE2_QUERIES="${APLUS_TABLE2_QUERIES:-4}" || FAILED=1
+  elif [[ "${bench}" == "bench_intersect" ]]; then
+    # One timed rep and fewer tuples: smoke guards "it runs and reports",
+    # the perf-gate job runs it at full defaults.
+    run_one "${bench}" env APLUS_SCALE="${SCALE}" \
+      APLUS_INTERSECT_TUPLES="${APLUS_INTERSECT_TUPLES:-500}" \
+      APLUS_INTERSECT_REPS="${APLUS_INTERSECT_REPS:-1}" || FAILED=1
   else
     run_one "${bench}" env APLUS_SCALE="${SCALE}" || FAILED=1
   fi

@@ -8,31 +8,66 @@ namespace aplus {
 
 namespace {
 
-// Equal range of neighbour `n` within [begin, end) of a slice whose
-// entries in that range are sorted on neighbour IDs.
+// First position in [from, end) whose neighbour ID is >= n (kLower) or
+// > n (kUpper), found by galloping (exponential) search: double the step
+// from `from` until overshooting, then binary-search the bracketed
+// window. Cost is O(log d) in the distance d actually advanced, so a
+// sequence of k ascending probes over a list of length L costs
+// O(k log(L/k)) total instead of k full O(log L) restarts.
+enum class GallopBound { kLower, kUpper };
+
+template <GallopBound kBound, typename NbrFn>
+uint32_t GallopSearch(const NbrFn& nbr_at, uint32_t from, uint32_t end, vertex_id_t n) {
+  auto below = [&](uint32_t i) {
+    return kBound == GallopBound::kLower ? nbr_at(i) < n : nbr_at(i) <= n;
+  };
+  if (from >= end || !below(from)) return from;
+  // Invariant: below(lo); widen until hi = lo + step overshoots.
+  uint64_t lo = from;
+  uint64_t step = 1;
+  while (lo + step < end && below(static_cast<uint32_t>(lo + step))) {
+    lo += step;
+    step <<= 1;
+  }
+  uint64_t hi = lo + step < end ? lo + step : end;
+  while (lo + 1 < hi) {
+    uint64_t mid = lo + (hi - lo) / 2;
+    if (below(static_cast<uint32_t>(mid))) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return static_cast<uint32_t>(hi);
+}
+
+// Equal range of neighbour `n` within [from, end) of a neighbour-ID
+// sorted run, galloping from `from` (a monotone frontier or the range
+// start).
+template <typename NbrFn>
+std::pair<uint32_t, uint32_t> GallopEqualRange(const NbrFn& nbr_at, uint32_t from, uint32_t end,
+                                               vertex_id_t n) {
+  uint32_t first = GallopSearch<GallopBound::kLower>(nbr_at, from, end, n);
+  if (first == end || nbr_at(first) != n) return {first, first};
+  uint32_t last = GallopSearch<GallopBound::kUpper>(nbr_at, first, end, n);
+  return {first, last};
+}
+
+// Equal range of `n` within the bounded range of a slice (direct reads).
 std::pair<uint32_t, uint32_t> EqualRangeByNbr(const AdjListSlice& slice, vertex_id_t n,
                                               uint32_t begin, uint32_t end) {
-  uint32_t lo = begin;
-  uint32_t hi = end;
-  while (lo < hi) {
-    uint32_t mid = lo + (hi - lo) / 2;
-    if (slice.NbrAt(mid) < n) {
-      lo = mid + 1;
-    } else {
-      hi = mid;
-    }
-  }
-  uint32_t first = lo;
-  hi = end;
-  while (lo < hi) {
-    uint32_t mid = lo + (hi - lo) / 2;
-    if (slice.NbrAt(mid) <= n) {
-      lo = mid + 1;
-    } else {
-      hi = mid;
-    }
-  }
-  return {first, lo};
+  return GallopEqualRange([&slice](uint32_t i) { return slice.NbrAt(i); }, begin, end, n);
+}
+
+// True when a list of length `len` probed `probes` times should be
+// batch-decoded out of its offset representation: galloping costs about
+// log2(len) indirections per probe, so decoding (one pass over len
+// entries) wins once probes * log2(len) exceeds len.
+bool ShouldDecode(uint64_t probes, uint64_t len) {
+  if (len == 0) return false;
+  uint32_t log2_len = 1;
+  while ((1ULL << log2_len) < len) ++log2_len;
+  return probes * log2_len >= len;
 }
 
 bool EvalResiduals(const Graph& graph, const std::vector<QueryComparison>& preds,
@@ -54,7 +89,8 @@ AdjListSlice ListDescriptor::Fetch(const MatchState& state) const {
     case Source::kEp:
       return ep->GetList(state.e[bound_var], cats);
   }
-  return AdjListSlice();
+  APLUS_CHECK(false) << "corrupt ListDescriptor source " << static_cast<int>(source);
+  __builtin_unreachable();
 }
 
 const std::vector<SortCriterion>& ListDescriptor::sorts() const {
@@ -66,7 +102,8 @@ const std::vector<SortCriterion>& ListDescriptor::sorts() const {
     case Source::kEp:
       return ep->config().sorts;
   }
-  return primary->config().sorts;
+  APLUS_CHECK(false) << "corrupt ListDescriptor source " << static_cast<int>(source);
+  __builtin_unreachable();
 }
 
 const Graph* ListDescriptor::graph() const {
@@ -78,7 +115,8 @@ const Graph* ListDescriptor::graph() const {
     case Source::kEp:
       return ep->base_primary()->graph();
   }
-  return nullptr;
+  APLUS_CHECK(false) << "corrupt ListDescriptor source " << static_cast<int>(source);
+  __builtin_unreachable();
 }
 
 int64_t ListDescriptor::SortKeyAt(const AdjListSlice& slice, uint32_t i) const {
@@ -275,56 +313,70 @@ ExtendIntersectOp::ExtendIntersectOp(const Graph* graph, std::vector<ListDescrip
   for (const ListDescriptor& list : lists_) {
     APLUS_CHECK(list.nbr_sorted)
         << "E/I requires (effectively) neighbour-ID sorted lists";
+    if (list.target_vertex_label != kInvalidLabel) target_label_ = list.target_vertex_label;
+    if (list.target_bound != kInvalidVertex) target_bound_ = list.target_bound;
   }
+  probes_.resize(lists_.size());
+  ranges_.resize(lists_.size());
+  idx_.resize(lists_.size());
 }
 
 void ExtendIntersectOp::Run(MatchState* state) {
   size_t z = lists_.size();
-  std::vector<AdjListSlice> slices(z);
-  std::vector<std::pair<uint32_t, uint32_t>> bounds(z);
   size_t pivot = 0;
-  for (size_t i = 0; i < z; ++i) {
-    slices[i] = lists_[i].Fetch(*state);
-    bounds[i] = lists_[i].BoundedRange(slices[i]);
-    uint32_t len_i = bounds[i].second - bounds[i].first;
-    uint32_t len_p = bounds[pivot].second - bounds[pivot].first;
-    if (len_i < len_p) pivot = i;
+  for (size_t l = 0; l < z; ++l) {
+    ProbeList& pl = probes_[l];
+    pl.slice = lists_[l].Fetch(*state);
+    auto [begin, end] = lists_[l].BoundedRange(pl.slice);
+    pl.begin = begin;
+    pl.end = end;
+    pl.frontier = begin;
+    pl.decoded = nullptr;
+    if (begin >= end) return;  // empty input: the intersection is empty
+    if (pl.len() < probes_[pivot].len()) pivot = l;
   }
-  const AdjListSlice& ps = slices[pivot];
-  label_t target_label = kInvalidLabel;
-  for (const ListDescriptor& list : lists_) {
-    if (list.target_vertex_label != kInvalidLabel) target_label = list.target_vertex_label;
+  // Probe-count estimate for the decode heuristic: with a pinned target
+  // at most one candidate group is ever probed, so decoding would copy a
+  // whole list for a single binary search.
+  const uint32_t pivot_len = target_bound_ != kInvalidVertex ? 1 : probes_[pivot].len();
+  for (size_t l = 0; l < z; ++l) {
+    ProbeList& pl = probes_[l];
+    if (l == pivot || !pl.slice.is_offset_list() || !ShouldDecode(pivot_len, pl.len())) continue;
+    pl.decode_buf.clear();
+    for (uint32_t i = pl.begin; i < pl.end; ++i) pl.decode_buf.push_back(pl.slice.NbrAt(i));
+    pl.decoded = pl.decode_buf.data();
   }
+  const ProbeList& ps = probes_[pivot];
 
-  uint32_t i = bounds[pivot].first;
-  const uint32_t pivot_end = bounds[pivot].second;
-  // Ranges of entries per list agreeing on the candidate neighbour.
-  std::vector<std::pair<uint32_t, uint32_t>> ranges(z);
-  while (i < pivot_end) {
+  uint32_t i = ps.begin;
+  while (i < ps.end) {
     vertex_id_t n = ps.NbrAt(i);
     uint32_t group_end = i + 1;
-    while (group_end < pivot_end && ps.NbrAt(group_end) == n) ++group_end;
-    vertex_id_t pivot_bound = lists_[pivot].target_bound;
+    while (group_end < ps.end && ps.NbrAt(group_end) == n) ++group_end;
     if (state->VertexAlreadyBound(n) ||
-        (pivot_bound != kInvalidVertex && n != pivot_bound) ||
-        (target_label != kInvalidLabel && graph_->vertex_label(n) != target_label)) {
+        (target_bound_ != kInvalidVertex && n != target_bound_) ||
+        (target_label_ != kInvalidLabel && graph_->vertex_label(n) != target_label_)) {
       i = group_end;
       continue;
     }
     bool all_present = true;
     for (size_t l = 0; l < z && all_present; ++l) {
       if (l == pivot) {
-        ranges[l] = {i, group_end};
+        ranges_[l] = {i, group_end};
         continue;
       }
-      ranges[l] = EqualRangeByNbr(slices[l], n, bounds[l].first, bounds[l].second);
-      all_present = ranges[l].first < ranges[l].second;
+      // Candidates ascend, so resume from the frontier left by the
+      // previous probe instead of restarting at the range start.
+      ProbeList& pl = probes_[l];
+      ranges_[l] =
+          GallopEqualRange([&pl](uint32_t j) { return pl.NbrAt(j); }, pl.frontier, pl.end, n);
+      pl.frontier = ranges_[l].second;
+      all_present = ranges_[l].first < ranges_[l].second;
     }
     if (all_present) {
       state->v[target_var_] = n;
       // Enumerate every combination of edges, one per list.
-      std::vector<uint32_t> idx(z);
-      for (size_t l = 0; l < z; ++l) idx[l] = ranges[l].first;
+      for (size_t l = 0; l < z; ++l) idx_[l] = ranges_[l].first;
       // Depth-first product with edge-distinctness checks.
       size_t depth = 0;
       while (true) {
@@ -333,21 +385,21 @@ void ExtendIntersectOp::Run(MatchState* state) {
           // Backtrack.
           --depth;
           state->e[lists_[depth].target_edge_var] = kInvalidEdge;
-          ++idx[depth];
+          ++idx_[depth];
         }
-        if (idx[depth] >= ranges[depth].second) {
-          idx[depth] = ranges[depth].first;
+        if (idx_[depth] >= ranges_[depth].second) {
+          idx_[depth] = ranges_[depth].first;
           if (depth == 0) break;
           --depth;
           state->e[lists_[depth].target_edge_var] = kInvalidEdge;
-          ++idx[depth];
+          ++idx_[depth];
           continue;
         }
-        edge_id_t e = slices[depth].EdgeAt(idx[depth]);
+        edge_id_t e = probes_[depth].slice.EdgeAt(idx_[depth]);
         if (state->EdgeAlreadyBound(e) ||
             (lists_[depth].edge_label_filter != kInvalidLabel &&
              graph_->edge_label(e) != lists_[depth].edge_label_filter)) {
-          ++idx[depth];
+          ++idx_[depth];
           continue;
         }
         state->e[lists_[depth].target_edge_var] = e;
@@ -372,27 +424,48 @@ MultiExtendOp::MultiExtendOp(const Graph* graph, std::vector<ListDescriptor> lis
   for (const ListDescriptor& list : lists_) {
     APLUS_CHECK(!list.sorts().empty() && list.sorts().front() == first)
         << "MULTI-EXTEND requires identical sort criteria on all lists";
+    key_crits_.push_back(list.sorts().front());
+    key_graphs_.push_back(list.graph());
   }
+  size_t z = lists_.size();
+  slices_.resize(z);
+  pos_.resize(z);
+  ends_.resize(z);
+  cur_key_.resize(z);
+  next_key_.resize(z);
+  ranges_.resize(z);
+  run_nbrs_.resize(z);
+  run_edges_.resize(z);
+  run_decoded_.resize(z);
 }
 
-void MultiExtendOp::EmitCombinations(MatchState* state, const std::vector<AdjListSlice>& slices,
-                                     const std::vector<std::pair<uint32_t, uint32_t>>& ranges,
-                                     size_t depth) {
+void MultiExtendOp::EmitCombinations(MatchState* state, size_t depth) {
   if (depth == lists_.size()) {
     if (EvalResiduals(*graph_, residual_, *state)) Emit(state);
     return;
   }
   const ListDescriptor& list = lists_[depth];
-  const AdjListSlice& slice = slices[depth];
-  for (uint32_t i = ranges[depth].first; i < ranges[depth].second; ++i) {
-    vertex_id_t n = slice.NbrAt(i);
-    edge_id_t e = slice.EdgeAt(i);
+  const AdjListSlice& slice = slices_[depth];
+  const uint32_t first = ranges_[depth].first;
+  const uint32_t last = ranges_[depth].second;
+  const vertex_id_t* run_nbrs = run_decoded_[depth] != 0 ? run_nbrs_[depth].data() : nullptr;
+  const edge_id_t* run_edges = run_nbrs != nullptr ? run_edges_[depth].data() : nullptr;
+  for (uint32_t i = first; i < last; ++i) {
+    vertex_id_t n = run_nbrs != nullptr ? run_nbrs[i - first] : slice.NbrAt(i);
+    edge_id_t e = run_nbrs != nullptr ? run_edges[i - first] : slice.EdgeAt(i);
     if (state->VertexAlreadyBound(n) || state->EdgeAlreadyBound(e)) continue;
     if (list.target_bound != kInvalidVertex && n != list.target_bound) continue;
-    if (!list.EntryPassesLabels(*graph_, slice, i)) continue;
+    if (list.edge_label_filter != kInvalidLabel &&
+        graph_->edge_label(e) != list.edge_label_filter) {
+      continue;
+    }
+    if (list.target_vertex_label != kInvalidLabel &&
+        graph_->vertex_label(n) != list.target_vertex_label) {
+      continue;
+    }
     state->v[list.target_vertex_var] = n;
     state->e[list.target_edge_var] = e;
-    EmitCombinations(state, slices, ranges, depth + 1);
+    EmitCombinations(state, depth + 1);
     state->v[list.target_vertex_var] = kInvalidVertex;
     state->e[list.target_edge_var] = kInvalidEdge;
   }
@@ -400,44 +473,74 @@ void MultiExtendOp::EmitCombinations(MatchState* state, const std::vector<AdjLis
 
 void MultiExtendOp::Run(MatchState* state) {
   size_t z = lists_.size();
-  std::vector<AdjListSlice> slices(z);
-  std::vector<uint32_t> pos(z);
-  std::vector<uint32_t> ends(z);
   for (size_t l = 0; l < z; ++l) {
-    slices[l] = lists_[l].Fetch(*state);
-    auto [begin, end] = lists_[l].BoundedRange(slices[l]);
-    pos[l] = begin;
-    ends[l] = end;
+    slices_[l] = lists_[l].Fetch(*state);
+    auto [begin, end] = lists_[l].BoundedRange(slices_[l]);
+    pos_[l] = begin;
+    ends_[l] = end;
     if (begin >= end) return;
+    cur_key_[l] = KeyAt(l, begin);
   }
-  std::vector<std::pair<uint32_t, uint32_t>> ranges(z);
   while (true) {
-    // Compute current keys and the max.
-    int64_t max_key = INT64_MIN;
-    for (size_t l = 0; l < z; ++l) {
-      if (pos[l] >= ends[l]) return;
-      int64_t key = lists_[l].SortKeyAt(slices[l], pos[l]);
-      if (key > max_key) max_key = key;
+    int64_t max_key = cur_key_[0];
+    for (size_t l = 1; l < z; ++l) {
+      if (cur_key_[l] > max_key) max_key = cur_key_[l];
     }
-    // Advance lagging lists to >= max_key.
+    // Advance lagging lists to >= max_key, computing each newly visited
+    // entry's key exactly once (cur_key_ caches the key at pos_[l]).
     bool all_equal = true;
     for (size_t l = 0; l < z; ++l) {
-      while (pos[l] < ends[l] && lists_[l].SortKeyAt(slices[l], pos[l]) < max_key) {
-        ++pos[l];
+      while (cur_key_[l] < max_key) {
+        if (++pos_[l] >= ends_[l]) return;
+        cur_key_[l] = KeyAt(l, pos_[l]);
       }
-      if (pos[l] >= ends[l]) return;
-      if (lists_[l].SortKeyAt(slices[l], pos[l]) != max_key) all_equal = false;
+      if (cur_key_[l] != max_key) all_equal = false;
     }
     if (!all_equal) continue;
     if (max_key == kNullSortKey) return;  // null tails never join
-    // Equal-key ranges.
+    // Equal-key ranges; remember the first key past each range so the
+    // boundary entry is not re-decoded when pos_ lands on it.
     for (size_t l = 0; l < z; ++l) {
-      uint32_t end = pos[l];
-      while (end < ends[l] && lists_[l].SortKeyAt(slices[l], end) == max_key) ++end;
-      ranges[l] = {pos[l], end};
+      uint32_t end = pos_[l] + 1;
+      next_key_[l] = kNullSortKey;
+      while (end < ends_[l]) {
+        int64_t key = KeyAt(l, end);
+        if (key != max_key) {
+          next_key_[l] = key;
+          break;
+        }
+        ++end;
+      }
+      ranges_[l] = {pos_[l], end};
     }
-    EmitCombinations(state, slices, ranges, 0);
-    for (size_t l = 0; l < z; ++l) pos[l] = ranges[l].second;
+    // Batch-decode the equal-key run of an offset list that
+    // EmitCombinations will re-enumerate (once per combination of the
+    // preceding lists' runs), so each entry pays the LoadFixedWidth
+    // indirection once instead of once per enumeration. Short runs and
+    // low enumeration counts are left alone: the copy plus the extra
+    // indirection in the emit loop would cost more than it saves.
+    uint64_t enumerations = 1;
+    for (size_t l = 0; l < z; ++l) {
+      run_decoded_[l] = 0;
+      uint32_t run_len = ranges_[l].second - ranges_[l].first;
+      if (enumerations >= 4 && run_len >= 8 && slices_[l].is_offset_list()) {
+        run_nbrs_[l].clear();
+        run_edges_[l].clear();
+        for (uint32_t i = ranges_[l].first; i < ranges_[l].second; ++i) {
+          uint64_t base = slices_[l].BaseOffsetAt(i);
+          run_nbrs_[l].push_back(slices_[l].nbrs[base]);
+          run_edges_[l].push_back(slices_[l].edges[base]);
+        }
+        run_decoded_[l] = 1;
+      }
+      enumerations *= run_len;
+    }
+    EmitCombinations(state, 0);
+    for (size_t l = 0; l < z; ++l) {
+      pos_[l] = ranges_[l].second;
+      if (pos_[l] >= ends_[l]) return;
+      cur_key_[l] = next_key_[l];
+    }
   }
 }
 

@@ -51,7 +51,8 @@ struct ListDescriptor {
   // True when the entry at position i passes this descriptor's label
   // filters.
   bool EntryPassesLabels(const Graph& graph, const AdjListSlice& slice, uint32_t i) const {
-    if (edge_label_filter != kInvalidLabel && graph.edge_label(slice.EdgeAt(i)) != edge_label_filter) {
+    if (edge_label_filter != kInvalidLabel &&
+        graph.edge_label(slice.EdgeAt(i)) != edge_label_filter) {
       return false;
     }
     if (target_vertex_label != kInvalidLabel &&
@@ -159,6 +160,29 @@ class ExtendOp : public Operator {
   bool closing_;
 };
 
+// Per-list probe state of one EXTEND/INTERSECT input, reused across
+// Run() calls (plan lifetime) so steady-state execution does not
+// allocate. `frontier` is a monotone cursor: pivot candidates arrive in
+// ascending neighbour order, so every probe resumes where the previous
+// one ended instead of binary-searching from the range start.
+struct ProbeList {
+  AdjListSlice slice;
+  uint32_t begin = 0;  // bounded range [begin, end)
+  uint32_t end = 0;
+  uint32_t frontier = 0;
+  // Neighbour IDs of [begin, end), batch-decoded out of an offset list
+  // when the list will be probed more than O(log n) times; probing a
+  // flat sorted array avoids the per-access LoadFixedWidth indirection.
+  // Null when reads go through the slice. Indexed by (i - begin).
+  const vertex_id_t* decoded = nullptr;
+  std::vector<vertex_id_t> decode_buf;
+
+  vertex_id_t NbrAt(uint32_t i) const {
+    return decoded != nullptr ? decoded[i - begin] : slice.NbrAt(i);
+  }
+  uint32_t len() const { return end - begin; }
+};
+
 // EXTEND/INTERSECT with z >= 2 (Section IV-A): intersects z adjacency
 // lists sorted on neighbour IDs and binds the new query vertex to each
 // vertex in the intersection (plus one query edge per list). This is the
@@ -176,6 +200,13 @@ class ExtendIntersectOp : public Operator {
   std::vector<ListDescriptor> lists_;
   int target_var_;
   std::vector<QueryComparison> residual_;
+  // Target-vertex constraints folded over all z lists at plan time.
+  label_t target_label_ = kInvalidLabel;
+  vertex_id_t target_bound_ = kInvalidVertex;
+  // Plan-lifetime scratch, sized to z once in the constructor.
+  std::vector<ProbeList> probes_;
+  std::vector<std::pair<uint32_t, uint32_t>> ranges_;
+  std::vector<uint32_t> idx_;
 };
 
 // MULTI-EXTEND (Section IV-A): intersects z lists sorted on a property
@@ -192,12 +223,37 @@ class MultiExtendOp : public Operator {
   std::string Describe() const override;
 
  private:
-  void EmitCombinations(MatchState* state, const std::vector<AdjListSlice>& slices,
-                        const std::vector<std::pair<uint32_t, uint32_t>>& ranges, size_t depth);
+  // Sort key of entry i of list l under the list's first sort criterion,
+  // via the criterion/graph pair cached at plan time (skips the
+  // ListDescriptor::sorts() dispatch of the old per-comparison path).
+  int64_t KeyAt(size_t l, uint32_t i) const {
+    return EntrySortKey(*key_graphs_[l], key_crits_[l], slices_[l].EdgeAt(i),
+                        slices_[l].NbrAt(i));
+  }
+  void EmitCombinations(MatchState* state, size_t depth);
 
   const Graph* graph_;
   std::vector<ListDescriptor> lists_;
   std::vector<QueryComparison> residual_;
+  // First sort criterion + backing graph per list, resolved once.
+  std::vector<SortCriterion> key_crits_;
+  std::vector<const Graph*> key_graphs_;
+  // Plan-lifetime scratch, sized to z once in the constructor. `cur_key_`
+  // caches the sort key at pos_[l] so the merge computes each entry's
+  // property-backed key once per visit instead of once per comparison.
+  std::vector<AdjListSlice> slices_;
+  std::vector<uint32_t> pos_;
+  std::vector<uint32_t> ends_;
+  std::vector<int64_t> cur_key_;
+  std::vector<int64_t> next_key_;
+  std::vector<std::pair<uint32_t, uint32_t>> ranges_;
+  // Current equal-key run of each offset list, batch-decoded to flat
+  // arrays before EmitCombinations re-enumerates it per combination of
+  // the preceding lists. Indexed by (i - ranges_[l].first); empty when
+  // the run is read through the slice.
+  std::vector<std::vector<vertex_id_t>> run_nbrs_;
+  std::vector<std::vector<edge_id_t>> run_edges_;
+  std::vector<uint8_t> run_decoded_;
 };
 
 // FILTER: applies residual predicates (Section IV-A).

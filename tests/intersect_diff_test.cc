@@ -1,0 +1,248 @@
+// Differential tests for the frontier-based intersection hot path:
+// hand-built EXTEND/INTERSECT / MULTI-EXTEND plans over random power-law
+// graphs (which naturally contain multi-edges) are pitted against the
+// independent binary-join BaselineMatcher (FlatAdjEngine), across z =
+// 2..4, direct and offset lists, and sort-key-bounded ranges.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baseline/flat_adj_engine.h"
+#include "datagen/label_assigner.h"
+#include "datagen/power_law_generator.h"
+#include "index/index_store.h"
+#include "query/plan.h"
+#include "util/rng.h"
+
+namespace aplus {
+namespace {
+
+class IntersectDiffTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  IntersectDiffTest() {
+    PowerLawParams params;
+    params.num_vertices = 900;
+    params.avg_degree = 6.0;
+    params.preferential_fraction = 0.8;  // hubs attract parallel edges
+    params.seed = GetParam();
+    GeneratePowerLawGraph(params, &graph_);
+    AssignRandomLabels(2, 2, GetParam() + 100, &graph_);
+    grp_key_ = graph_.AddVertexProperty("grp", ValueType::kInt64);
+    PropertyColumn* col = graph_.vertex_props().mutable_column(grp_key_);
+    Rng rng(GetParam() + 7);
+    for (vertex_id_t v = 0; v < graph_.num_vertices(); ++v) {
+      col->SetInt64(v, static_cast<int64_t>(rng.NextBounded(5)));
+    }
+    el0_ = graph_.catalog().FindEdgeLabel("EL0");
+    el1_ = graph_.catalog().FindEdgeLabel("EL1");
+    store_ = std::make_unique<IndexStore>(&graph_);
+    store_->BuildPrimary(IndexConfig::Default());
+    OneHopViewDef all;
+    all.name = "all";
+    vp_ = store_->CreateVpIndex(all, IndexConfig::Default(), Direction::kFwd);
+    IndexConfig grp_config = IndexConfig::Default();
+    grp_config.sorts.clear();
+    grp_config.sorts.push_back({SortSource::kNbrProp, grp_key_});
+    OneHopViewDef all_grp;
+    all_grp.name = "all_grp";
+    vp_grp_ = store_->CreateVpIndex(all_grp, grp_config, Direction::kFwd);
+    engine_ = std::make_unique<FlatAdjEngine>(&graph_);
+  }
+
+  // Verifies a multi-edge exists so the differential actually covers
+  // parallel-edge enumeration (preferential attachment produces them).
+  bool GraphHasMultiEdge() const {
+    std::set<std::pair<vertex_id_t, vertex_id_t>> seen;
+    for (edge_id_t e = 0; e < graph_.num_edges(); ++e) {
+      if (!seen.insert({graph_.edge_src(e), graph_.edge_dst(e)}).second) return true;
+    }
+    return false;
+  }
+
+  ListDescriptor FwdList(int bound_var, label_t elabel, int target_v, int target_e,
+                         bool offset = false) {
+    ListDescriptor desc;
+    if (offset) {
+      desc.source = ListDescriptor::Source::kVp;
+      desc.vp = vp_;
+    } else {
+      desc.source = ListDescriptor::Source::kPrimary;
+      desc.primary = store_->primary(Direction::kFwd);
+    }
+    desc.bound_var = bound_var;
+    desc.cats = {elabel};
+    desc.target_vertex_var = target_v;
+    desc.target_edge_var = target_e;
+    desc.nbr_sorted = true;
+    return desc;
+  }
+
+  // Distinct sample vertices, deterministically spread over the ID space.
+  std::vector<vertex_id_t> Sample(size_t z, uint64_t salt) {
+    std::vector<vertex_id_t> out;
+    uint64_t nv = graph_.num_vertices();
+    uint64_t v = (salt * 131) % nv;
+    while (out.size() < z) {
+      v = (v + 37) % nv;
+      if (std::find(out.begin(), out.end(), static_cast<vertex_id_t>(v)) == out.end()) {
+        out.push_back(static_cast<vertex_id_t>(v));
+      }
+    }
+    return out;
+  }
+
+  Graph graph_;
+  label_t el0_ = kInvalidLabel;
+  label_t el1_ = kInvalidLabel;
+  prop_key_t grp_key_ = kInvalidPropKey;
+  std::unique_ptr<IndexStore> store_;
+  VpIndex* vp_ = nullptr;
+  VpIndex* vp_grp_ = nullptr;
+  std::unique_ptr<FlatAdjEngine> engine_;
+};
+
+TEST_P(IntersectDiffTest, GraphContainsMultiEdges) { EXPECT_TRUE(GraphHasMultiEdge()); }
+
+// z bound sources intersecting into one target, direct and offset lists.
+TEST_P(IntersectDiffTest, BoundSourcesMatchBaseline) {
+  uint64_t total = 0;
+  for (size_t z : {2, 3, 4}) {
+    for (bool offset : {false, true}) {
+      for (uint64_t tuple = 0; tuple < 12; ++tuple) {
+        std::vector<vertex_id_t> sources = Sample(z, tuple + z * 100);
+        QueryGraph query;
+        std::vector<int> src_vars;
+        for (size_t l = 0; l < z; ++l) {
+          src_vars.push_back(
+              query.AddVertex("a" + std::to_string(l), kInvalidLabel, sources[l]));
+        }
+        int c = query.AddVertex("c");
+        std::vector<ListDescriptor> lists;
+        for (size_t l = 0; l < z; ++l) {
+          label_t elabel = l % 2 == 0 ? el0_ : el1_;
+          query.AddEdge(src_vars[l], c, elabel, "e" + std::to_string(l));
+          lists.push_back(FwdList(src_vars[l], elabel, c, static_cast<int>(l), offset));
+        }
+        PlanBuilder builder(&graph_, &query);
+        for (int v : src_vars) builder.Scan(v);
+        auto plan = builder.ExtendIntersect(lists, c).Build();
+        uint64_t expected = engine_->CountMatches(query);
+        EXPECT_EQ(plan->Execute(), expected)
+            << "z=" << z << " offset=" << offset << " tuple=" << tuple;
+        total += expected;
+      }
+    }
+  }
+  EXPECT_GT(total, 0u) << "differential never hit a non-empty intersection";
+}
+
+// Sort-key bounds (nbr-ID upper bound under the default config) against
+// the equivalent c.ID predicate on the baseline side.
+TEST_P(IntersectDiffTest, BoundedRangesMatchBaseline) {
+  const int64_t kIdBound = static_cast<int64_t>(graph_.num_vertices() / 3);
+  for (bool offset : {false, true}) {
+    for (uint64_t tuple = 0; tuple < 12; ++tuple) {
+      std::vector<vertex_id_t> sources = Sample(2, tuple + 900);
+      QueryGraph query;
+      int a0 = query.AddVertex("a0", kInvalidLabel, sources[0]);
+      int a1 = query.AddVertex("a1", kInvalidLabel, sources[1]);
+      int c = query.AddVertex("c");
+      query.AddEdge(a0, c, el0_, "e0");
+      query.AddEdge(a1, c, el1_, "e1");
+      QueryComparison cmp;
+      cmp.lhs = QueryPropRef{c, false, kInvalidPropKey, /*is_id=*/true};
+      cmp.op = CmpOp::kLt;
+      cmp.rhs_const = Value::Int64(kIdBound);
+      query.AddPredicate(cmp);
+
+      std::vector<ListDescriptor> lists = {FwdList(a0, el0_, c, 0, offset),
+                                           FwdList(a1, el1_, c, 1, offset)};
+      for (ListDescriptor& list : lists) {
+        list.has_upper_bound = true;
+        list.upper_bound = kIdBound;
+        list.upper_strict = true;
+      }
+      PlanBuilder builder(&graph_, &query);
+      auto plan = builder.Scan(a0).Scan(a1).ExtendIntersect(lists, c).Build();
+      uint64_t expected = engine_->CountMatches(query);
+      EXPECT_EQ(plan->Execute(), expected) << "offset=" << offset << " tuple=" << tuple;
+    }
+  }
+}
+
+// Full unbound triangle (Extend feeding ExtendIntersect): the frontier
+// state must reset correctly across upstream tuples.
+TEST_P(IntersectDiffTest, TriangleMatchesBaseline) {
+  QueryGraph query;
+  int a = query.AddVertex("a");
+  int b = query.AddVertex("b");
+  int c = query.AddVertex("c");
+  query.AddEdge(a, b, el0_, "e0");
+  query.AddEdge(a, c, el0_, "e1");
+  query.AddEdge(b, c, el1_, "e2");
+  PlanBuilder builder(&graph_, &query);
+  std::vector<ListDescriptor> lists = {FwdList(a, el0_, c, 1), FwdList(b, el1_, c, 2)};
+  auto plan =
+      builder.Scan(a).Extend(FwdList(a, el0_, b, 0)).ExtendIntersect(lists, c).Build();
+  uint64_t expected = engine_->CountMatches(query);
+  EXPECT_EQ(plan->Execute(), expected);
+  EXPECT_GT(expected, 0u) << "no triangles in the generated graph";
+}
+
+// Closing EXTEND (the galloping membership probe) on a 2-cycle.
+TEST_P(IntersectDiffTest, ClosingProbeMatchesBaseline) {
+  QueryGraph query;
+  int a = query.AddVertex("a");
+  int b = query.AddVertex("b");
+  query.AddEdge(a, b, el0_, "e0");
+  query.AddEdge(b, a, el1_, "e1");
+  PlanBuilder builder(&graph_, &query);
+  auto plan = builder.Scan(a)
+                  .Extend(FwdList(a, el0_, b, 0))
+                  .Extend(FwdList(b, el1_, a, 1), {}, /*closing=*/true)
+                  .Build();
+  EXPECT_EQ(plan->Execute(), engine_->CountMatches(query));
+}
+
+// MULTI-EXTEND on property-sorted offset lists vs the equivalent
+// b.grp = d.grp predicate on the baseline side.
+TEST_P(IntersectDiffTest, MultiExtendMatchesBaseline) {
+  for (uint64_t tuple = 0; tuple < 12; ++tuple) {
+    std::vector<vertex_id_t> sources = Sample(1, tuple + 500);
+    QueryGraph query;
+    int a = query.AddVertex("a", kInvalidLabel, sources[0]);
+    int b = query.AddVertex("b");
+    int d = query.AddVertex("d");
+    query.AddEdge(a, b, el0_, "e0");
+    query.AddEdge(a, d, el1_, "e1");
+    QueryComparison cmp;
+    cmp.lhs = QueryPropRef{b, false, grp_key_, false};
+    cmp.op = CmpOp::kEq;
+    cmp.rhs_is_const = false;
+    cmp.rhs_ref = QueryPropRef{d, false, grp_key_, false};
+    query.AddPredicate(cmp);
+
+    ListDescriptor l1;
+    l1.source = ListDescriptor::Source::kVp;
+    l1.vp = vp_grp_;
+    l1.bound_var = a;
+    l1.cats = {el0_};
+    l1.target_vertex_var = b;
+    l1.target_edge_var = 0;
+    ListDescriptor l2 = l1;
+    l2.cats = {el1_};
+    l2.target_vertex_var = d;
+    l2.target_edge_var = 1;
+
+    PlanBuilder builder(&graph_, &query);
+    auto plan = builder.Scan(a).MultiExtend({l1, l2}).Build();
+    uint64_t expected = engine_->CountMatches(query);
+    EXPECT_EQ(plan->Execute(), expected) << "tuple=" << tuple;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntersectDiffTest, ::testing::Values(11u, 29u, 47u));
+
+}  // namespace
+}  // namespace aplus

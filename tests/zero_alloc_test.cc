@@ -1,0 +1,189 @@
+// Asserts the hot-path operators perform zero heap allocations in
+// steady state: after one warm-up Run() (which grows the plan-lifetime
+// scratch buffers to their high-water mark), further Run() calls must
+// not touch the global allocator. Global operator new/delete are
+// replaced with counting wrappers; counts are compared across the
+// second pass.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "datagen/label_assigner.h"
+#include "datagen/power_law_generator.h"
+#include "index/index_store.h"
+#include "query/operators.h"
+#include "util/rng.h"
+
+namespace {
+std::atomic<uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* AlignedCountingAlloc(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  // aligned_alloc requires size to be a multiple of the alignment.
+  std::size_t a = static_cast<std::size_t>(align);
+  void* p = std::aligned_alloc(a, (size + a - 1) / a * a);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  return AlignedCountingAlloc(size, align);
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return AlignedCountingAlloc(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace aplus {
+namespace {
+
+class ZeroAllocTest : public ::testing::Test {
+ protected:
+  ZeroAllocTest() {
+    PowerLawParams params;
+    params.num_vertices = 1500;
+    params.avg_degree = 10.0;
+    params.seed = 5;
+    GeneratePowerLawGraph(params, &graph_);
+    elabel_ = graph_.catalog().FindEdgeLabel("E");
+    weight_key_ = graph_.AddEdgeProperty("w", ValueType::kInt64);
+    PropertyColumn* col = graph_.edge_props().mutable_column(weight_key_);
+    Rng rng(9);
+    for (edge_id_t e = 0; e < graph_.num_edges(); ++e) {
+      col->SetInt64(e, static_cast<int64_t>(rng.NextBounded(16)));
+    }
+    store_ = std::make_unique<IndexStore>(&graph_);
+    store_->BuildPrimary(IndexConfig::Default());
+    OneHopViewDef all;
+    all.name = "all";
+    vp_ = store_->CreateVpIndex(all, IndexConfig::Default(), Direction::kFwd);
+    IndexConfig weight_config = IndexConfig::Default();
+    weight_config.sorts.clear();
+    weight_config.sorts.push_back({SortSource::kEdgeProp, weight_key_});
+    OneHopViewDef all_w;
+    all_w.name = "all_w";
+    vp_w_ = store_->CreateVpIndex(all_w, weight_config, Direction::kFwd);
+    primary_w_ = std::make_unique<PrimaryIndex>(&graph_, Direction::kFwd);
+    primary_w_->Build(weight_config);
+  }
+
+  ListDescriptor List(int bound_var, int target_v, int target_e, bool offset) {
+    ListDescriptor desc;
+    if (offset) {
+      desc.source = ListDescriptor::Source::kVp;
+      desc.vp = vp_;
+    } else {
+      desc.source = ListDescriptor::Source::kPrimary;
+      desc.primary = store_->primary(Direction::kFwd);
+    }
+    desc.bound_var = bound_var;
+    desc.cats = {elabel_};
+    desc.target_vertex_var = target_v;
+    desc.target_edge_var = target_e;
+    desc.nbr_sorted = true;
+    return desc;
+  }
+
+  // Drives `op` over a spread of source tuples; returns allocations
+  // performed by the pass.
+  uint64_t DrivePass(Operator* op, MatchState* state, size_t z) {
+    uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+    uint64_t nv = graph_.num_vertices();
+    for (uint64_t t = 0; t < 50; ++t) {
+      for (size_t l = 0; l < z; ++l) {
+        state->v[l] = static_cast<vertex_id_t>((t * 131 + l * 37) % nv);
+      }
+      op->Run(state);
+    }
+    return g_alloc_count.load(std::memory_order_relaxed) - before;
+  }
+
+  Graph graph_;
+  label_t elabel_ = kInvalidLabel;
+  prop_key_t weight_key_ = kInvalidPropKey;
+  std::unique_ptr<IndexStore> store_;
+  VpIndex* vp_ = nullptr;
+  VpIndex* vp_w_ = nullptr;
+  std::unique_ptr<PrimaryIndex> primary_w_;
+};
+
+TEST_F(ZeroAllocTest, ExtendIntersectSteadyStateDoesNotAllocate) {
+  for (size_t z : {2, 3, 4}) {
+    for (bool offset : {false, true}) {
+      std::vector<ListDescriptor> lists;
+      for (size_t l = 0; l < z; ++l) {
+        lists.push_back(List(static_cast<int>(l), static_cast<int>(z), static_cast<int>(l),
+                             offset));
+      }
+      ExtendIntersectOp op(&graph_, lists, static_cast<int>(z), {});
+      SinkOp sink;
+      op.set_next(&sink);
+      MatchState state;
+      state.Reset(static_cast<int>(z) + 1, static_cast<int>(z));
+      DrivePass(&op, &state, z);  // warm-up: scratch reaches its high-water mark
+      EXPECT_EQ(DrivePass(&op, &state, z), 0u) << "z=" << z << " offset=" << offset;
+      EXPECT_GT(state.count, 0u);
+    }
+  }
+}
+
+TEST_F(ZeroAllocTest, MultiExtendSteadyStateDoesNotAllocate) {
+  for (size_t z : {2, 3}) {
+    for (bool offset : {false, true}) {
+      std::vector<ListDescriptor> lists;
+      for (size_t l = 0; l < z; ++l) {
+        ListDescriptor desc;
+        if (offset) {
+          desc.source = ListDescriptor::Source::kVp;
+          desc.vp = vp_w_;  // offset arm exercises the run-decode buffers
+        } else {
+          desc.source = ListDescriptor::Source::kPrimary;
+          desc.primary = primary_w_.get();
+        }
+        desc.bound_var = static_cast<int>(l);
+        desc.cats = {elabel_};
+        desc.target_vertex_var = static_cast<int>(z + l);
+        desc.target_edge_var = static_cast<int>(l);
+        lists.push_back(desc);
+      }
+      MultiExtendOp op(&graph_, lists, {});
+      SinkOp sink;
+      op.set_next(&sink);
+      MatchState state;
+      state.Reset(static_cast<int>(2 * z), static_cast<int>(z));
+      DrivePass(&op, &state, z);
+      EXPECT_EQ(DrivePass(&op, &state, z), 0u) << "z=" << z << " offset=" << offset;
+      EXPECT_GT(state.count, 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aplus
