@@ -85,6 +85,9 @@ class ReferenceExtendIntersectOp : public Operator {
       : graph_(graph), lists_(std::move(lists)), target_var_(target_vertex_var) {}
 
   std::string Describe() const override { return "Reference E/I"; }
+  std::unique_ptr<Operator> Clone() const override {
+    return std::make_unique<ReferenceExtendIntersectOp>(graph_, lists_, target_var_);
+  }
 
   void Run(MatchState* state) override {
     size_t z = lists_.size();
@@ -176,6 +179,9 @@ class ReferenceMultiExtendOp : public Operator {
       : graph_(graph), lists_(std::move(lists)) {}
 
   std::string Describe() const override { return "Reference Multi-Extend"; }
+  std::unique_ptr<Operator> Clone() const override {
+    return std::make_unique<ReferenceMultiExtendOp>(graph_, lists_);
+  }
 
   void Run(MatchState* state) override {
     size_t z = lists_.size();

@@ -7,7 +7,7 @@ bench binaries emit) and fails when the new run regresses past the
 threshold:
 
     scripts/bench_compare.py <base_dir> <new_dir> [--threshold 1.15]
-                             [--min-seconds 0.05]
+                             [--min-seconds 0.05] [--budgets budgets.json]
 
 Rules:
   * Only benches present in BOTH directories with status 0 are compared;
@@ -17,6 +17,17 @@ Rules:
   * `cases` sub-metrics (per-workload, best-of-reps seconds emitted by
     e.g. bench_intersect via APLUS_BENCH_JSON) are the precise gate:
     they are compared case by case against --threshold.
+  * --budgets points at a JSON object of per-case threshold overrides,
+    looked up most-specific-first:
+        "<bench>/<case>"   one case,
+        "<bench>/t<k>"     every case of that bench keyed to k threads
+                           (bench_parallel_scaling emits a "threads"
+                           field per case; its case names end in _t<k>),
+        "<bench>"          every case of that bench.
+  * Thread-count-keyed cases (a "threads" field in the case entry) that
+    are missing from the new run are informational — not a failure —
+    when the thread count exceeds the new run's recorded "cores": a
+    smaller runner legitimately cannot produce them.
   * Top-level `wall_seconds` comparisons are single-sample whole-binary
     wall times (process startup + data generation included), so they are
     gated loosely against --wall-threshold — a catastrophic-regression
@@ -52,7 +63,23 @@ def load_results(directory):
     return results
 
 
-def compare_metric(label, base_s, new_s, threshold, min_seconds, failures):
+def case_threshold(bench, case, case_data, budgets, default):
+    """Resolves the gate threshold for one case, most specific first."""
+    if budgets:
+        exact = f"{bench}/{case}"
+        if exact in budgets:
+            return budgets[exact], exact
+        threads = case_data.get("threads")
+        if threads is not None:
+            by_threads = f"{bench}/t{threads}"
+            if by_threads in budgets:
+                return budgets[by_threads], by_threads
+        if bench in budgets:
+            return budgets[bench], bench
+    return default, None
+
+
+def compare_metric(label, base_s, new_s, threshold, min_seconds, failures, budget_key=None):
     if base_s is None or new_s is None:
         return
     if base_s < min_seconds and new_s < min_seconds:
@@ -61,9 +88,12 @@ def compare_metric(label, base_s, new_s, threshold, min_seconds, failures):
     marker = "ok"
     if ratio > threshold:
         marker = "REGRESSION"
-        failures.append(f"{label}: {base_s:.3f}s -> {new_s:.3f}s ({ratio:.2f}x)")
+        failures.append(f"{label}: {base_s:.3f}s -> {new_s:.3f}s ({ratio:.2f}x, "
+                        f"threshold {threshold:.2f}x)")
     elif ratio < 1.0 / threshold:
         marker = "improved"
+    if budget_key is not None:
+        marker += f" [budget {budget_key}={threshold:.2f}x]"
     print(f"  {label:<44} {base_s:>9.3f}s {new_s:>9.3f}s {ratio:>6.2f}x  {marker}")
 
 
@@ -81,7 +111,22 @@ def main():
     parser.add_argument("--min-case-seconds", type=float, default=0.02,
                         help="ignore per-case timings where both sides are under this "
                              "(default 0.02; per-case loops are tighter than wall times)")
+    parser.add_argument("--budgets", type=pathlib.Path, default=None,
+                        help="JSON file of per-case threshold overrides "
+                             "(keys: '<bench>/<case>', '<bench>/t<threads>', '<bench>')")
     args = parser.parse_args()
+
+    budgets = {}
+    if args.budgets is not None:
+        try:
+            budgets = json.loads(args.budgets.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"ERROR: cannot read budgets file {args.budgets}: {exc}")
+            return 2
+        bad = {k: v for k, v in budgets.items() if not isinstance(v, (int, float)) or v <= 0}
+        if bad:
+            print(f"ERROR: budget thresholds must be positive numbers, got {bad}")
+            return 2
 
     base = load_results(args.base_dir)
     new = load_results(args.new_dir)
@@ -111,17 +156,27 @@ def main():
         new_cases = n.get("cases", {})
         for case in sorted(base_cases):
             if case not in new_cases:
+                threads = base_cases[case].get("threads")
+                # `cores` of 0 (hardware_concurrency unknown) or absent
+                # means we cannot justify the skip: fail as usual.
+                new_cores = n.get("cores")
+                if threads is not None and new_cores and threads > new_cores:
+                    print(f"  {name}/{case:<38} skipped (t{threads} > {new_cores} cores "
+                          "on the new host)")
+                    continue
                 failures.append(f"{name}/{case}: case missing from new run")
                 continue
+            threshold, budget_key = case_threshold(name, case, base_cases[case], budgets,
+                                                   args.threshold)
             compare_metric(f"{name}/{case}", base_cases[case].get("seconds"),
-                           new_cases[case].get("seconds"), args.threshold,
-                           args.min_case_seconds, failures)
+                           new_cases[case].get("seconds"), threshold,
+                           args.min_case_seconds, failures, budget_key)
     for name in sorted(set(new) - set(base)):
         print(f"  {name:<44} new bench (no base to compare)")
 
     if failures:
         print(f"\nFAIL: {len(failures)} regression(s) past the threshold "
-              f"(cases {args.threshold:.2f}x, wall {args.wall_threshold:.2f}x):")
+              f"(cases {args.threshold:.2f}x default, wall {args.wall_threshold:.2f}x):")
         for f in failures:
             print(f"  {f}")
         return 1

@@ -75,6 +75,13 @@ for bench in "${BENCHES[@]}"; do
     # smoke scale); the smoke path caps the per-dataset query count.
     run_one "${bench}" env APLUS_SCALE="${SCALE}" \
       APLUS_TABLE2_QUERIES="${APLUS_TABLE2_QUERIES:-4}" || FAILED=1
+  elif [[ "${bench}" == "bench_parallel_scaling" ]]; then
+    # Thread sweep capped to the runner's cores (oversubscribed counts
+    # add smoke time without adding signal) and one timed rep.
+    CORES="$(nproc 2>/dev/null || echo 1)"
+    run_one "${bench}" env APLUS_SCALE="${SCALE}" \
+      APLUS_PAR_MAX_THREADS="${APLUS_PAR_MAX_THREADS:-$(( CORES < 8 ? CORES : 8 ))}" \
+      APLUS_PAR_REPS="${APLUS_PAR_REPS:-1}" || FAILED=1
   elif [[ "${bench}" == "bench_intersect" ]]; then
     # One timed rep and fewer tuples: smoke guards "it runs and reports",
     # the perf-gate job runs it at full defaults.

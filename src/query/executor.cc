@@ -10,4 +10,12 @@ QueryResult RunPlan(Plan* plan) {
   return result;
 }
 
+QueryResult RunPlan(Plan* plan, int num_threads) {
+  QueryResult result;
+  result.count = plan->Execute(num_threads);
+  result.seconds = plan->last_execute_seconds();
+  result.plan = plan->Describe();
+  return result;
+}
+
 }  // namespace aplus

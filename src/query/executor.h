@@ -15,8 +15,12 @@ struct QueryResult {
   std::string plan;  // Describe() of the executed plan
 };
 
-// Runs `plan` once and packages count / runtime / plan description.
+// Runs `plan` once and packages count / runtime / plan description. The
+// single-argument form uses Plan::Execute()'s APLUS_THREADS default; the
+// two-argument form pins the worker count (see Plan::Execute(int) for
+// the parallel-execution and SinkOp-callback contracts).
 QueryResult RunPlan(Plan* plan);
+QueryResult RunPlan(Plan* plan, int num_threads);
 
 }  // namespace aplus
 

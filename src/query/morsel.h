@@ -1,0 +1,57 @@
+#ifndef APLUS_QUERY_MORSEL_H_
+#define APLUS_QUERY_MORSEL_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace aplus {
+
+// Carves a scan domain [begin, end) into morsels handed to parallel
+// workers through one atomic cursor (morsel-driven scheduling). Morsel
+// sizes shrink as the domain drains: each grab takes
+// remaining / (kShrinkDivisor * num_workers), clamped to
+// [kMinMorsel, kMaxMorsel] — large morsels early keep cursor contention
+// negligible, small morsels at the tail keep stragglers short.
+//
+// Reset() is called by the coordinating thread before workers start;
+// Next() is safe to call concurrently from any number of workers.
+class MorselCursor {
+ public:
+  static constexpr uint64_t kMinMorsel = 64;
+  static constexpr uint64_t kMaxMorsel = 8192;
+  static constexpr uint64_t kShrinkDivisor = 4;
+
+  void Reset(uint64_t begin, uint64_t end, int num_workers) {
+    end_ = end;
+    divisor_ = kShrinkDivisor * static_cast<uint64_t>(num_workers < 1 ? 1 : num_workers);
+    next_.store(begin, std::memory_order_relaxed);
+  }
+
+  // Claims the next morsel; false once the domain is drained.
+  bool Next(uint64_t* morsel_begin, uint64_t* morsel_end) {
+    uint64_t cur = next_.load(std::memory_order_relaxed);
+    while (cur < end_) {
+      uint64_t remaining = end_ - cur;
+      uint64_t grab = remaining / divisor_;
+      if (grab < kMinMorsel) grab = kMinMorsel;
+      if (grab > kMaxMorsel) grab = kMaxMorsel;
+      if (grab > remaining) grab = remaining;
+      if (next_.compare_exchange_weak(cur, cur + grab, std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+        *morsel_begin = cur;
+        *morsel_end = cur + grab;
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::atomic<uint64_t> next_{0};
+  uint64_t end_ = 0;
+  uint64_t divisor_ = kShrinkDivisor;
+};
+
+}  // namespace aplus
+
+#endif  // APLUS_QUERY_MORSEL_H_

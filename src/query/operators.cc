@@ -189,21 +189,28 @@ std::string ListDescriptor::Describe(const Catalog& catalog, const QueryGraph& q
   return out;
 }
 
-void ScanOp::Run(MatchState* state) {
-  if (bound_ != kInvalidVertex) {
-    if (label_ != kInvalidLabel && graph_->vertex_label(bound_) != label_) return;
-    state->v[var_] = bound_;
-    if (EvalResiduals(*graph_, preds_, *state)) Emit(state);
-    state->v[var_] = kInvalidVertex;
-    return;
-  }
-  uint64_t nv = graph_->num_vertices();
-  for (vertex_id_t v = 0; v < nv; ++v) {
-    if (label_ != kInvalidLabel && graph_->vertex_label(v) != label_) continue;
-    state->v[var_] = v;
+void ScanOp::ScanRange(MatchState* state, uint64_t begin, uint64_t end) {
+  for (uint64_t v = begin; v < end; ++v) {
+    if (label_ != kInvalidLabel && graph_->vertex_label(static_cast<vertex_id_t>(v)) != label_) {
+      continue;
+    }
+    state->v[var_] = static_cast<vertex_id_t>(v);
     if (EvalResiduals(*graph_, preds_, *state)) Emit(state);
   }
   state->v[var_] = kInvalidVertex;
+}
+
+void ScanOp::Run(MatchState* state) {
+  if (morsel_cursor_ != nullptr) {
+    // Parallel execution: drain vertex-range morsels from the cursor
+    // this replica shares with the other workers' replicas.
+    uint64_t begin = 0;
+    uint64_t end = 0;
+    while (morsel_cursor_->Next(&begin, &end)) ScanRange(state, begin, end);
+    return;
+  }
+  auto [begin, end] = ScanDomain();
+  ScanRange(state, begin, end);
 }
 
 std::string ScanOp::Describe() const {

@@ -10,6 +10,7 @@
 #include "index/ep_index.h"
 #include "index/primary_index.h"
 #include "index/vp_index.h"
+#include "query/morsel.h"
 #include "query/query_graph.h"
 
 namespace aplus {
@@ -94,6 +95,10 @@ class Operator {
   virtual ~Operator() = default;
   void set_next(Operator* next) { next_ = next; }
   virtual void Run(MatchState* state) = 0;
+  // Deep copy with fresh (empty) scratch, used by Plan::Execute's
+  // parallel path to build one pipeline replica per worker. The clone's
+  // next_ is unset; the caller rewires the replica chain.
+  virtual std::unique_ptr<Operator> Clone() const = 0;
   virtual std::string Describe() const = 0;
 
  protected:
@@ -102,6 +107,13 @@ class Operator {
 };
 
 // Terminal operator: counts (and optionally samples) complete matches.
+//
+// Thread-safety contract for callbacks under Plan::Execute(num_threads
+// > 1): every worker invokes its own copy of the callback (made by
+// Clone()), concurrently with the other workers' copies. The MatchState
+// passed in is the invoking worker's private state and is safe to read;
+// anything the callback captures by reference or pointer is shared
+// across all copies and must be synchronized by the caller.
 class SinkOp : public Operator {
  public:
   explicit SinkOp(std::function<void(const MatchState&)> callback = nullptr)
@@ -110,6 +122,8 @@ class SinkOp : public Operator {
     state->count++;
     if (callback_) callback_(*state);
   }
+  std::unique_ptr<Operator> Clone() const override { return std::make_unique<SinkOp>(callback_); }
+  bool has_callback() const { return static_cast<bool>(callback_); }
   std::string Describe() const override { return "Sink"; }
 
  private:
@@ -125,14 +139,32 @@ class ScanOp : public Operator {
       : graph_(graph), var_(var), label_(label), bound_(bound), preds_(std::move(preds)) {}
 
   void Run(MatchState* state) override;
+  std::unique_ptr<Operator> Clone() const override {
+    return std::make_unique<ScanOp>(graph_, var_, label_, bound_, preds_);
+  }
   std::string Describe() const override;
 
+  // Scan domain [begin, end) in vertex-ID space — the whole graph, or a
+  // single ID when the variable is pinned. The morsel dispatcher carves
+  // this range across workers.
+  std::pair<uint64_t, uint64_t> ScanDomain() const {
+    if (bound_ != kInvalidVertex) return {bound_, static_cast<uint64_t>(bound_) + 1};
+    return {0, graph_->num_vertices()};
+  }
+  // When set, Run() drains vertex-range morsels from the shared cursor
+  // instead of scanning the whole domain; Plan::Execute sets it for
+  // parallel execution and clears it for serial execution.
+  void set_morsel_cursor(MorselCursor* cursor) { morsel_cursor_ = cursor; }
+
  private:
+  void ScanRange(MatchState* state, uint64_t begin, uint64_t end);
+
   const Graph* graph_;
   int var_;
   label_t label_;
   vertex_id_t bound_;
   std::vector<QueryComparison> preds_;
+  MorselCursor* morsel_cursor_ = nullptr;
 };
 
 // Single-list EXTEND (the z = 1 case of E/I): extends the partial match
@@ -149,6 +181,9 @@ class ExtendOp : public Operator {
         closing_(target_already_bound) {}
 
   void Run(MatchState* state) override;
+  std::unique_ptr<Operator> Clone() const override {
+    return std::make_unique<ExtendOp>(graph_, list_, residual_, closing_);
+  }
   std::string Describe() const override;
 
  private:
@@ -193,6 +228,9 @@ class ExtendIntersectOp : public Operator {
                     std::vector<QueryComparison> residual);
 
   void Run(MatchState* state) override;
+  std::unique_ptr<Operator> Clone() const override {
+    return std::make_unique<ExtendIntersectOp>(graph_, lists_, target_var_, residual_);
+  }
   std::string Describe() const override;
 
  private:
@@ -220,6 +258,9 @@ class MultiExtendOp : public Operator {
                 std::vector<QueryComparison> residual);
 
   void Run(MatchState* state) override;
+  std::unique_ptr<Operator> Clone() const override {
+    return std::make_unique<MultiExtendOp>(graph_, lists_, residual_);
+  }
   std::string Describe() const override;
 
  private:
@@ -262,6 +303,9 @@ class FilterOp : public Operator {
   FilterOp(const Graph* graph, std::vector<QueryComparison> preds)
       : graph_(graph), preds_(std::move(preds)) {}
   void Run(MatchState* state) override;
+  std::unique_ptr<Operator> Clone() const override {
+    return std::make_unique<FilterOp>(graph_, preds_);
+  }
   std::string Describe() const override;
 
  private:

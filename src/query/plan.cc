@@ -1,9 +1,28 @@
 #include "query/plan.h"
 
+#include <cstdlib>
+
 #include "util/logging.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace aplus {
+
+namespace {
+
+// Default worker count for Plan::Execute(): the APLUS_THREADS
+// environment variable, so serving deployments (and CI) can parallelize
+// every plan without touching call sites. Unset/unparsable = 1.
+int DefaultNumThreads() {
+  const char* env = std::getenv("APLUS_THREADS");
+  if (env == nullptr) return 1;
+  long v = std::strtol(env, nullptr, 10);
+  if (v < 1) return 1;
+  if (v > Plan::kMaxThreads) return Plan::kMaxThreads;
+  return static_cast<int>(v);
+}
+
+}  // namespace
 
 Plan::Plan(std::vector<std::unique_ptr<Operator>> ops, int num_query_vertices,
            int num_query_edges)
@@ -15,12 +34,67 @@ Plan::Plan(std::vector<std::unique_ptr<Operator>> ops, int num_query_vertices,
 }
 
 uint64_t Plan::Execute() {
+  int num_threads = DefaultNumThreads();
+  if (num_threads > 1) {
+    // The env knob never opts a callback into concurrent invocation on
+    // the caller's behalf; that requires an explicit Execute(n).
+    auto* sink = dynamic_cast<SinkOp*>(ops_.back().get());
+    if (sink != nullptr && sink->has_callback()) num_threads = 1;
+  }
+  return Execute(num_threads);
+}
+
+uint64_t Plan::ExecuteSerial(ScanOp* scan) {
+  if (scan != nullptr) scan->set_morsel_cursor(nullptr);
+  state_.Reset(num_query_vertices_, num_query_edges_);
+  ops_.front()->Run(&state_);
+  return state_.count;
+}
+
+uint64_t Plan::Execute(int num_threads) {
   WallTimer timer;
-  MatchState state;
-  state.Reset(num_query_vertices_, num_query_edges_);
-  ops_.front()->Run(&state);
+  int k = num_threads < 1 ? 1 : (num_threads > kMaxThreads ? kMaxThreads : num_threads);
+  auto* scan = dynamic_cast<ScanOp*>(ops_.front().get());
+  // Morsel dispatch partitions the driving scan; a plan led by anything
+  // else (not produced by PlanBuilder/DpOptimizer) runs serially.
+  if (scan == nullptr) k = 1;
+  uint64_t total = 0;
+  if (k == 1) {
+    total = ExecuteSerial(scan);
+  } else {
+    EnsureWorkers(k - 1);
+    auto [begin, end] = scan->ScanDomain();
+    cursor_.Reset(begin, end, k);
+    scan->set_morsel_cursor(&cursor_);
+    auto body = [this](int w) {
+      MatchState& state = w == 0 ? state_ : workers_[w - 1].state;
+      state.Reset(num_query_vertices_, num_query_edges_);
+      Operator* root = w == 0 ? ops_.front().get() : workers_[w - 1].ops.front().get();
+      root->Run(&state);
+    };
+    ThreadPool::Global().ParallelRun(k, body);
+    total = state_.count;
+    for (int w = 1; w < k; ++w) total += workers_[w - 1].state.count;
+  }
   last_execute_seconds_ = timer.ElapsedSeconds();
-  return state.count;
+  return total;
+}
+
+void Plan::EnsureWorkers(int num_replicas) {
+  while (static_cast<int>(workers_.size()) < num_replicas) {
+    WorkerPipeline worker;
+    worker.ops.reserve(ops_.size());
+    for (const auto& op : ops_) worker.ops.push_back(op->Clone());
+    for (size_t i = 0; i + 1 < worker.ops.size(); ++i) {
+      worker.ops[i]->set_next(worker.ops[i + 1].get());
+    }
+    auto* scan = dynamic_cast<ScanOp*>(worker.ops.front().get());
+    APLUS_CHECK(scan != nullptr);
+    // cursor_ is a member, so the pointer stays valid across Execute
+    // calls and replicas are wired up exactly once.
+    scan->set_morsel_cursor(&cursor_);
+    workers_.push_back(std::move(worker));
+  }
 }
 
 std::string Plan::Describe() const {

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "query/morsel.h"
 #include "query/operators.h"
 
 namespace aplus {
@@ -12,23 +13,59 @@ namespace aplus {
 // A physical plan: a pipeline of push-based operators ending in a SinkOp.
 // Plans are produced by the DP optimizer (src/optimizer) or built by hand
 // via PlanBuilder for the benchmark harnesses.
+//
+// Plans are internally parallel (Execute(num_threads)) but not
+// externally thread-safe: one Plan must not be executed from two threads
+// at once. MatchStates and per-worker pipeline replicas persist across
+// Execute calls, so repeated execution of the same plan (the serving
+// pattern) is allocation-free in steady state.
 class Plan {
  public:
   Plan(std::vector<std::unique_ptr<Operator>> ops, int num_query_vertices, int num_query_edges);
 
-  // Runs the pipeline and returns the number of complete matches.
+  // Runs the pipeline and returns the number of complete matches. The
+  // worker count comes from the APLUS_THREADS environment variable
+  // (default 1). Plans whose SinkOp carries a callback ignore the env
+  // knob and stay serial — concurrent callback execution must be
+  // requested explicitly through Execute(num_threads), which is the
+  // caller's acknowledgement of the SinkOp thread-safety contract.
   uint64_t Execute();
+
+  // Runs the pipeline with `num_threads` workers using morsel-driven
+  // parallelism: the leading ScanOp's vertex domain is carved into
+  // morsels handed out through an atomic cursor, and each worker drives
+  // its own cloned pipeline replica (private operator scratch, private
+  // MatchState, private SinkOp callback copy) over the morsels it
+  // claims. Match counts accumulate per worker and merge once at the
+  // end. See SinkOp for the callback thread-safety contract.
+  uint64_t Execute(int num_threads);
 
   // One line per operator, root first (Figure 6 style).
   std::string Describe() const;
 
   double last_execute_seconds() const { return last_execute_seconds_; }
 
+  // Upper bound on the worker count of Execute(num_threads).
+  static constexpr int kMaxThreads = 256;
+
  private:
+  // One parallel worker's pipeline replica; workers_[w] serves worker
+  // w + 1 (worker 0 reuses the original ops_ / state_).
+  struct WorkerPipeline {
+    std::vector<std::unique_ptr<Operator>> ops;
+    MatchState state;
+  };
+
+  uint64_t ExecuteSerial(ScanOp* scan);
+  void EnsureWorkers(int num_replicas);
+
   std::vector<std::unique_ptr<Operator>> ops_;
   int num_query_vertices_;
   int num_query_edges_;
   double last_execute_seconds_ = 0.0;
+  MatchState state_;  // worker 0 / serial state, reused across Execute calls
+  std::vector<WorkerPipeline> workers_;
+  MorselCursor cursor_;
 };
 
 // Convenience builder used by benches and tests to assemble pipelines.

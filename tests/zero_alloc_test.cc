@@ -15,6 +15,7 @@
 #include "datagen/power_law_generator.h"
 #include "index/index_store.h"
 #include "query/operators.h"
+#include "query/plan.h"
 #include "util/rng.h"
 
 namespace {
@@ -79,6 +80,11 @@ class ZeroAllocTest : public ::testing::Test {
     for (edge_id_t e = 0; e < graph_.num_edges(); ++e) {
       col->SetInt64(e, static_cast<int64_t>(rng.NextBounded(16)));
     }
+    vgrp_key_ = graph_.AddVertexProperty("grp", ValueType::kInt64);
+    PropertyColumn* vcol = graph_.vertex_props().mutable_column(vgrp_key_);
+    for (vertex_id_t v = 0; v < graph_.num_vertices(); ++v) {
+      vcol->SetInt64(v, static_cast<int64_t>(rng.NextBounded(8)));
+    }
     store_ = std::make_unique<IndexStore>(&graph_);
     store_->BuildPrimary(IndexConfig::Default());
     OneHopViewDef all;
@@ -128,6 +134,7 @@ class ZeroAllocTest : public ::testing::Test {
   Graph graph_;
   label_t elabel_ = kInvalidLabel;
   prop_key_t weight_key_ = kInvalidPropKey;
+  prop_key_t vgrp_key_ = kInvalidPropKey;
   std::unique_ptr<IndexStore> store_;
   VpIndex* vp_ = nullptr;
   VpIndex* vp_w_ = nullptr;
@@ -152,6 +159,118 @@ TEST_F(ZeroAllocTest, ExtendIntersectSteadyStateDoesNotAllocate) {
       EXPECT_GT(state.count, 0u);
     }
   }
+}
+
+TEST_F(ZeroAllocTest, ScanPredicateSteadyStateDoesNotAllocate) {
+  // ScanOp predicate evaluation (ID pseudo-property + int64 property)
+  // must not touch the allocator: Values are stack tagged scalars.
+  QueryComparison id_pred;
+  id_pred.lhs = QueryPropRef{0, false, kInvalidPropKey, /*is_id=*/true};
+  id_pred.op = CmpOp::kLt;
+  id_pred.rhs_const = Value::Int64(static_cast<int64_t>(graph_.num_vertices() / 2));
+  QueryComparison grp_pred;
+  grp_pred.lhs = QueryPropRef{0, false, vgrp_key_, false};
+  grp_pred.op = CmpOp::kLe;
+  grp_pred.rhs_const = Value::Int64(5);
+  ScanOp op(&graph_, 0, kInvalidLabel, kInvalidVertex, {id_pred, grp_pred});
+  SinkOp sink;
+  op.set_next(&sink);
+  MatchState state;
+  state.Reset(1, 0);
+  op.Run(&state);  // warm-up
+  uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  op.Run(&state);
+  EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed) - before, 0u);
+  EXPECT_GT(state.count, 0u);
+  EXPECT_LT(state.count, 2 * static_cast<uint64_t>(graph_.num_vertices()));
+}
+
+TEST_F(ZeroAllocTest, EpRuntimeExtendSteadyStateDoesNotAllocate) {
+  // The EP runtime fallback (unmaterialized bound edges re-derive the
+  // view adjacency from the anchor's primary list) must stay
+  // allocation-free: predicate evaluation over int properties only.
+  TwoHopViewDef view;
+  view.name = "w_flow";
+  view.kind = EpKind::kDstFwd;
+  view.pred.AddRef(PropRef{PropSite::kAdjEdge, weight_key_, false, false}, CmpOp::kGt,
+                   PropRef{PropSite::kBoundEdge, weight_key_, false, false});
+  EpIndex* full = store_->CreateEpIndex(view, IndexConfig::Default());
+  ASSERT_TRUE(full->fully_materialized());
+  EpIndex* partial =
+      store_->CreateEpIndex(view, IndexConfig::Default(), nullptr, full->MemoryBytes() / 8);
+  ASSERT_FALSE(partial->fully_materialized());
+
+  // Unmaterialized bound edges whose runtime adjacency is non-empty.
+  std::vector<edge_id_t> bound_edges;
+  for (edge_id_t e = graph_.num_edges(); e-- > 0 && bound_edges.size() < 50;) {
+    if (partial->IsMaterialized(e)) continue;
+    if (store_->primary(Direction::kFwd)->GetFullList(partial->AnchorOf(e)).len > 1) {
+      bound_edges.push_back(e);
+    }
+  }
+  ASSERT_FALSE(bound_edges.empty());
+
+  ListDescriptor desc;
+  desc.source = ListDescriptor::Source::kEp;
+  desc.ep = partial;
+  desc.bound_var = 0;  // edge var
+  desc.cats = {elabel_};
+  desc.target_vertex_var = 1;
+  desc.target_edge_var = 1;
+  ExtendOp op(&graph_, desc, {});
+  SinkOp sink;
+  op.set_next(&sink);
+  MatchState state;
+  state.Reset(2, 2);
+  auto drive = [&] {
+    uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+    for (edge_id_t eb : bound_edges) {
+      state.e[0] = eb;
+      op.Run(&state);
+    }
+    return g_alloc_count.load(std::memory_order_relaxed) - before;
+  };
+  drive();  // warm-up
+  EXPECT_EQ(drive(), 0u);
+  EXPECT_GT(state.count, 0u);
+}
+
+TEST_F(ZeroAllocTest, PlanExecuteSteadyStateDoesNotAllocate) {
+  // Full triangle plan (scan with predicate -> extend -> E/I -> sink),
+  // executed repeatedly: serial and parallel steady state must both be
+  // allocation-free (MatchStates, worker replicas, and the thread pool
+  // persist across Execute calls).
+  QueryGraph query;
+  int a = query.AddVertex("a");
+  int b = query.AddVertex("b");
+  int c = query.AddVertex("c");
+  query.AddEdge(a, b, elabel_, "e0");
+  query.AddEdge(a, c, elabel_, "e1");
+  query.AddEdge(b, c, elabel_, "e2");
+  QueryComparison scan_pred;
+  scan_pred.lhs = QueryPropRef{a, false, vgrp_key_, false};
+  scan_pred.op = CmpOp::kLe;
+  scan_pred.rhs_const = Value::Int64(6);
+  PlanBuilder builder(&graph_, &query);
+  auto plan = builder.Scan(a, {scan_pred})
+                  .Extend(List(a, b, 0, /*offset=*/false))
+                  .ExtendIntersect({List(a, c, 1, false), List(b, c, 2, true)}, c)
+                  .Build();
+
+  auto measure = [&](int threads) {
+    uint64_t count = plan->Execute(threads);  // warm-up: scratch + replicas + pool threads
+    count = plan->Execute(threads);           // second warm-up pass reaches the high-water mark
+    uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_EQ(plan->Execute(threads), count) << "threads=" << threads;
+    }
+    uint64_t allocs = g_alloc_count.load(std::memory_order_relaxed) - before;
+    EXPECT_GT(count, 0u);
+    return allocs;
+  };
+  EXPECT_EQ(measure(1), 0u) << "serial Execute steady state allocated";
+  EXPECT_EQ(measure(4), 0u) << "parallel Execute steady state allocated";
+  EXPECT_EQ(plan->Execute(4), plan->Execute(1)) << "parallel/serial count mismatch";
 }
 
 TEST_F(ZeroAllocTest, MultiExtendSteadyStateDoesNotAllocate) {
