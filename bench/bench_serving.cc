@@ -1,0 +1,248 @@
+// Serving-layer benchmark: prepared-query throughput vs per-request
+// parse+optimize+run, projected-row streaming rates at 1/4 threads, and
+// a RowBatch capacity sweep — all on the power-law triangle workload of
+// the PR 2/3 benches.
+//
+//   * "adhoc" / "prepared": per-request single-source triangle counting
+//     (`a.ID = $src`). The ad-hoc arm rebuilds the query text and goes
+//     through Database::ExecuteCypher (parse + optimize + execute) every
+//     request; the prepared arm binds + executes one cached plan. The
+//     headline metric is the per-request speedup (target: >= 5x).
+//   * "rows_t1" / "rows_t4": full 2-hop projection streamed through a
+//     RowConsumer, serial vs 4 workers, reported as rows/s.
+//   * "batch_<n>": the same streaming scan at different RowBatch
+//     capacities (consumer-callback amortization sweep).
+//
+// Env knobs: APLUS_SCALE (graph size), APLUS_SERVING_REQS (requests per
+// throughput arm), APLUS_SERVING_REPS (timed repetitions, best-of),
+// APLUS_BENCH_JSON (per-case metrics for scripts/bench_compare.py).
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/database.h"
+#include "datagen/power_law_generator.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace aplus;  // NOLINT: bench brevity
+
+namespace {
+
+struct CaseResult {
+  std::string name;
+  double seconds = 0.0;
+  uint64_t rows = 0;
+  int threads = 0;  // 0 = not thread-keyed
+  double per_request = 0.0;
+};
+
+struct NullConsumer : RowConsumer {
+  std::atomic<uint64_t> rows{0};
+  void OnBatch(const RowBatch& batch) override {
+    rows.fetch_add(batch.num_rows(), std::memory_order_relaxed);
+  }
+};
+
+constexpr const char* kTriangleCount =
+    "MATCH (a)-[r1:E]->(b)-[r2:E]->(c), (a)-[r3:E]->(c) "
+    "WHERE a.ID = $src RETURN COUNT(*)";
+
+constexpr const char* kTwoHopRows =
+    "MATCH (a)-[r1:E]->(b)-[r2:E]->(c) RETURN a, b, c";
+
+}  // namespace
+
+int main() {
+  double scale = ScaleFromEnv(0.02);
+  uint64_t requests = IntFromEnv("APLUS_SERVING_REQS", 2000);
+  int reps = static_cast<int>(IntFromEnv("APLUS_SERVING_REPS", 3));
+  unsigned cores = std::thread::hardware_concurrency();
+
+  Graph graph;
+  PowerLawParams params;
+  params.num_vertices = std::max<uint64_t>(2000, static_cast<uint64_t>(1000000 * scale));
+  params.avg_degree = 8.0;
+  params.preferential_fraction = 0.75;
+  params.seed = 97;
+  GeneratePowerLawGraph(params, &graph);
+  uint64_t num_vertices = graph.num_vertices();
+  Database db(std::move(graph));
+  db.BuildPrimaryIndexes();
+  Session session(&db);
+
+  PrintBanner("Serving API (" + TablePrinter::Count(db.graph().num_edges()) + " edges, " +
+              std::to_string(requests) + " reqs, " + std::to_string(reps) + " reps best-of)");
+
+  std::vector<CaseResult> results;
+  TablePrinter table({"case", "seconds", "per-request / rows-per-s", "notes"});
+
+  // Pre-draw one request stream shared by both throughput arms. Serving
+  // point-lookups target ordinary vertices, so sources are drawn from
+  // the moderate-out-degree bulk of the power-law distribution (hub
+  // sources would make per-request *execution* dominate both arms and
+  // hide the planning cost this bench isolates).
+  std::vector<vertex_id_t> sources;
+  {
+    std::vector<uint32_t> out_degree(num_vertices, 0);
+    for (edge_id_t e = 0; e < db.graph().num_edges(); ++e) out_degree[db.graph().edge_src(e)]++;
+    std::vector<vertex_id_t> ordinary;
+    for (vertex_id_t v = 0; v < num_vertices; ++v) {
+      if (out_degree[v] >= 1 && out_degree[v] <= 8) ordinary.push_back(v);
+    }
+    if (ordinary.empty()) {
+      for (vertex_id_t v = 0; v < num_vertices; ++v) ordinary.push_back(v);
+    }
+    Rng rng(7);
+    sources.reserve(requests);
+    for (uint64_t i = 0; i < requests; ++i) {
+      sources.push_back(ordinary[rng.NextBounded(ordinary.size())]);
+    }
+  }
+
+  // --- Arm 1: ad-hoc per-request parse + optimize + run. ---
+  uint64_t adhoc_matches = 0;
+  double adhoc_best = -1.0;
+  for (int r = 0; r < reps; ++r) {
+    uint64_t matches = 0;
+    WallTimer timer;
+    for (vertex_id_t src : sources) {
+      std::string text =
+          "MATCH (a)-[r1:E]->(b)-[r2:E]->(c), (a)-[r3:E]->(c) WHERE a.ID = " +
+          std::to_string(src) + " RETURN COUNT(*)";
+      QueryOutcome out = db.ExecuteCypher(text);
+      APLUS_CHECK(out.ok()) << out.error;
+      matches += out.count;
+    }
+    double elapsed = timer.ElapsedSeconds();
+    if (adhoc_best < 0.0 || elapsed < adhoc_best) adhoc_best = elapsed;
+    adhoc_matches = matches;
+  }
+  results.push_back({"adhoc", adhoc_best, adhoc_matches, 0,
+                     adhoc_best / static_cast<double>(requests)});
+
+  // --- Arm 2: prepared bind + execute on the cached plan. ---
+  PreparedQuery* prepared = session.Prepare(kTriangleCount);
+  APLUS_CHECK(prepared->ok()) << prepared->error();
+  prepared->Bind("src", Value::Int64(sources.front()));
+  APLUS_CHECK(prepared->Execute().ok());  // warm-up: plan scratch high-water mark
+  uint64_t prepared_matches = 0;
+  double prepared_best = -1.0;
+  for (int r = 0; r < reps; ++r) {
+    uint64_t matches = 0;
+    WallTimer timer;
+    for (vertex_id_t src : sources) {
+      prepared->Bind("src", Value::Int64(src));
+      QueryOutcome out = prepared->Execute();
+      matches += out.count;
+    }
+    double elapsed = timer.ElapsedSeconds();
+    if (prepared_best < 0.0 || elapsed < prepared_best) prepared_best = elapsed;
+    prepared_matches = matches;
+  }
+  APLUS_CHECK_EQ(prepared_matches, adhoc_matches)
+      << "prepared and ad-hoc arms disagree on the triangle count";
+  results.push_back({"prepared", prepared_best, prepared_matches, 0,
+                     prepared_best / static_cast<double>(requests)});
+  double speedup = prepared_best > 0.0 ? adhoc_best / prepared_best : 0.0;
+
+  table.AddRow({"adhoc (parse+optimize+run)", TablePrinter::Seconds(adhoc_best),
+                TablePrinter::Seconds(adhoc_best / static_cast<double>(requests)) + "/req",
+                TablePrinter::Count(adhoc_matches) + " matches"});
+  table.AddRow({"prepared (bind+execute)", TablePrinter::Seconds(prepared_best),
+                TablePrinter::Seconds(prepared_best / static_cast<double>(requests)) + "/req",
+                TablePrinter::Speedup(adhoc_best, prepared_best) + " vs adhoc"});
+
+  // --- Arm 3: projected-row streaming at 1 and 4 workers. ---
+  PreparedQuery* stream = session.Prepare(kTwoHopRows);
+  APLUS_CHECK(stream->ok()) << stream->error();
+  uint64_t t1_rows = 0;
+  for (int threads : {1, 4}) {
+    NullConsumer consumer;
+    QueryOutcome warm = stream->Execute(&consumer, threads);  // replicas + scratch
+    APLUS_CHECK(warm.ok()) << warm.error;
+    double best = -1.0;
+    uint64_t rows = 0;
+    for (int r = 0; r < reps; ++r) {
+      consumer.rows.store(0);
+      WallTimer timer;
+      QueryOutcome out = stream->Execute(&consumer, threads);
+      double elapsed = timer.ElapsedSeconds();
+      APLUS_CHECK(out.ok()) << out.error;
+      rows = consumer.rows.load();
+      APLUS_CHECK_EQ(rows, out.rows);
+      if (best < 0.0 || elapsed < best) best = elapsed;
+    }
+    if (threads == 1) t1_rows = rows;
+    APLUS_CHECK_EQ(rows, t1_rows) << "row count drifted across thread counts";
+    double rows_per_s = best > 0.0 ? static_cast<double>(rows) / best : 0.0;
+    results.push_back({"rows_t" + std::to_string(threads), best, rows, threads, 0.0});
+    table.AddRow({"stream rows t" + std::to_string(threads), TablePrinter::Seconds(best),
+                  TablePrinter::Count(static_cast<uint64_t>(rows_per_s)) + " rows/s",
+                  TablePrinter::Count(rows) + " rows"});
+  }
+
+  // --- Arm 4: RowBatch capacity sweep (serial streaming). ---
+  for (uint32_t batch : {64u, 256u, 1024u, 4096u}) {
+    PrepareOptions options;
+    options.batch_rows = batch;
+    std::unique_ptr<PreparedQuery> swept = db.Prepare(kTwoHopRows, options);
+    APLUS_CHECK(swept->ok()) << swept->error();
+    NullConsumer consumer;
+    APLUS_CHECK(swept->Execute(&consumer, 1).ok());  // warm-up
+    double best = -1.0;
+    for (int r = 0; r < reps; ++r) {
+      WallTimer timer;
+      QueryOutcome out = swept->Execute(&consumer, 1);
+      double elapsed = timer.ElapsedSeconds();
+      APLUS_CHECK(out.ok()) << out.error;
+      if (best < 0.0 || elapsed < best) best = elapsed;
+    }
+    results.push_back({"batch_" + std::to_string(batch), best, t1_rows, 0, 0.0});
+    table.AddRow({"batch=" + std::to_string(batch), TablePrinter::Seconds(best),
+                  TablePrinter::Count(static_cast<uint64_t>(
+                      best > 0.0 ? static_cast<double>(t1_rows) / best : 0.0)) +
+                      " rows/s",
+                  ""});
+  }
+
+  table.Print();
+  std::printf(
+      "\nShape: the prepared arm amortizes parsing + DP optimization across\n"
+      "requests (plan-cache hit, $src patched in place), so per-request cost\n"
+      "collapses to plan execution. Target: prepared >= 5x adhoc per request\n"
+      "(got %.1fx). Streaming scales with workers until the consumer or\n"
+      "memory bandwidth saturates.\n",
+      speedup);
+  if (speedup < 5.0) {
+    std::printf("WARNING: prepared speedup %.1fx below the 5x serving target.\n", speedup);
+  }
+
+  const char* json_path = std::getenv("APLUS_BENCH_JSON");
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    APLUS_CHECK(f != nullptr) << "cannot write " << json_path;
+    std::fprintf(f, "{\n  \"bench\": \"bench_serving\",\n  \"cores\": %u,\n", cores);
+    std::fprintf(f, "  \"prepared_speedup\": %.3f,\n  \"cases\": {\n", speedup);
+    for (size_t i = 0; i < results.size(); ++i) {
+      const CaseResult& r = results[i];
+      std::fprintf(f, "    \"%s\": {\"seconds\": %.6f, \"rows\": %llu", r.name.c_str(),
+                   r.seconds, static_cast<unsigned long long>(r.rows));
+      if (r.threads > 0) std::fprintf(f, ", \"threads\": %d", r.threads);
+      if (r.per_request > 0.0) std::fprintf(f, ", \"per_request\": %.9f", r.per_request);
+      std::fprintf(f, "}%s\n", i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+    std::printf("Wrote per-case metrics to %s\n", json_path);
+  }
+  return 0;
+}

@@ -99,7 +99,7 @@ int main() {
         mm_dp = db.IndexMemoryBytes();
       }
       for (size_t q = 0; q < kNumQueries; ++q) {
-        QueryResult r = db.Run(workload[q].query);
+        QueryOutcome r = db.Execute(workload[q].query);
         results[q].push_back({r.seconds, r.count});
       }
     }

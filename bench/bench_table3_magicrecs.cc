@@ -57,8 +57,8 @@ MrResult RunMr(Database* db, int mr, prop_key_t time_key, int64_t alpha,
     QueryGraph query = MakeMrQuery(mr, time_key, alpha, u, follows);
     // Best of two runs per start user (suppresses cold-cache noise on
     // sub-millisecond queries).
-    QueryResult r1 = db->Run(query);
-    QueryResult r2 = db->Run(query);
+    QueryOutcome r1 = db->Execute(query);
+    QueryOutcome r2 = db->Execute(query);
     per_user.push_back(std::min(r1.seconds, r2.seconds));
     result.matches += r1.count;
   }

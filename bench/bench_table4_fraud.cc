@@ -72,7 +72,7 @@ int main() {
       for (int mf = 1; mf <= 5; ++mf) {
         if (mf == 5 && skip_mf5) continue;  // MF5 takes very long pre-EPc on big sets
         QueryGraph query = MakeMfQuery(mf, params);
-        QueryResult r = db.Run(query);
+        QueryOutcome r = db.Execute(query);
         row->seconds[mf - 1] = r.seconds;
         row->counts[mf - 1] = r.count;
       }

@@ -65,7 +65,7 @@ int main() {
       db.BuildPrimaryIndexes(IndexConfig::Default());
       std::vector<std::string> row = {"AplusDB D"};
       for (const QueryGraph* q : queries) {
-        QueryResult r = db.Run(*q);
+        QueryOutcome r = db.Execute(*q);
         reference_counts.push_back(r.count);
         row.push_back(TablePrinter::Seconds(r.seconds));
       }
@@ -77,7 +77,7 @@ int main() {
       db.BuildPrimaryIndexes(dp);
       std::vector<std::string> row = {"AplusDB Dp"};
       for (size_t i = 0; i < queries.size(); ++i) {
-        QueryResult r = db.Run(*queries[i]);
+        QueryOutcome r = db.Execute(*queries[i]);
         row.push_back(TablePrinter::Seconds(r.seconds));
         if (r.count != reference_counts[i]) {
           std::printf("WARNING: Dp count mismatch on %s\n", query_names[i].c_str());

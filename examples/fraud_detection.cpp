@@ -86,7 +86,7 @@ QueryGraph FlowPathQuery(const FinancialPropKeys& keys, int64_t alpha, int64_t i
   return q;
 }
 
-void Report(const char* config, const char* name, const QueryResult& r) {
+void Report(const char* config, const char* name, const QueryOutcome& r) {
   std::printf("[%s] %-10s %10llu matches  %8.2f ms\n", config, name,
               static_cast<unsigned long long>(r.count), r.seconds * 1e3);
 }
@@ -113,8 +113,8 @@ int main(int argc, char** argv) {
   QueryGraph flow = FlowPathQuery(keys, /*alpha=*/25, /*id_bound=*/200, elabel);
 
   // Config D: primary indexes only.
-  QueryResult cycle_d = db.Run(cycle);
-  QueryResult flow_d = db.Run(flow);
+  QueryOutcome cycle_d = db.Execute(cycle);
+  QueryOutcome flow_d = db.Execute(flow);
   Report("D        ", "cycle", cycle_d);
   Report("D        ", "flow-path", flow_d);
 
@@ -129,7 +129,7 @@ int main(int argc, char** argv) {
   db.CreateVpIndex("VPc", Predicate(), city_sorted, Direction::kBwd, &ic);
   total_ic += ic;
   std::printf("created VPc (FW+BW) in %.1f ms\n", total_ic * 1e3);
-  QueryResult cycle_vpc = db.Run(cycle);
+  QueryOutcome cycle_vpc = db.Execute(cycle);
   Report("D+VPc    ", "cycle", cycle_vpc);
   std::printf("  speedup vs D: %.2fx; plan:\n%s", cycle_d.seconds / cycle_vpc.seconds,
               cycle_vpc.plan.c_str());
@@ -146,7 +146,7 @@ int main(int argc, char** argv) {
   db.CreateEpIndex("EPc", EpKind::kDstFwd, money_flow, ep_config, &ic);
   std::printf("created EPc in %.1f ms (|E_indexed| = %llu)\n", ic * 1e3,
               static_cast<unsigned long long>(db.index_store().FindEpIndex("EPc")->num_edges_indexed()));
-  QueryResult flow_ep = db.Run(flow);
+  QueryOutcome flow_ep = db.Execute(flow);
   Report("D+VPc+EPc", "flow-path", flow_ep);
   std::printf("  speedup vs D: %.2fx; plan:\n%s", flow_d.seconds / flow_ep.seconds,
               flow_ep.plan.c_str());

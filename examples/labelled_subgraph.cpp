@@ -72,8 +72,8 @@ int main(int argc, char** argv) {
 
   for (const Config& c : configs) {
     double ir = db.BuildPrimaryIndexes(c.config);
-    QueryResult t = db.Run(triangle);
-    QueryResult d = db.Run(diamond);
+    QueryOutcome t = db.Execute(triangle);
+    QueryOutcome d = db.Execute(diamond);
     std::printf("[%s] IR %.1f ms | triangle: %llu in %.2f ms | diamond: %llu in %.2f ms | %zu B\n",
                 c.name, ir * 1e3, static_cast<unsigned long long>(t.count), t.seconds * 1e3,
                 static_cast<unsigned long long>(d.count), d.seconds * 1e3,

@@ -72,7 +72,7 @@ int main(int argc, char** argv) {
   for (vertex_id_t i = 0; i < kSampleUsers; ++i) {
     vertex_id_t u = sample_user(i);
     QueryGraph q = Mr2(time_key, alpha, u, follows);
-    QueryResult r = db.Run(q);
+    QueryOutcome r = db.Execute(q);
     d_total += r.seconds;
     d_matches += r.count;
   }
@@ -98,7 +98,7 @@ int main(int argc, char** argv) {
   for (vertex_id_t i = 0; i < kSampleUsers; ++i) {
     vertex_id_t u = sample_user(i);
     QueryGraph q = Mr2(time_key, alpha, u, follows);
-    QueryResult r = db.Run(q);
+    QueryOutcome r = db.Execute(q);
     vpt_total += r.seconds;
     vpt_matches += r.count;
   }

@@ -82,6 +82,12 @@ for bench in "${BENCHES[@]}"; do
     run_one "${bench}" env APLUS_SCALE="${SCALE}" \
       APLUS_PAR_MAX_THREADS="${APLUS_PAR_MAX_THREADS:-$(( CORES < 8 ? CORES : 8 ))}" \
       APLUS_PAR_REPS="${APLUS_PAR_REPS:-1}" || FAILED=1
+  elif [[ "${bench}" == "bench_serving" ]]; then
+    # Fewer requests and one timed rep at smoke scale; the perf-gate job
+    # runs the full request stream.
+    run_one "${bench}" env APLUS_SCALE="${SCALE}" \
+      APLUS_SERVING_REQS="${APLUS_SERVING_REQS:-300}" \
+      APLUS_SERVING_REPS="${APLUS_SERVING_REPS:-1}" || FAILED=1
   elif [[ "${bench}" == "bench_intersect" ]]; then
     # One timed rep and fewer tuples: smoke guards "it runs and reports",
     # the perf-gate job runs it at full defaults.

@@ -2,6 +2,7 @@
 #define APLUS_BASELINE_MATCHER_H_
 
 #include <algorithm>
+#include <functional>
 #include <vector>
 
 #include "query/query_graph.h"
@@ -38,6 +39,17 @@ class BaselineMatcher {
     steps_until_check_ = kCheckInterval;
     Recurse(0, &state);
     return state.count;
+  }
+
+  // Like Count(), invoking `fn(const MatchState&)` once per complete
+  // match (every query vertex and edge bound). Serves as the row-level
+  // oracle for the serving API's projection tests.
+  template <typename Fn>
+  uint64_t Enumerate(Fn&& fn) {
+    on_match_ = std::forward<Fn>(fn);
+    uint64_t count = Count();
+    on_match_ = nullptr;
+    return count;
   }
 
   bool timed_out() const { return timed_out_; }
@@ -118,6 +130,7 @@ class BaselineMatcher {
     if (CheckDeadline()) return;
     if (depth == order_.size()) {
       state->count++;
+      if (on_match_) on_match_(*state);
       return;
     }
     int var = order_[depth];
@@ -198,6 +211,7 @@ class BaselineMatcher {
   bool timed_out_ = false;
   uint32_t steps_until_check_ = kCheckInterval;
   std::vector<int> order_;
+  std::function<void(const MatchState&)> on_match_;
 };
 
 }  // namespace aplus

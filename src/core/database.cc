@@ -84,25 +84,104 @@ DpOptimizer* Database::CachedOptimizer() {
   return optimizer_.get();
 }
 
-QueryResult Database::Run(const QueryGraph& query) {
+std::unique_ptr<PreparedQuery> Database::Prepare(const std::string& text,
+                                                 const PrepareOptions& options) {
+  std::unique_ptr<PreparedQuery> prepared(new PreparedQuery(this));
+  prepared->normalized_text_ = NormalizeQueryText(text);
+  ParsedCypher parsed = ParseCypher(text, graph_.catalog());
+  if (!parsed.ok()) {
+    prepared->status_ = QueryOutcome::Status::kParseError;
+    prepared->error_ = parsed.error;
+    return prepared;
+  }
+  prepared->query_ = std::move(parsed.query);
+  prepared->has_limit_ = parsed.has_limit;
+  prepared->limit_ = parsed.limit;
+  for (const CypherParam& param : parsed.params) {
+    PreparedQuery::ParamInfo info;
+    info.name = param.name;
+    info.expected = param.expected;
+    info.key = param.key;
+    info.pin_var = param.pin_var;
+    prepared->params_.push_back(std::move(info));
+  }
+  // Placeholder-pin every `<var>.ID = $p` vertex so the optimizer plans
+  // around a pinned vertex; Bind patches the literal id into the plan.
+  for (int v = 0; v < prepared->query_.num_vertices(); ++v) {
+    if (prepared->query_.vertex(v).bound_param >= 0) {
+      prepared->query_.mutable_vertex(v).bound = 0;
+    }
+  }
+  for (const ReturnItem& item : parsed.returns) {
+    ProjectColumn col;
+    col.name = item.name;
+    col.ref = item.ref;
+    col.type =
+        item.ref.is_id ? ValueType::kInt64 : graph_.catalog().property(item.ref.key).type;
+    prepared->columns_.push_back(std::move(col));
+  }
+  if (store_->HasPendingUpdates()) store_->FlushAll();
+  DpOptimizer* optimizer = CachedOptimizer();
+  auto sink = std::make_unique<ProjectSinkOp>(&graph_, prepared->columns_, options.batch_rows,
+                                              &prepared->controls_);
+  std::unique_ptr<Plan> plan = optimizer->Optimize(prepared->query_, std::move(sink));
+  if (plan == nullptr) {
+    prepared->status_ = QueryOutcome::Status::kPlanError;
+    prepared->error_ = "no plan found (disconnected or unsupported query)";
+    return prepared;
+  }
+  prepared->plan_text_ =
+      RenderPlanTree(prepared->query_, graph_.catalog(), optimizer->last_steps());
+  plan->SetStopFlag(&prepared->controls_.stop);
+  prepared->plan_ = std::move(plan);
+  prepared->RefreshSlots();
+  prepared->store_version_ = store_->version();
+  prepared->num_edges_ = graph_.num_edges();
+  return prepared;
+}
+
+QueryOutcome Database::Execute(const QueryGraph& query) {
+  QueryOutcome out;
   if (store_->HasPendingUpdates()) store_->FlushAll();
   DpOptimizer* optimizer = CachedOptimizer();
   std::unique_ptr<Plan> plan = optimizer->Optimize(query);
-  APLUS_CHECK(plan != nullptr) << "no plan found (disconnected query?)";
+  if (plan == nullptr) {
+    out.status = QueryOutcome::Status::kPlanError;
+    out.error = "no plan found (disconnected or unsupported query)";
+    return out;
+  }
   QueryResult result = RunPlan(plan.get());
-  result.plan = RenderPlanTree(query, graph_.catalog(), optimizer->last_steps());
+  out.count = result.count;
+  out.seconds = result.seconds;
+  out.plan = RenderPlanTree(query, graph_.catalog(), optimizer->last_steps());
+  return out;
+}
+
+QueryOutcome Database::ExecuteCypher(const std::string& text, RowConsumer* consumer) {
+  std::unique_ptr<PreparedQuery> prepared = Prepare(text);
+  QueryOutcome out = prepared->Execute(consumer);
+  if (out.ok()) out.plan = prepared->plan_text();
+  return out;
+}
+
+QueryResult Database::Run(const QueryGraph& query) {
+  QueryOutcome out = Execute(query);
+  APLUS_CHECK(out.ok()) << out.error;
+  QueryResult result;
+  result.count = out.count;
+  result.seconds = out.seconds;
+  result.plan = std::move(out.plan);
   return result;
 }
 
 Database::CypherResult Database::RunCypher(const std::string& text) {
+  QueryOutcome outcome = ExecuteCypher(text);
   CypherResult out;
-  ParsedCypher parsed = ParseCypher(text, graph_.catalog());
-  if (!parsed.ok()) {
-    out.error = parsed.error;
-    return out;
-  }
-  out.result = Run(parsed.query);
-  out.ok = true;
+  out.ok = outcome.ok();
+  out.error = std::move(outcome.error);
+  out.result.count = outcome.count;
+  out.result.seconds = outcome.seconds;
+  out.result.plan = std::move(outcome.plan);
   return out;
 }
 
@@ -112,6 +191,12 @@ std::string Database::Explain(const QueryGraph& query) {
   std::unique_ptr<Plan> plan = optimizer->Optimize(query);
   if (plan == nullptr) return "(no plan)";
   return RenderPlanTree(query, graph_.catalog(), optimizer->last_steps());
+}
+
+std::string Database::Explain(const std::string& text) {
+  std::unique_ptr<PreparedQuery> prepared = Prepare(text);
+  if (!prepared->ok()) return "(error: " + prepared->error() + ")";
+  return prepared->plan_text();
 }
 
 }  // namespace aplus

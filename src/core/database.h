@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "core/session.h"
 #include "index/index_store.h"
 #include "index/maintenance.h"
 #include "optimizer/dp_optimizer.h"
@@ -23,14 +24,24 @@ struct DdlResult {
 };
 
 // The public facade of the engine: a property graph plus its A+ index
-// subsystem, the DP optimizer, and maintenance. This is the entry point
-// examples and benchmarks use.
+// subsystem, the DP optimizer, and maintenance.
+//
+// The serving flow prepares once and executes per request:
 //
 //   Database db(std::move(graph));
-//   db.BuildPrimaryIndexes();                        // default config
+//   db.BuildPrimaryIndexes();
 //   db.ExecuteDdl("RECONFIGURE PRIMARY INDEXES ...");
-//   db.ExecuteDdl("CREATE 1-HOP VIEW ... ");
-//   QueryResult r = db.Run(query);
+//
+//   Session session(&db);  // one per serving thread
+//   PreparedQuery* q = session.Prepare(
+//       "MATCH (a)-[r1:W]->(b)-[r2:W]->(c) WHERE a.ID = $src "
+//       "RETURN b, c, r2.amount LIMIT 100");
+//   q->Bind("src", Value::Int64(42));
+//   QueryOutcome out = q->Execute(&my_row_consumer);   // streams RowBatches
+//
+// One-shot paths (Execute / ExecuteCypher) parse + optimize per call and
+// also report through QueryOutcome. The pre-QueryOutcome entry points
+// (Run / RunCypher) remain as thin deprecated wrappers.
 class Database {
  public:
   explicit Database(Graph graph);
@@ -57,22 +68,42 @@ class Database {
   // Parses and executes one of the paper's index DDL commands.
   DdlResult ExecuteDdl(const std::string& command);
 
-  // Optimizes and runs `query`; flushes pending index updates first.
+  // --- Serving API ---
+
+  // Parses + optimizes `text` once into a reusable PreparedQuery (always
+  // non-null; parse/plan failures are carried in its status and
+  // re-reported by Execute). Prefer Session::Prepare, which caches on
+  // normalized query text and revalidates against the store/graph
+  // version counters.
+  std::unique_ptr<PreparedQuery> Prepare(const std::string& text,
+                                         const PrepareOptions& options = {});
+
+  // Optimizes and runs a programmatic pattern (counting); flushes
+  // pending index updates first.
+  QueryOutcome Execute(const QueryGraph& query);
+
+  // One-shot Cypher: Prepare + Execute. Rows stream to `consumer` when
+  // the query projects and one is given.
+  QueryOutcome ExecuteCypher(const std::string& text, RowConsumer* consumer = nullptr);
+
+  // Figure 6-style plan rendering without executing.
+  std::string Explain(const QueryGraph& query);
+  std::string Explain(const std::string& text);
+
+  // --- Deprecated wrappers (pre-QueryOutcome signatures) ---
+
+  // Deprecated: use Execute(query). CHECK-fails on plan errors, exactly
+  // like the historical behaviour.
   QueryResult Run(const QueryGraph& query);
 
-  // Parses an openCypher-subset MATCH query (see query/cypher_parser.h)
-  // and runs it. Parse errors surface in QueryResult::plan with count 0
-  // and `ok` set false through the returned pair.
+  // Deprecated: use ExecuteCypher / Session::Execute, which report
+  // through QueryOutcome's dedicated status/error fields.
   struct CypherResult {
     bool ok = false;
     std::string error;
     QueryResult result;
   };
   CypherResult RunCypher(const std::string& text);
-
-  // Optimizes `query` and returns the Figure 6-style plan rendering
-  // without executing it.
-  std::string Explain(const QueryGraph& query);
 
   size_t IndexMemoryBytes() const { return store_->TotalMemoryBytes(); }
 

@@ -1,0 +1,255 @@
+#include "core/session.h"
+
+#include <cctype>
+#include <limits>
+
+#include "core/database.h"
+#include "util/logging.h"
+
+namespace aplus {
+
+const char* ToString(QueryOutcome::Status status) {
+  switch (status) {
+    case QueryOutcome::Status::kOk:
+      return "OK";
+    case QueryOutcome::Status::kParseError:
+      return "PARSE_ERROR";
+    case QueryOutcome::Status::kPlanError:
+      return "PLAN_ERROR";
+    case QueryOutcome::Status::kBindError:
+      return "BIND_ERROR";
+    case QueryOutcome::Status::kInvalidated:
+      return "INVALIDATED";
+    case QueryOutcome::Status::kExecError:
+      return "EXEC_ERROR";
+  }
+  return "?";
+}
+
+std::string NormalizeQueryText(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  bool pending_space = false;
+  bool in_string = false;  // inside a '...' literal: whitespace is significant
+  for (char c : text) {
+    if (c == '\'') in_string = !in_string;
+    if (!in_string && std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) out += ' ';
+    pending_space = false;
+    out += c;
+  }
+  return out;
+}
+
+int PreparedQuery::FindParam(const std::string& name) const {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    if (params_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool PreparedQuery::current() const {
+  return plan_ != nullptr && store_version_ == db_->index_store().version() &&
+         num_edges_ == db_->graph().num_edges();
+}
+
+void PreparedQuery::RefreshSlots() {
+  slots_.Clear();
+  plan_->CollectParamSlots(&slots_);
+  slots_pipelines_ = plan_->num_pipelines();
+}
+
+void PreparedQuery::ApplyParam(const ParamInfo& param, int index) {
+  for (const ParamSlots::ValueSlot& slot : slots_.values) {
+    if (slot.param == index) *slot.value = param.value;
+  }
+  if (param.pin_var >= 0) {
+    vertex_id_t id = static_cast<vertex_id_t>(param.value.AsInt64());
+    for (const ParamSlots::PinSlot& slot : slots_.pins) {
+      if (slot.var == param.pin_var) *slot.pin = id;
+    }
+  }
+}
+
+bool PreparedQuery::Bind(const std::string& name, const Value& value) {
+  int index = FindParam(name);
+  if (index < 0) {
+    bind_error_ = "unknown parameter $" + name;
+    return false;
+  }
+  ParamInfo& param = params_[index];
+  if (value.is_null()) {
+    bind_error_ = "cannot bind null to parameter $" + name;
+    return false;
+  }
+  Value coerced = value;
+  bool type_ok = false;
+  switch (param.expected) {
+    case ValueType::kInt64:
+      type_ok = value.type() == ValueType::kInt64;
+      break;
+    case ValueType::kDouble:
+      if (value.type() == ValueType::kInt64) {
+        coerced = Value::Double(static_cast<double>(value.AsInt64()));
+        type_ok = true;
+      } else {
+        type_ok = value.type() == ValueType::kDouble;
+      }
+      break;
+    case ValueType::kString:
+      type_ok = value.type() == ValueType::kString;
+      break;
+    case ValueType::kBool:
+      type_ok = value.type() == ValueType::kBool;
+      break;
+    case ValueType::kCategory: {
+      const Catalog& catalog = db_->graph().catalog();
+      if (value.type() == ValueType::kString) {
+        // Category parameters accept the value's registered name.
+        category_t cat = catalog.FindCategoryValue(param.key, value.AsString());
+        if (cat == kInvalidCategory) {
+          bind_error_ = "unknown category value '" + value.AsString() + "' for parameter $" +
+                        name;
+          return false;
+        }
+        coerced = Value::Category(cat);
+        type_ok = true;
+      } else if (value.type() == ValueType::kInt64 || value.type() == ValueType::kCategory) {
+        int64_t code = value.AsInt64();
+        if (code < 0 ||
+            code >= static_cast<int64_t>(catalog.property(param.key).domain_size)) {
+          bind_error_ = "category code out of domain for parameter $" + name;
+          return false;
+        }
+        coerced = Value::Category(code);
+        type_ok = true;
+      }
+      break;
+    }
+    case ValueType::kNull:
+      break;
+  }
+  if (!type_ok) {
+    bind_error_ = std::string("type mismatch binding parameter $") + name + ": expected " +
+                  aplus::ToString(param.expected) + ", got " + aplus::ToString(value.type());
+    return false;
+  }
+  if (param.pin_var >= 0) {
+    // A pin becomes a raw scan bound / list probe target, so the id must
+    // be a real vertex — client input never reaches an unchecked index.
+    int64_t id = coerced.AsInt64();
+    if (id < 0 || id >= static_cast<int64_t>(db_->graph().num_vertices())) {
+      bind_error_ = "vertex id out of range for parameter $" + name;
+      return false;
+    }
+  }
+  param.value = std::move(coerced);
+  param.bound = true;
+  if (plan_ == nullptr) return true;  // errored prepare: nothing to patch
+  if (plan_->num_pipelines() != slots_pipelines_) {
+    // A parallel Execute added worker replicas since the last
+    // collection: re-collect and re-apply every bound parameter so the
+    // replicas see this (and any future) bind.
+    RefreshSlots();
+    for (size_t i = 0; i < params_.size(); ++i) {
+      if (params_[i].bound) ApplyParam(params_[i], static_cast<int>(i));
+    }
+  } else {
+    ApplyParam(param, index);
+  }
+  return true;
+}
+
+QueryOutcome PreparedQuery::Execute(RowConsumer* consumer, int num_threads) {
+  QueryOutcome out;
+  if (!ok()) {
+    out.status = status_;
+    out.error = error_;
+    return out;
+  }
+  if (!current()) {
+    out.status = QueryOutcome::Status::kInvalidated;
+    out.error = "prepared query is stale (indexes or graph changed since Prepare); re-prepare";
+    return out;
+  }
+  for (const ParamInfo& param : params_) {
+    if (!param.bound) {
+      out.status = QueryOutcome::Status::kBindError;
+      out.error = "unbound parameter $" + param.name;
+      return out;
+    }
+  }
+  // Queries require clean indexes (the pre-serving Run invariant).
+  // Deletions buffer page updates without bumping the store version or
+  // the edge count, so `current()` alone cannot catch them; flushing
+  // mutates page internals in place and never invalidates plan pointers
+  // (index objects are only replaced by DDL, which does bump versions).
+  if (db_->index_store().HasPendingUpdates()) db_->index_store().FlushAll();
+  controls_.consumer = consumer;
+  controls_.limit_active = has_limit_;
+  int64_t budget = 0;
+  if (has_limit_) {
+    constexpr uint64_t kMaxBudget =
+        static_cast<uint64_t>(std::numeric_limits<int64_t>::max());
+    budget = static_cast<int64_t>(limit_ < kMaxBudget ? limit_ : kMaxBudget);
+  }
+  controls_.rows_remaining.store(budget, std::memory_order_relaxed);
+  controls_.stop.store(false, std::memory_order_relaxed);
+  for (int i = 0; i < plan_->num_pipelines(); ++i) {
+    static_cast<ProjectSinkOp*>(plan_->sink(i))->ResetBatch();
+  }
+  uint64_t count =
+      num_threads == kUseEnvThreads ? plan_->Execute() : plan_->Execute(num_threads);
+  // Partial batches drain on the calling thread once the workers joined.
+  for (int i = 0; i < plan_->num_pipelines(); ++i) {
+    static_cast<ProjectSinkOp*>(plan_->sink(i))->Flush();
+  }
+  controls_.consumer = nullptr;
+  out.count = count;
+  out.rows = columns_.empty() ? 0 : count;
+  out.seconds = plan_->last_execute_seconds();
+  return out;
+}
+
+PreparedQuery* Session::Prepare(const std::string& text, const PrepareOptions& options) {
+  std::string key = NormalizeQueryText(text);
+  ++tick_;
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    if (it->second.prepared->current()) {
+      ++cache_hits_;
+      it->second.last_used = tick_;
+      return it->second.prepared.get();
+    }
+    cache_.erase(it);  // stale: the store or graph moved on
+  }
+  ++cache_misses_;
+  std::unique_ptr<PreparedQuery> prepared = db_->Prepare(text, options);
+  PreparedQuery* raw = prepared.get();
+  if (!raw->ok()) {
+    last_failed_ = std::move(prepared);
+    return last_failed_.get();
+  }
+  if (cache_.size() >= kMaxCachedQueries) {
+    auto victim = cache_.begin();
+    for (auto entry = cache_.begin(); entry != cache_.end(); ++entry) {
+      if (entry->second.last_used < victim->second.last_used) victim = entry;
+    }
+    cache_.erase(victim);
+  }
+  cache_.emplace(std::move(key), CacheEntry{std::move(prepared), tick_});
+  return raw;
+}
+
+QueryOutcome Session::Execute(const std::string& text, RowConsumer* consumer,
+                              int num_threads) {
+  PreparedQuery* prepared = Prepare(text);
+  QueryOutcome out = prepared->Execute(consumer, num_threads);
+  if (out.ok()) out.plan = prepared->plan_text();
+  return out;
+}
+
+}  // namespace aplus

@@ -1,0 +1,198 @@
+#ifndef APLUS_CORE_SESSION_H_
+#define APLUS_CORE_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "query/cypher_parser.h"
+#include "query/executor.h"
+#include "query/row_sink.h"
+
+namespace aplus {
+
+class Database;
+
+// The single result type of the serving API: every query/command path
+// (prepared execution, one-shot Cypher, programmatic QueryGraph runs)
+// reports through it. Errors land in `status` + `error` — never in the
+// plan text or a magic count.
+struct QueryOutcome {
+  enum class Status : uint8_t {
+    kOk = 0,
+    kParseError,   // Cypher text did not parse
+    kPlanError,    // no plan (disconnected / unsupported query)
+    kBindError,    // unknown/unbound/type-mismatched parameter
+    kInvalidated,  // indexes or graph changed since Prepare; re-prepare
+    kExecError,    // execution failed
+  };
+
+  Status status = Status::kOk;
+  std::string error;  // empty when ok()
+  uint64_t count = 0;  // complete matches (exactly min(LIMIT, matches) under a LIMIT)
+  uint64_t rows = 0;   // rows materialized through the projection sink (0 for COUNT(*))
+  double seconds = 0.0;
+  // Figure 6-style plan rendering. Filled by the one-shot paths
+  // (Database::Execute/ExecuteCypher); PreparedQuery::Execute leaves it
+  // empty so the steady-state hot path stays allocation-free — read
+  // PreparedQuery::plan_text() instead.
+  std::string plan;
+
+  bool ok() const { return status == Status::kOk; }
+};
+
+const char* ToString(QueryOutcome::Status status);
+
+struct PrepareOptions {
+  // RowBatch capacity (rows per consumer delivery) of the projection
+  // sink. Larger batches amortize the consumer callback; smaller ones
+  // lower first-row latency.
+  uint32_t batch_rows = 1024;
+};
+
+// A parsed + optimized query whose physical plan is reused across
+// executions: Bind patches $param slots directly in the plan (no
+// re-parse, no re-optimization), Execute streams typed row batches to a
+// RowConsumer. Steady-state Bind + Execute performs zero heap
+// allocations after warm-up (asserted by tests/zero_alloc_test.cc).
+//
+// Thread-safety: a PreparedQuery is NOT thread-safe — use one Session
+// (and thus one PreparedQuery instance) per thread, and never share one
+// mid-execute. Execute(consumer, k > 1) runs the plan morsel-parallel;
+// in that mode the consumer's OnBatch fires concurrently from the
+// workers (the final partial flush is always on the calling thread).
+class PreparedQuery {
+ public:
+  PreparedQuery(const PreparedQuery&) = delete;
+  PreparedQuery& operator=(const PreparedQuery&) = delete;
+
+  // Prepare status: a parse/plan failure is carried here and re-reported
+  // by Execute (failed prepares are cheap error holders, never cached).
+  bool ok() const { return status_ == QueryOutcome::Status::kOk; }
+  const std::string& error() const { return error_; }
+
+  size_t num_params() const { return params_.size(); }
+  const std::string& param_name(size_t i) const { return params_[i].name; }
+  int FindParam(const std::string& name) const;
+
+  // Binds $name to `value`, patching every parameter slot of the plan in
+  // place. Returns false (and records bind_error()) on unknown names and
+  // type mismatches; category-typed parameters also accept the category
+  // value's string name. Bindings persist across Execute calls until
+  // re-bound.
+  bool Bind(const std::string& name, const Value& value);
+  const std::string& bind_error() const { return bind_error_; }
+
+  // Runs the plan. Rows stream to `consumer` (may be null: rows are
+  // counted, then dropped). `num_threads` as in RunPlan: kUseEnvThreads
+  // defers to APLUS_THREADS (serial for projecting queries), >= 1 pins
+  // the worker count.
+  QueryOutcome Execute(RowConsumer* consumer = nullptr, int num_threads = kUseEnvThreads);
+
+  // True while the plan is still valid against the database's index
+  // store version and graph edge count; false means Execute will return
+  // kInvalidated and the query must be re-prepared.
+  bool current() const;
+
+  const std::string& plan_text() const { return plan_text_; }
+  const std::vector<ProjectColumn>& columns() const { return columns_; }
+  bool has_limit() const { return has_limit_; }
+  uint64_t limit() const { return limit_; }
+  const std::string& normalized_text() const { return normalized_text_; }
+
+ private:
+  friend class Database;
+
+  explicit PreparedQuery(Database* db) : db_(db) {}
+
+  struct ParamInfo {
+    std::string name;
+    ValueType expected = ValueType::kNull;
+    prop_key_t key = kInvalidPropKey;
+    int pin_var = -1;
+    bool bound = false;
+    Value value;
+  };
+
+  // Re-collects plan slots when the pipeline count changed (a parallel
+  // Execute added replicas) and re-applies every bound parameter.
+  void RefreshSlots();
+  void ApplyParam(const ParamInfo& param, int index);
+
+  Database* db_;
+  QueryOutcome::Status status_ = QueryOutcome::Status::kOk;
+  std::string error_;       // prepare-time error (parse/plan)
+  std::string bind_error_;  // last Bind failure
+  std::string normalized_text_;
+
+  QueryGraph query_;  // placeholder-pinned pattern (kept for rendering/debugging)
+  std::vector<ProjectColumn> columns_;
+  bool has_limit_ = false;
+  uint64_t limit_ = 0;
+  std::vector<ParamInfo> params_;
+
+  std::unique_ptr<Plan> plan_;
+  ExecControls controls_;  // shared with every ProjectSinkOp replica
+  std::string plan_text_;
+  uint64_t store_version_ = 0;
+  uint64_t num_edges_ = 0;
+
+  ParamSlots slots_;
+  int slots_pipelines_ = 0;
+};
+
+// A per-thread serving handle: wraps a Database with a prepared-query
+// cache keyed on normalized query text. Cache entries are revalidated
+// against the store/graph version counters on every Prepare, so DDL
+// (RECONFIGURE / CREATE ... VIEW) and ingest transparently re-plan on
+// the next request. Sessions are cheap; use one per thread (neither the
+// Session nor its PreparedQuerys are thread-safe).
+class Session {
+ public:
+  // Cache capacity: a long-lived session serving literal-inlined (un-
+  // parameterized) texts must not grow without bound, so the least-
+  // recently-used entry is evicted once this many are cached.
+  static constexpr size_t kMaxCachedQueries = 256;
+
+  explicit Session(Database* db) : db_(db) {}
+
+  // Returns the cached (or freshly prepared) query for `text`. The
+  // pointer is owned by the session and stays valid until the entry is
+  // re-prepared (version-stale), LRU-evicted, or the session dies — so
+  // per-request code should call Prepare each time (hits are cheap)
+  // rather than holding the pointer across unrelated Prepares.
+  // `options` apply on cache misses only. Prepare failures are returned
+  // but not cached.
+  PreparedQuery* Prepare(const std::string& text, const PrepareOptions& options = {});
+
+  // One-shot convenience: Prepare (cached) + Execute. Parameterized
+  // queries must go through Prepare/Bind.
+  QueryOutcome Execute(const std::string& text, RowConsumer* consumer = nullptr,
+                       int num_threads = kUseEnvThreads);
+
+  uint64_t cache_hits() const { return cache_hits_; }
+  uint64_t cache_misses() const { return cache_misses_; }
+  size_t cache_size() const { return cache_.size(); }
+
+ private:
+  struct CacheEntry {
+    std::unique_ptr<PreparedQuery> prepared;
+    uint64_t last_used = 0;  // Prepare tick, for LRU eviction
+  };
+
+  Database* db_;
+  std::unordered_map<std::string, CacheEntry> cache_;
+  std::unique_ptr<PreparedQuery> last_failed_;  // error holder, not cached
+  uint64_t tick_ = 0;
+  uint64_t cache_hits_ = 0;
+  uint64_t cache_misses_ = 0;
+};
+
+// Cache key normalization: trims and collapses whitespace runs so
+// formatting variants of one query share a plan.
+std::string NormalizeQueryText(const std::string& text);
+
+}  // namespace aplus
+
+#endif  // APLUS_CORE_SESSION_H_

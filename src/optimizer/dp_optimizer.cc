@@ -139,7 +139,8 @@ double EstimateCombinedSelectivity(const Graph& graph,
 DpOptimizer::DpOptimizer(const Graph* graph, const IndexStore* store)
     : graph_(graph), store_(store), stats_(GraphStats::Compute(*graph)) {}
 
-std::unique_ptr<Plan> DpOptimizer::Optimize(const QueryGraph& query) {
+std::unique_ptr<Plan> DpOptimizer::Optimize(const QueryGraph& query,
+                                            std::unique_ptr<Operator> sink) {
   const int n = query.num_vertices();
   APLUS_CHECK_GT(n, 0);
   APLUS_CHECK_LE(n, 20) << "query too large for the subset DP";
@@ -209,6 +210,11 @@ std::unique_ptr<Plan> DpOptimizer::Optimize(const QueryGraph& query) {
     ExtensionPredicate ext;
     for (size_t c = 0; c < conjuncts.size(); ++c) {
       const QueryComparison& cmp = conjuncts[c];
+      // A $param conjunct has no constant until bind time: it can never
+      // certify subsumption by a predicate-filtered index (a null
+      // rhs_const would compare as +infinity and wrongly imply upper
+      // bounds), so it stays a residual.
+      if (cmp.rhs_param >= 0) continue;
       // Translate into view-site form when every reference maps.
       auto translate = [&](const QueryPropRef& ref, PropRef* out) -> bool {
         if (ref.is_edge) {
@@ -543,7 +549,7 @@ std::unique_ptr<Plan> DpOptimizer::Optimize(const QueryGraph& query) {
         break;
     }
   }
-  return builder.Build();
+  return sink != nullptr ? builder.BuildWithSink(std::move(sink)) : builder.Build();
 }
 
 std::string DpOptimizer::DescribeSteps(const QueryGraph& query) const {

@@ -41,8 +41,11 @@ class DpOptimizer {
   DpOptimizer(const Graph* graph, const IndexStore* store);
 
   // Returns the lowest-i-cost plan, or nullptr if the query graph is
-  // disconnected / unsupported.
-  std::unique_ptr<Plan> Optimize(const QueryGraph& query);
+  // disconnected / unsupported. `sink` replaces the default counting
+  // SinkOp as the pipeline's terminal operator when non-null (the
+  // serving layer passes a ProjectSinkOp).
+  std::unique_ptr<Plan> Optimize(const QueryGraph& query,
+                                 std::unique_ptr<Operator> sink = nullptr);
 
   // Introspection for tests and the plan printer.
   const std::vector<PlanStep>& last_steps() const { return last_steps_; }

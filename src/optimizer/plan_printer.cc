@@ -12,7 +12,11 @@ std::string RenderPlanTree(const QueryGraph& query, const Catalog& catalog,
       case PlanStep::Kind::kScan: {
         const QueryVertex& qv = query.vertex(step.scan_var);
         line = "SCAN " + qv.name;
-        if (qv.bound != kInvalidVertex) line += " (ID=" + std::to_string(qv.bound) + ")";
+        if (qv.bound_param >= 0) {
+          line += " (ID=$param)";  // pinned by a prepared-query parameter
+        } else if (qv.bound != kInvalidVertex) {
+          line += " (ID=" + std::to_string(qv.bound) + ")";
+        }
         break;
       }
       case PlanStep::Kind::kExtend:

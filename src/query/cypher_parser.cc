@@ -1,14 +1,25 @@
 #include "query/cypher_parser.h"
 
 #include <cctype>
+#include <charconv>
 #include <vector>
 
 namespace aplus {
 
 namespace {
 
+// Overflow-safe literal conversions: serving text is untrusted, so an
+// over-long number must surface as a parse error, never as a thrown
+// std::out_of_range. Each requires the whole token to convert.
+template <typename T>
+bool ParseNumberLiteral(const std::string& text, T* out) {
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(text.data(), end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
 struct Token {
-  enum class Kind { kIdent, kNumber, kString, kOp, kEnd };
+  enum class Kind { kIdent, kNumber, kString, kParam, kOp, kEnd };
   Kind kind = Kind::kEnd;
   std::string text;
 };
@@ -47,6 +58,20 @@ class Lexer {
         ++pos_;
       }
       return Token{Token::Kind::kIdent, text_.substr(start, pos_ - start)};
+    }
+    if (c == '$') {
+      // $name parameter placeholder. A bare '$' falls through as an
+      // operator token and errors downstream.
+      size_t start = pos_ + 1;
+      size_t end = start;
+      while (end < text_.size() && (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+                                    text_[end] == '_')) {
+        ++end;
+      }
+      if (end > start) {
+        pos_ = end;
+        return Token{Token::Kind::kParam, text_.substr(start, end - start)};
+      }
     }
     // Multi-character operators.
     static const char* kMulti[] = {"<=", ">=", "<>", "->", "<-"};
@@ -95,10 +120,17 @@ class Parser {
       } while (Accept(",") || AcceptKeyword("AND"));
     }
     if (AcceptKeyword("RETURN")) {
-      if (!AcceptKeyword("COUNT") || !Accept("(") || !Accept("*") || !Accept(")")) {
-        result_.error = "only RETURN COUNT(*) is supported";
+      if (!ParseReturn()) return result_;
+    }
+    if (AcceptKeyword("LIMIT")) {
+      if (Peek().kind != Token::Kind::kNumber ||
+          Peek().text.find('.') != std::string::npos ||
+          !ParseNumberLiteral(Peek().text, &result_.limit)) {
+        result_.error = "expected non-negative integer after LIMIT";
         return result_;
       }
+      result_.has_limit = true;
+      ++pos_;
     }
     if (Peek().kind != Token::Kind::kEnd) {
       result_.error = "unexpected trailing token '" + Peek().text + "'";
@@ -252,6 +284,70 @@ class Parser {
     return true;
   }
 
+  // COUNT(*) | item (, item)* where item := <var> | <var>.<prop> | <var>.ID
+  bool ParseReturn() {
+    if (Peek().kind == Token::Kind::kIdent && Upper(Peek().text) == "COUNT" &&
+        Peek(1).kind == Token::Kind::kOp && Peek(1).text == "(") {
+      ++pos_;
+      if (!Expect("(") || !Expect("*") || !Expect(")")) return false;
+      return true;  // the degenerate (counting) projection
+    }
+    do {
+      if (Peek().kind != Token::Kind::kIdent) {
+        result_.error = "expected variable or COUNT(*) in RETURN";
+        return false;
+      }
+      ReturnItem item;
+      std::string var_name = Peek().text;
+      if (Peek(1).kind == Token::Kind::kOp && Peek(1).text == ".") {
+        if (!ParseRef(&item.ref)) {
+          // ParseRef reports unknown variables/properties; sharpen the
+          // clause context for the common failure mode.
+          result_.error += " (in RETURN)";
+          return false;
+        }
+        item.name = var_name + "." + (item.ref.is_id ? "ID" : PropName(item.ref.key));
+      } else {
+        ++pos_;
+        int vertex_var = result_.query.FindVertex(var_name);
+        int edge_var = result_.query.FindEdge(var_name);
+        if (vertex_var < 0 && edge_var < 0) {
+          result_.error = "unknown variable " + var_name + " in RETURN";
+          return false;
+        }
+        item.ref.is_edge = vertex_var < 0;
+        item.ref.var = item.ref.is_edge ? edge_var : vertex_var;
+        item.ref.is_id = true;  // bare variables project the bound id
+        item.name = var_name;
+      }
+      result_.returns.push_back(std::move(item));
+    } while (Accept(","));
+    return true;
+  }
+
+  const std::string& PropName(prop_key_t key) const { return catalog_.property(key).name; }
+
+  // Registers (or re-finds) parameter $name with the given expected
+  // type; -1 and a parse error when the name is reused with a
+  // conflicting expectation.
+  int RegisterParam(const std::string& name, ValueType expected, prop_key_t key) {
+    for (size_t i = 0; i < result_.params.size(); ++i) {
+      CypherParam& p = result_.params[i];
+      if (p.name != name) continue;
+      if (p.expected != expected || p.key != key) {
+        result_.error = "parameter $" + name + " used with conflicting types";
+        return -1;
+      }
+      return static_cast<int>(i);
+    }
+    CypherParam p;
+    p.name = name;
+    p.expected = expected;
+    p.key = key;
+    result_.params.push_back(std::move(p));
+    return static_cast<int>(result_.params.size() - 1);
+  }
+
   bool ParseCondition() {
     QueryComparison cmp;
     if (!ParseRef(&cmp.lhs)) return false;
@@ -277,13 +373,49 @@ class Parser {
     if (rhs.kind == Token::Kind::kNumber) {
       ++pos_;
       if (rhs.text.find('.') != std::string::npos) {
-        cmp.rhs_const = Value::Double(std::stod(rhs.text));
+        double d = 0.0;
+        if (!ParseNumberLiteral(rhs.text, &d)) {
+          result_.error = "malformed numeric literal '" + rhs.text + "'";
+          return false;
+        }
+        cmp.rhs_const = Value::Double(d);
       } else {
-        cmp.rhs_const = Value::Int64(std::stoll(rhs.text));
+        int64_t v = 0;
+        if (!ParseNumberLiteral(rhs.text, &v)) {
+          result_.error = "integer literal out of range '" + rhs.text + "'";
+          return false;
+        }
+        cmp.rhs_const = Value::Int64(v);
       }
     } else if (rhs.kind == Token::Kind::kString) {
       ++pos_;
       cmp.rhs_const = Value::String(rhs.text);
+    } else if (rhs.kind == Token::Kind::kParam) {
+      ++pos_;
+      // `<vertex>.ID = $p` is a parameter pin: the plan is optimized
+      // around a pinned vertex whose id is patched at bind time. A
+      // vertex can carry only one pin — further ID equalities become
+      // ordinary predicates so conjunctions keep intersection semantics
+      // instead of the later pin overwriting the earlier one.
+      if (!cmp.lhs.is_edge && cmp.lhs.is_id && cmp.op == CmpOp::kEq &&
+          !VertexIsPinned(cmp.lhs.var)) {
+        int idx = RegisterParam(rhs.text, ValueType::kInt64, kInvalidPropKey);
+        if (idx < 0) return false;
+        CypherParam& param = result_.params[idx];
+        if (param.pin_var >= 0 && param.pin_var != cmp.lhs.var) {
+          result_.error = "parameter $" + rhs.text + " pins multiple variables";
+          return false;
+        }
+        param.pin_var = cmp.lhs.var;
+        result_.query.mutable_vertex(cmp.lhs.var).bound_param = idx;
+        return true;
+      }
+      ValueType expected =
+          cmp.lhs.is_id ? ValueType::kInt64 : catalog_.property(cmp.lhs.key).type;
+      int idx = RegisterParam(rhs.text, expected,
+                              cmp.lhs.is_id ? kInvalidPropKey : cmp.lhs.key);
+      if (idx < 0) return false;
+      cmp.rhs_param = idx;  // rhs_const stays null until bound
     } else if (rhs.kind == Token::Kind::kIdent) {
       // <var>.<prop> reference, or a bare category-value identifier.
       bool is_ref = Peek(1).kind == Token::Kind::kOp && Peek(1).text == "." &&
@@ -293,11 +425,11 @@ class Parser {
         cmp.rhs_is_const = false;
         if (!ParseRef(&cmp.rhs_ref)) return false;
         if (Accept("+")) {
-          if (Peek().kind != Token::Kind::kNumber) {
+          if (Peek().kind != Token::Kind::kNumber ||
+              !ParseNumberLiteral(Peek().text, &cmp.rhs_addend)) {
             result_.error = "expected integer addend";
             return false;
           }
-          cmp.rhs_addend = std::stoll(Peek().text);
           ++pos_;
         }
       } else {
@@ -319,15 +451,23 @@ class Parser {
       result_.error = "expected right-hand side";
       return false;
     }
-    // `<vertex>.ID = <int>` pins the vertex.
+    // `<vertex>.ID = <int>` pins the vertex — at most once; a second ID
+    // equality stays a predicate (see the $param pin note above).
     if (!cmp.lhs.is_edge && cmp.lhs.is_id && cmp.op == CmpOp::kEq && cmp.rhs_is_const &&
-        cmp.rhs_const.type() == ValueType::kInt64) {
+        cmp.rhs_param < 0 && cmp.rhs_const.type() == ValueType::kInt64 &&
+        !VertexIsPinned(cmp.lhs.var)) {
       result_.query.mutable_vertex(cmp.lhs.var).bound =
           static_cast<vertex_id_t>(cmp.rhs_const.AsInt64());
       return true;
     }
     result_.query.AddPredicate(std::move(cmp));
     return true;
+  }
+
+  // True when the vertex already carries a literal or $param ID pin.
+  bool VertexIsPinned(int var) const {
+    const QueryVertex& qv = result_.query.vertex(var);
+    return qv.bound != kInvalidVertex || qv.bound_param >= 0;
   }
 
   const Catalog& catalog_;

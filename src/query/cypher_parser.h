@@ -2,27 +2,57 @@
 #define APLUS_QUERY_CYPHER_PARSER_H_
 
 #include <string>
+#include <vector>
 
 #include "query/query_graph.h"
 
 namespace aplus {
 
 // Parses the openCypher subset the paper's examples are written in
-// (Sections I-III): a MATCH clause of node/edge patterns, an optional
-// WHERE conjunction, and an optional RETURN COUNT(*).
+// (Sections I-III), extended with the serving-layer surface: $param
+// placeholders, a projection list, and LIMIT.
 //
 //   MATCH (c1:Customer)-[r1:O]->(a1:Account)-[r2:W]->(a2)
-//   WHERE c1.name = 'Alice', r2.currency = USD, r2.amount > 50
-//   RETURN COUNT(*)
+//   WHERE c1.name = 'Alice', r2.currency = USD, r2.amount > $min
+//   RETURN a1, a2, r2.amount LIMIT 100
 //
 // Supported WHERE terms: <var>.<property>, <var>.ID, integer / float /
-// 'string' literals, bare identifiers (resolved as category-value names
-// of the property on the other side), and <var>.<prop> + <int> addends
-// on the right-hand side (the paper's money-flow predicates). Comma and
-// AND both separate conjuncts. `<var>.ID = <int>` on a vertex pins the
-// variable to that vertex id (the paper's a1.ID = v5 bindings).
+// 'string' literals, $name parameters, bare identifiers (resolved as
+// category-value names of the property on the other side), and
+// <var>.<prop> + <int> addends on the right-hand side (the paper's
+// money-flow predicates). Comma and AND both separate conjuncts.
+// `<var>.ID = <int>` on a vertex pins the variable to that vertex id
+// (the paper's a1.ID = v5 bindings); `<var>.ID = $p` records a
+// parameter pin patched at bind time (core/session.h).
+//
+// RETURN takes either COUNT(*) (the degenerate projection) or a
+// comma-separated list of bare variables (projected as vertex/edge ids)
+// and <var>.<property> reads. LIMIT caps the emitted rows (LIMIT 0 is
+// valid and yields no rows).
+
+// One $name placeholder. The expected type is derived from the
+// comparison the parameter appears in (kInt64 for .ID comparisons, the
+// catalog type of the left-hand property otherwise); using one name
+// with conflicting expectations is a parse error.
+struct CypherParam {
+  std::string name;
+  ValueType expected = ValueType::kNull;
+  prop_key_t key = kInvalidPropKey;  // lhs property (category-name resolution at bind)
+  int pin_var = -1;  // query vertex pinned by `<var>.ID = $name`, -1 when none
+};
+
+// One projection item of the RETURN clause.
+struct ReturnItem {
+  QueryPropRef ref;  // ref.is_id for bare variables (project the id)
+  std::string name;  // display name, e.g. "a2" or "r2.amount"
+};
+
 struct ParsedCypher {
   QueryGraph query;
+  std::vector<ReturnItem> returns;  // empty = COUNT(*) / bare MATCH
+  bool has_limit = false;
+  uint64_t limit = 0;
+  std::vector<CypherParam> params;
   std::string error;  // empty on success
   bool ok() const { return error.empty(); }
 };

@@ -2,17 +2,9 @@
 
 namespace aplus {
 
-QueryResult RunPlan(Plan* plan) {
-  QueryResult result;
-  result.count = plan->Execute();
-  result.seconds = plan->last_execute_seconds();
-  result.plan = plan->Describe();
-  return result;
-}
-
 QueryResult RunPlan(Plan* plan, int num_threads) {
   QueryResult result;
-  result.count = plan->Execute(num_threads);
+  result.count = num_threads == kUseEnvThreads ? plan->Execute() : plan->Execute(num_threads);
   result.seconds = plan->last_execute_seconds();
   result.plan = plan->Describe();
   return result;

@@ -8,19 +8,30 @@
 
 namespace aplus {
 
+// Sentinel thread count: defer to Plan::Execute()'s APLUS_THREADS
+// environment default (1 when unset; plans with a callback or a
+// non-counting sink stay serial under the env knob). Any value >= 1
+// pins the worker count explicitly.
+inline constexpr int kUseEnvThreads = 0;
+
 // Result of running one plan.
+//
+// Deprecated at the serving layer: new code should go through
+// Database::Execute / PreparedQuery::Execute, which return the richer
+// QueryOutcome (core/session.h). RunPlan remains the low-level
+// plan-driver for benches and tests that assemble plans by hand.
 struct QueryResult {
   uint64_t count = 0;
   double seconds = 0.0;
   std::string plan;  // Describe() of the executed plan
 };
 
-// Runs `plan` once and packages count / runtime / plan description. The
-// single-argument form uses Plan::Execute()'s APLUS_THREADS default; the
-// two-argument form pins the worker count (see Plan::Execute(int) for
-// the parallel-execution and SinkOp-callback contracts).
-QueryResult RunPlan(Plan* plan);
-QueryResult RunPlan(Plan* plan, int num_threads);
+// Runs `plan` once and packages count / runtime / plan description.
+// `num_threads` == kUseEnvThreads uses Plan::Execute()'s APLUS_THREADS
+// default; any explicit value >= 1 pins the worker count (see
+// Plan::Execute(int) for the parallel-execution and SinkOp-callback
+// contracts).
+QueryResult RunPlan(Plan* plan, int num_threads = kUseEnvThreads);
 
 }  // namespace aplus
 

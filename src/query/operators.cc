@@ -78,6 +78,20 @@ bool EvalResiduals(const Graph& graph, const std::vector<QueryComparison>& preds
   return true;
 }
 
+// Shared CollectParamSlots pieces: a list's materialized target pin and
+// the $param constants of a residual-conjunct vector.
+void CollectListPin(ListDescriptor* list, ParamSlots* slots) {
+  if (list->target_bound != kInvalidVertex && list->target_vertex_var >= 0) {
+    slots->pins.push_back({list->target_vertex_var, &list->target_bound});
+  }
+}
+
+void CollectPredSlots(std::vector<QueryComparison>* preds, ParamSlots* slots) {
+  for (QueryComparison& cmp : *preds) {
+    if (cmp.rhs_param >= 0) slots->values.push_back({cmp.rhs_param, &cmp.rhs_const});
+  }
+}
+
 }  // namespace
 
 AdjListSlice ListDescriptor::Fetch(const MatchState& state) const {
@@ -191,6 +205,7 @@ std::string ListDescriptor::Describe(const Catalog& catalog, const QueryGraph& q
 
 void ScanOp::ScanRange(MatchState* state, uint64_t begin, uint64_t end) {
   for (uint64_t v = begin; v < end; ++v) {
+    if (stop_ != nullptr && stop_->load(std::memory_order_relaxed)) break;
     if (label_ != kInvalidLabel && graph_->vertex_label(static_cast<vertex_id_t>(v)) != label_) {
       continue;
     }
@@ -206,11 +221,21 @@ void ScanOp::Run(MatchState* state) {
     // this replica shares with the other workers' replicas.
     uint64_t begin = 0;
     uint64_t end = 0;
-    while (morsel_cursor_->Next(&begin, &end)) ScanRange(state, begin, end);
+    while (morsel_cursor_->Next(&begin, &end)) {
+      if (stop_ != nullptr && stop_->load(std::memory_order_relaxed)) return;
+      ScanRange(state, begin, end);
+    }
     return;
   }
   auto [begin, end] = ScanDomain();
   ScanRange(state, begin, end);
+}
+
+void ScanOp::CollectParamSlots(ParamSlots* slots) {
+  if (bound_ != kInvalidVertex) slots->pins.push_back({var_, &bound_});
+  for (QueryComparison& cmp : preds_) {
+    if (cmp.rhs_param >= 0) slots->values.push_back({cmp.rhs_param, &cmp.rhs_const});
+  }
 }
 
 std::string ScanOp::Describe() const {
@@ -299,6 +324,11 @@ void ExtendOp::Run(MatchState* state) {
     return;
   }
   for (uint32_t i = 0; i < slice.len; ++i) AcceptEntry(state, slice, i);
+}
+
+void ExtendOp::CollectParamSlots(ParamSlots* slots) {
+  CollectListPin(&list_, slots);
+  CollectPredSlots(&residual_, slots);
 }
 
 std::string ExtendOp::Describe() const {
@@ -416,6 +446,14 @@ void ExtendIntersectOp::Run(MatchState* state) {
     }
     i = group_end;
   }
+}
+
+void ExtendIntersectOp::CollectParamSlots(ParamSlots* slots) {
+  for (ListDescriptor& list : lists_) CollectListPin(&list, slots);
+  // The per-list pins folded into target_bound_ at construction must be
+  // re-patched alongside them.
+  if (target_bound_ != kInvalidVertex) slots->pins.push_back({target_var_, &target_bound_});
+  CollectPredSlots(&residual_, slots);
 }
 
 std::string ExtendIntersectOp::Describe() const {
@@ -551,6 +589,11 @@ void MultiExtendOp::Run(MatchState* state) {
   }
 }
 
+void MultiExtendOp::CollectParamSlots(ParamSlots* slots) {
+  for (ListDescriptor& list : lists_) CollectListPin(&list, slots);
+  CollectPredSlots(&residual_, slots);
+}
+
 std::string MultiExtendOp::Describe() const {
   std::string out = "Multi-Extend z=" + std::to_string(lists_.size()) + " ->";
   for (const ListDescriptor& list : lists_) {
@@ -562,6 +605,8 @@ std::string MultiExtendOp::Describe() const {
 void FilterOp::Run(MatchState* state) {
   if (EvalResiduals(*graph_, preds_, *state)) Emit(state);
 }
+
+void FilterOp::CollectParamSlots(ParamSlots* slots) { CollectPredSlots(&preds_, slots); }
 
 std::string FilterOp::Describe() const {
   return "Filter (" + std::to_string(preds_.size()) + " preds)";

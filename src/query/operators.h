@@ -1,6 +1,7 @@
 #ifndef APLUS_QUERY_OPERATORS_H_
 #define APLUS_QUERY_OPERATORS_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -88,6 +89,31 @@ struct ListDescriptor {
   const Graph* graph() const;
 };
 
+// The patchable parameter slots of one physical pipeline, collected for
+// prepared queries (core/session.h): pointers to predicate constants
+// whose QueryComparison carries a $param, and to the vertex-pin sites
+// (scan bounds, list target bounds) materialized from a query vertex so
+// `<var>.ID = $param` pins can be re-bound without re-planning. The
+// pointers stay valid for the plan's lifetime; pin slots are filtered by
+// the collector to the vars that are actually param-pinned.
+struct ParamSlots {
+  struct ValueSlot {
+    int param;     // parameter index (QueryComparison::rhs_param)
+    Value* value;  // the rhs_const to patch
+  };
+  struct PinSlot {
+    int var;           // query-vertex index the site was materialized from
+    vertex_id_t* pin;  // the bound-vertex slot to patch
+  };
+  std::vector<ValueSlot> values;
+  std::vector<PinSlot> pins;
+
+  void Clear() {
+    values.clear();
+    pins.clear();
+  }
+};
+
 // Push-based physical operator. Each operator consumes one partial match
 // and forwards zero or more extended matches to `next_`.
 class Operator {
@@ -99,6 +125,8 @@ class Operator {
   // parallel path to build one pipeline replica per worker. The clone's
   // next_ is unset; the caller rewires the replica chain.
   virtual std::unique_ptr<Operator> Clone() const = 0;
+  // Appends this operator's patchable parameter slots (see ParamSlots).
+  virtual void CollectParamSlots(ParamSlots* slots) { (void)slots; }
   virtual std::string Describe() const = 0;
 
  protected:
@@ -142,6 +170,7 @@ class ScanOp : public Operator {
   std::unique_ptr<Operator> Clone() const override {
     return std::make_unique<ScanOp>(graph_, var_, label_, bound_, preds_);
   }
+  void CollectParamSlots(ParamSlots* slots) override;
   std::string Describe() const override;
 
   // Scan domain [begin, end) in vertex-ID space — the whole graph, or a
@@ -155,6 +184,11 @@ class ScanOp : public Operator {
   // instead of scanning the whole domain; Plan::Execute sets it for
   // parallel execution and clears it for serial execution.
   void set_morsel_cursor(MorselCursor* cursor) { morsel_cursor_ = cursor; }
+  // Cooperative cancellation (LIMIT): when set, the scan re-checks the
+  // flag per source vertex and per morsel, and stops driving the
+  // pipeline once it flips. The sink that set it has already produced
+  // exactly the requested rows; this just cuts the remaining scan short.
+  void set_stop_flag(const std::atomic<bool>* stop) { stop_ = stop; }
 
  private:
   void ScanRange(MatchState* state, uint64_t begin, uint64_t end);
@@ -165,6 +199,7 @@ class ScanOp : public Operator {
   vertex_id_t bound_;
   std::vector<QueryComparison> preds_;
   MorselCursor* morsel_cursor_ = nullptr;
+  const std::atomic<bool>* stop_ = nullptr;
 };
 
 // Single-list EXTEND (the z = 1 case of E/I): extends the partial match
@@ -184,6 +219,7 @@ class ExtendOp : public Operator {
   std::unique_ptr<Operator> Clone() const override {
     return std::make_unique<ExtendOp>(graph_, list_, residual_, closing_);
   }
+  void CollectParamSlots(ParamSlots* slots) override;
   std::string Describe() const override;
 
  private:
@@ -231,6 +267,7 @@ class ExtendIntersectOp : public Operator {
   std::unique_ptr<Operator> Clone() const override {
     return std::make_unique<ExtendIntersectOp>(graph_, lists_, target_var_, residual_);
   }
+  void CollectParamSlots(ParamSlots* slots) override;
   std::string Describe() const override;
 
  private:
@@ -261,6 +298,7 @@ class MultiExtendOp : public Operator {
   std::unique_ptr<Operator> Clone() const override {
     return std::make_unique<MultiExtendOp>(graph_, lists_, residual_);
   }
+  void CollectParamSlots(ParamSlots* slots) override;
   std::string Describe() const override;
 
  private:
@@ -306,6 +344,7 @@ class FilterOp : public Operator {
   std::unique_ptr<Operator> Clone() const override {
     return std::make_unique<FilterOp>(graph_, preds_);
   }
+  void CollectParamSlots(ParamSlots* slots) override;
   std::string Describe() const override;
 
  private:

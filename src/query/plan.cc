@@ -36,10 +36,11 @@ Plan::Plan(std::vector<std::unique_ptr<Operator>> ops, int num_query_vertices,
 uint64_t Plan::Execute() {
   int num_threads = DefaultNumThreads();
   if (num_threads > 1) {
-    // The env knob never opts a callback into concurrent invocation on
+    // The env knob never opts a callback (or a non-counting sink such as
+    // the serving path's ProjectSinkOp) into concurrent invocation on
     // the caller's behalf; that requires an explicit Execute(n).
     auto* sink = dynamic_cast<SinkOp*>(ops_.back().get());
-    if (sink != nullptr && sink->has_callback()) num_threads = 1;
+    if (sink == nullptr || sink->has_callback()) num_threads = 1;
   }
   return Execute(num_threads);
 }
@@ -93,7 +94,28 @@ void Plan::EnsureWorkers(int num_replicas) {
     // cursor_ is a member, so the pointer stays valid across Execute
     // calls and replicas are wired up exactly once.
     scan->set_morsel_cursor(&cursor_);
+    scan->set_stop_flag(stop_flag_);
     workers_.push_back(std::move(worker));
+  }
+}
+
+Operator* Plan::sink(int pipeline) {
+  APLUS_DCHECK(pipeline >= 0 && pipeline < num_pipelines());
+  return pipeline == 0 ? ops_.back().get() : workers_[pipeline - 1].ops.back().get();
+}
+
+void Plan::CollectParamSlots(ParamSlots* slots) {
+  for (const auto& op : ops_) op->CollectParamSlots(slots);
+  for (const WorkerPipeline& worker : workers_) {
+    for (const auto& op : worker.ops) op->CollectParamSlots(slots);
+  }
+}
+
+void Plan::SetStopFlag(const std::atomic<bool>* stop) {
+  stop_flag_ = stop;
+  if (auto* scan = dynamic_cast<ScanOp*>(ops_.front().get())) scan->set_stop_flag(stop);
+  for (WorkerPipeline& worker : workers_) {
+    if (auto* scan = dynamic_cast<ScanOp*>(worker.ops.front().get())) scan->set_stop_flag(stop);
   }
 }
 
@@ -138,7 +160,12 @@ PlanBuilder& PlanBuilder::Filter(std::vector<QueryComparison> preds) {
 }
 
 std::unique_ptr<Plan> PlanBuilder::Build(std::function<void(const MatchState&)> callback) {
-  ops_.push_back(std::make_unique<SinkOp>(std::move(callback)));
+  return BuildWithSink(std::make_unique<SinkOp>(std::move(callback)));
+}
+
+std::unique_ptr<Plan> PlanBuilder::BuildWithSink(std::unique_ptr<Operator> sink) {
+  APLUS_CHECK(sink != nullptr);
+  ops_.push_back(std::move(sink));
   return std::make_unique<Plan>(std::move(ops_), query_->num_vertices(), query_->num_edges());
 }
 

@@ -1,6 +1,7 @@
 #ifndef APLUS_QUERY_PLAN_H_
 #define APLUS_QUERY_PLAN_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -45,6 +46,22 @@ class Plan {
 
   double last_execute_seconds() const { return last_execute_seconds_; }
 
+  // --- Prepared-query support (core/session.h) ---
+
+  // Number of materialized pipelines: the serial pipeline plus every
+  // worker replica created by a parallel Execute so far. Replicas
+  // persist across Execute calls, so the count only grows.
+  int num_pipelines() const { return 1 + static_cast<int>(workers_.size()); }
+  // Terminal (sink) operator of pipeline `pipeline` in [0, num_pipelines).
+  Operator* sink(int pipeline);
+  // Appends the patchable $param slots of every pipeline. Pointers stay
+  // valid until more replicas are created (collect again when
+  // num_pipelines() changes).
+  void CollectParamSlots(ParamSlots* slots);
+  // Installs a cooperative stop flag on every pipeline's leading scan
+  // (current and future replicas); nullptr detaches. Used by LIMIT.
+  void SetStopFlag(const std::atomic<bool>* stop);
+
   // Upper bound on the worker count of Execute(num_threads).
   static constexpr int kMaxThreads = 256;
 
@@ -66,6 +83,7 @@ class Plan {
   MatchState state_;  // worker 0 / serial state, reused across Execute calls
   std::vector<WorkerPipeline> workers_;
   MorselCursor cursor_;
+  const std::atomic<bool>* stop_flag_ = nullptr;
 };
 
 // Convenience builder used by benches and tests to assemble pipelines.
@@ -82,8 +100,11 @@ class PlanBuilder {
                            std::vector<QueryComparison> residual = {});
   PlanBuilder& Filter(std::vector<QueryComparison> preds);
 
-  // Appends the sink and finalizes.
+  // Appends a counting SinkOp and finalizes.
   std::unique_ptr<Plan> Build(std::function<void(const MatchState&)> callback = nullptr);
+  // Finalizes with a caller-supplied terminal operator (e.g. the serving
+  // path's ProjectSinkOp).
+  std::unique_ptr<Plan> BuildWithSink(std::unique_ptr<Operator> sink);
 
  private:
   const Graph* graph_;

@@ -32,12 +32,20 @@ struct QueryComparison {
   Value rhs_const;
   QueryPropRef rhs_ref;
   int64_t rhs_addend = 0;
+  // >= 0 when the right-hand constant is a prepared-query parameter
+  // ($name): rhs_const stays null at plan time (the optimizer treats the
+  // conjunct as an opaque residual) and is patched in the physical plan
+  // at bind time through Operator::CollectParamSlots.
+  int rhs_param = -1;
 };
 
 struct QueryVertex {
   std::string name;
   label_t label = kInvalidLabel;       // optional label filter
   vertex_id_t bound = kInvalidVertex;  // optional literal binding (e.g. a1.ID = v1)
+  // >= 0 when the binding comes from a `<var>.ID = $param` pin: `bound`
+  // holds a placeholder at prepare time and is patched at bind time.
+  int bound_param = -1;
 };
 
 struct QueryEdge {

@@ -1,0 +1,149 @@
+#include "query/row_sink.h"
+
+#include "util/logging.h"
+
+namespace aplus {
+
+void RowBatch::Init(const std::vector<ProjectColumn>& cols, uint32_t capacity) {
+  capacity_ = capacity;
+  num_rows_ = 0;
+  cols_.clear();
+  cols_.reserve(cols.size());
+  for (const ProjectColumn& col : cols) {
+    Column out;
+    out.name = col.name;
+    out.type = col.ref.is_id ? ValueType::kInt64 : col.type;
+    out.nulls.reserve(capacity);
+    switch (out.type) {
+      case ValueType::kDouble:
+        out.doubles.reserve(capacity);
+        break;
+      case ValueType::kString:
+        out.strings.reserve(capacity);
+        break;
+      default:
+        out.ints.reserve(capacity);
+        break;
+    }
+    cols_.push_back(std::move(out));
+  }
+}
+
+void RowBatch::Clear() {
+  num_rows_ = 0;
+  for (Column& col : cols_) {
+    col.ints.clear();
+    col.doubles.clear();
+    col.strings.clear();
+    col.nulls.clear();
+  }
+}
+
+Value RowBatch::Cell(size_t col, uint32_t row) const {
+  const Column& c = cols_[col];
+  if (c.nulls[row] != 0) return Value::Null();
+  switch (c.type) {
+    case ValueType::kDouble:
+      return Value::Double(c.doubles[row]);
+    case ValueType::kString:
+      return Value::String(*c.strings[row]);
+    case ValueType::kBool:
+      return Value::Bool(c.ints[row] != 0);
+    case ValueType::kCategory:
+      return Value::Category(c.ints[row]);
+    default:
+      return Value::Int64(c.ints[row]);
+  }
+}
+
+ProjectSinkOp::ProjectSinkOp(const Graph* graph, std::vector<ProjectColumn> cols,
+                             uint32_t batch_capacity, ExecControls* controls)
+    : graph_(graph),
+      cols_(std::move(cols)),
+      batch_capacity_(batch_capacity < 1 ? 1 : batch_capacity),
+      controls_(controls) {
+  APLUS_CHECK(controls_ != nullptr);
+  batch_.Init(cols_, batch_capacity_);
+}
+
+void ProjectSinkOp::Run(MatchState* state) {
+  if (controls_->limit_active) {
+    // Claim one row from the shared budget; the claim that drains it (and
+    // every losing claim after) raises the stop flag so the scans wind
+    // down. Exactly `limit` claims succeed across all workers.
+    int64_t prev = controls_->rows_remaining.fetch_sub(1, std::memory_order_relaxed);
+    if (prev <= 0) {
+      controls_->stop.store(true, std::memory_order_relaxed);
+      return;
+    }
+    if (prev == 1) controls_->stop.store(true, std::memory_order_relaxed);
+  }
+  state->count++;
+  if (cols_.empty()) return;  // counting: the degenerate projection
+  AppendRow(*state);
+  if (batch_.full()) Flush();
+}
+
+void ProjectSinkOp::AppendRow(const MatchState& state) {
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    const ProjectColumn& col = cols_[i];
+    RowBatch::Column& out = batch_.cols_[i];
+    uint64_t id = col.ref.is_edge ? state.e[col.ref.var]
+                                  : static_cast<uint64_t>(state.v[col.ref.var]);
+    if (col.ref.is_id) {
+      out.ints.push_back(static_cast<int64_t>(id));
+      out.nulls.push_back(0);
+      continue;
+    }
+    const PropertyStore& store =
+        col.ref.is_edge ? graph_->edge_props() : graph_->vertex_props();
+    const PropertyColumn* pc = store.column(col.ref.key);
+    if (pc == nullptr || id >= pc->size() || pc->IsNull(id)) {
+      out.nulls.push_back(1);
+      switch (out.type) {
+        case ValueType::kDouble:
+          out.doubles.push_back(0.0);
+          break;
+        case ValueType::kString:
+          out.strings.push_back(nullptr);
+          break;
+        default:
+          out.ints.push_back(0);
+          break;
+      }
+      continue;
+    }
+    out.nulls.push_back(0);
+    switch (out.type) {
+      case ValueType::kDouble:
+        out.doubles.push_back(pc->GetDouble(id));
+        break;
+      case ValueType::kString:
+        out.strings.push_back(&pc->GetString(id));
+        break;
+      default:  // kInt64 / kBool / kCategory share the int payload
+        out.ints.push_back(pc->GetInt64(id));
+        break;
+    }
+  }
+  batch_.num_rows_++;
+}
+
+void ProjectSinkOp::Flush() {
+  if (batch_.empty()) return;
+  if (controls_->consumer != nullptr) controls_->consumer->OnBatch(batch_);
+  batch_.Clear();
+}
+
+std::string ProjectSinkOp::Describe() const {
+  if (cols_.empty()) return "ProjectSink (count)";
+  std::string out = "ProjectSink [";
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += cols_[i].name;
+  }
+  out += "] batch=" + std::to_string(batch_capacity_);
+  return out;
+}
+
+}  // namespace aplus

@@ -1,0 +1,125 @@
+#ifndef APLUS_QUERY_ROW_SINK_H_
+#define APLUS_QUERY_ROW_SINK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/operators.h"
+#include "storage/graph.h"
+
+namespace aplus {
+
+// One projected output column, resolved against the catalog at prepare
+// time: a vertex/edge id (`ref.is_id`) or a property read. `type` is the
+// column's output type; ids surface as kInt64.
+struct ProjectColumn {
+  std::string name;  // display name, e.g. "a2" or "r1.amount"
+  QueryPropRef ref;
+  ValueType type = ValueType::kInt64;
+};
+
+// A columnar batch of projected rows, owned by a ProjectSinkOp and
+// reused across executions (plan-lifetime buffers: after the first fill
+// reaches the high-water mark, appending and clearing never allocate).
+// Cells are typed: int64/bool/category payloads land in `ints`, doubles
+// in `doubles`, strings as pointers into the property store's dictionary
+// (valid while the graph outlives the batch and is not mutated).
+class RowBatch {
+ public:
+  struct Column {
+    std::string name;
+    ValueType type = ValueType::kInt64;
+    std::vector<int64_t> ints;
+    std::vector<double> doubles;
+    std::vector<const std::string*> strings;
+    std::vector<uint8_t> nulls;  // 1 = null cell
+  };
+
+  void Init(const std::vector<ProjectColumn>& cols, uint32_t capacity);
+
+  uint32_t num_rows() const { return num_rows_; }
+  uint32_t capacity() const { return capacity_; }
+  size_t num_columns() const { return cols_.size(); }
+  const Column& column(size_t i) const { return cols_[i]; }
+  bool full() const { return num_rows_ >= capacity_; }
+  bool empty() const { return num_rows_ == 0; }
+
+  // Drops the rows, keeping the buffers' capacity.
+  void Clear();
+
+  // Convenience accessor for tests/examples (materializes a Value; the
+  // string case copies — hot consumers should read the typed columns).
+  Value Cell(size_t col, uint32_t row) const;
+
+ private:
+  friend class ProjectSinkOp;
+  std::vector<Column> cols_;
+  uint32_t num_rows_ = 0;
+  uint32_t capacity_ = 0;
+};
+
+// Receives full (and, at the end of an execution, partial) row batches.
+// Implemented by the serving caller; a plain virtual interface instead
+// of std::function so installing a consumer per execution never
+// allocates. Under Execute(num_threads > 1) every worker streams its own
+// batches concurrently — OnBatch must be thread-safe in that mode (the
+// final partial flush always happens on the calling thread).
+class RowConsumer {
+ public:
+  virtual ~RowConsumer() = default;
+  virtual void OnBatch(const RowBatch& batch) = 0;
+};
+
+// Execution-wide controls shared by every ProjectSinkOp replica of one
+// prepared query: the per-execution consumer, the LIMIT row budget, and
+// the cooperative stop flag the leading scans poll. Owned by the
+// PreparedQuery (stable address), reset before each execution.
+struct ExecControls {
+  RowConsumer* consumer = nullptr;
+  bool limit_active = false;
+  std::atomic<int64_t> rows_remaining{0};  // claimed via fetch_sub when limit_active
+  std::atomic<bool> stop{false};
+};
+
+// Terminal operator of the serving path: materializes the projection of
+// every complete match into its columnar RowBatch and hands full batches
+// to the consumer. Counting is the degenerate projection (no columns —
+// only MatchState::count advances). With a LIMIT, rows are claimed from
+// the shared atomic budget so the total emitted across all workers is
+// exactly min(limit, matches), and the stop flag cuts the scans short.
+class ProjectSinkOp : public Operator {
+ public:
+  ProjectSinkOp(const Graph* graph, std::vector<ProjectColumn> cols, uint32_t batch_capacity,
+                ExecControls* controls);
+
+  void Run(MatchState* state) override;
+  std::unique_ptr<Operator> Clone() const override {
+    return std::make_unique<ProjectSinkOp>(graph_, cols_, batch_capacity_, controls_);
+  }
+  std::string Describe() const override;
+
+  // Delivers the pending partial batch (if any) to the current consumer
+  // and clears it. Called on the coordinating thread after the plan
+  // finishes; worker replicas flush their own full batches inline.
+  void Flush();
+  // Drops any pending rows without delivering them (pre-execution reset).
+  void ResetBatch() { batch_.Clear(); }
+
+  bool counting_only() const { return cols_.empty(); }
+
+ private:
+  void AppendRow(const MatchState& state);
+
+  const Graph* graph_;
+  std::vector<ProjectColumn> cols_;
+  uint32_t batch_capacity_;
+  ExecControls* controls_;
+  RowBatch batch_;
+};
+
+}  // namespace aplus
+
+#endif  // APLUS_QUERY_ROW_SINK_H_

@@ -111,7 +111,105 @@ TEST_F(CypherParserTest, Errors) {
       ParseCypher("MATCH (a)-[r]->(b) WHERE a.nonexistent > 5", ex_.graph.catalog()).ok());
   EXPECT_FALSE(
       ParseCypher("MATCH (a)-[r]->(b) WHERE r.currency = JPY", ex_.graph.catalog()).ok());
-  EXPECT_FALSE(ParseCypher("MATCH (a)-[r]->(b) RETURN b", ex_.graph.catalog()).ok());
+}
+
+TEST_F(CypherParserTest, ProjectionList) {
+  ParsedCypher parsed = ParseCypher(
+      "MATCH (a1:Account)-[r1:W]->(a2:Account) RETURN a1, a2.city, r1.amount, r1.ID",
+      ex_.graph.catalog());
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  ASSERT_EQ(parsed.returns.size(), 4u);
+  EXPECT_EQ(parsed.returns[0].name, "a1");
+  EXPECT_TRUE(parsed.returns[0].ref.is_id);
+  EXPECT_FALSE(parsed.returns[0].ref.is_edge);
+  EXPECT_EQ(parsed.returns[1].name, "a2.city");
+  EXPECT_EQ(parsed.returns[1].ref.key, ex_.city_key);
+  EXPECT_EQ(parsed.returns[2].name, "r1.amount");
+  EXPECT_TRUE(parsed.returns[2].ref.is_edge);
+  EXPECT_EQ(parsed.returns[3].name, "r1.ID");
+  EXPECT_TRUE(parsed.returns[3].ref.is_edge);
+  EXPECT_TRUE(parsed.returns[3].ref.is_id);
+  EXPECT_FALSE(parsed.has_limit);
+}
+
+TEST_F(CypherParserTest, LimitClause) {
+  ParsedCypher with_return = ParseCypher(
+      "MATCH (a1)-[r1:W]->(a2) RETURN a1, a2 LIMIT 25", ex_.graph.catalog());
+  ASSERT_TRUE(with_return.ok()) << with_return.error;
+  EXPECT_TRUE(with_return.has_limit);
+  EXPECT_EQ(with_return.limit, 25u);
+  // LIMIT 0 is valid (zero rows); LIMIT also applies to bare counts.
+  ParsedCypher zero =
+      ParseCypher("MATCH (a1)-[r1:W]->(a2) RETURN COUNT(*) LIMIT 0", ex_.graph.catalog());
+  ASSERT_TRUE(zero.ok()) << zero.error;
+  EXPECT_TRUE(zero.has_limit);
+  EXPECT_EQ(zero.limit, 0u);
+  EXPECT_TRUE(zero.returns.empty());
+  // Malformed limits.
+  EXPECT_FALSE(ParseCypher("MATCH (a1)-[r1:W]->(a2) LIMIT x", ex_.graph.catalog()).ok());
+  EXPECT_FALSE(ParseCypher("MATCH (a1)-[r1:W]->(a2) LIMIT 1.5", ex_.graph.catalog()).ok());
+}
+
+TEST_F(CypherParserTest, OverlongNumericLiteralsAreParseErrorsNotCrashes) {
+  // Serving text is untrusted: literals past the integer/double range
+  // must produce parse errors, never a thrown std::out_of_range.
+  EXPECT_FALSE(ParseCypher("MATCH (a1)-[r1:W]->(a2) LIMIT 99999999999999999999999",
+                           ex_.graph.catalog()).ok());
+  EXPECT_FALSE(ParseCypher(
+      "MATCH (a1)-[r1:W]->(a2) WHERE r1.amount > 99999999999999999999999",
+      ex_.graph.catalog()).ok());
+  EXPECT_FALSE(ParseCypher(
+      "MATCH (a1)-[r1:W]->(a2) WHERE r1.amount > 1.2.3", ex_.graph.catalog()).ok());
+  EXPECT_FALSE(ParseCypher(
+      "MATCH (a1)-[r1:W]->(a2)-[r2:W]->(a3) "
+      "WHERE r1.amount > r2.amount + 99999999999999999999999",
+      ex_.graph.catalog()).ok());
+  ParsedCypher ok = ParseCypher("MATCH (a1)-[r1:W]->(a2) WHERE r1.amount > 1.5 LIMIT 3",
+                                ex_.graph.catalog());
+  EXPECT_TRUE(ok.ok()) << ok.error;
+}
+
+TEST_F(CypherParserTest, ReturnErrors) {
+  // Unknown variable in RETURN (bare and dotted), unknown property.
+  ParsedCypher unknown_var =
+      ParseCypher("MATCH (a)-[r]->(b) RETURN c", ex_.graph.catalog());
+  EXPECT_FALSE(unknown_var.ok());
+  EXPECT_NE(unknown_var.error.find("unknown variable c"), std::string::npos)
+      << unknown_var.error;
+  EXPECT_FALSE(ParseCypher("MATCH (a)-[r]->(b) RETURN c.city", ex_.graph.catalog()).ok());
+  EXPECT_FALSE(ParseCypher("MATCH (a)-[r]->(b) RETURN b.nonexistent",
+                           ex_.graph.catalog()).ok());
+  EXPECT_FALSE(ParseCypher("MATCH (a)-[r]->(b) RETURN", ex_.graph.catalog()).ok());
+}
+
+TEST_F(CypherParserTest, Parameters) {
+  ParsedCypher parsed = ParseCypher(
+      "MATCH (a1:Account)-[r1:W]->(a2:Account) "
+      "WHERE a1.ID = $src AND r1.amount > $min RETURN a2 LIMIT 10",
+      ex_.graph.catalog());
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  ASSERT_EQ(parsed.params.size(), 2u);
+  // $src is an ID pin: no predicate, bound_param marks the vertex.
+  EXPECT_EQ(parsed.params[0].name, "src");
+  EXPECT_EQ(parsed.params[0].pin_var, 0);
+  EXPECT_EQ(parsed.params[0].expected, ValueType::kInt64);
+  EXPECT_EQ(parsed.query.vertex(0).bound_param, 0);
+  EXPECT_EQ(parsed.query.vertex(0).bound, kInvalidVertex);  // placeholder comes at Prepare
+  // $min is a plain predicate parameter with a null constant.
+  EXPECT_EQ(parsed.params[1].name, "min");
+  EXPECT_EQ(parsed.params[1].pin_var, -1);
+  EXPECT_EQ(parsed.params[1].key, ex_.amount_key);
+  ASSERT_EQ(parsed.query.predicates().size(), 1u);
+  EXPECT_EQ(parsed.query.predicates()[0].rhs_param, 1);
+  EXPECT_TRUE(parsed.query.predicates()[0].rhs_const.is_null());
+  // Reusing one name with conflicting expected types is a parse error.
+  ParsedCypher conflict = ParseCypher(
+      "MATCH (c1:Customer)-[r1:W]->(a2) WHERE c1.name = $x AND r1.amount > $x",
+      ex_.graph.catalog());
+  EXPECT_FALSE(conflict.ok());
+  EXPECT_NE(conflict.error.find("conflicting"), std::string::npos) << conflict.error;
+  // A bare '$' is not a parameter.
+  EXPECT_FALSE(ParseCypher("MATCH (a)-[r]->(b) WHERE a.ID = $", ex_.graph.catalog()).ok());
 }
 
 TEST_F(CypherParserTest, EndToEndThroughDatabase) {

@@ -38,7 +38,7 @@ TEST_F(DatabaseTest, RunSimpleQuery) {
   int a = query.AddVertex("a", account_label_);
   int b = query.AddVertex("b", account_label_);
   query.AddEdge(a, b, wire_label_);
-  QueryResult result = db_->Run(query);
+  QueryOutcome result = db_->Execute(query);
   EXPECT_EQ(result.count, 9u);
   EXPECT_FALSE(result.plan.empty());
 }
@@ -54,7 +54,7 @@ TEST_F(DatabaseTest, ReconfigureViaDdl) {
   int a = query.AddVertex("a", account_label_);
   int b = query.AddVertex("b", account_label_);
   query.AddEdge(a, b, wire_label_);
-  EXPECT_EQ(db_->Run(query).count, 9u);
+  EXPECT_EQ(db_->Execute(query).count, 9u);
 }
 
 TEST_F(DatabaseTest, CreateOneHopViewViaDdl) {
@@ -99,7 +99,7 @@ TEST_F(DatabaseTest, InsertThroughMaintainerThenQuery) {
   int a = query.AddVertex("a", account_label_);
   int b = query.AddVertex("b", account_label_);
   query.AddEdge(a, b, wire_label_);
-  uint64_t before = db_->Run(query).count;
+  uint64_t before = db_->Execute(query).count;
 
   Graph& g = db_->graph();
   edge_id_t e = g.AddEdge(accounts_[0], accounts_[1], wire_label_);
@@ -107,7 +107,7 @@ TEST_F(DatabaseTest, InsertThroughMaintainerThenQuery) {
   g.edge_props().mutable_column(date_key_)->SetInt64(e, 99);
   db_->maintainer().OnEdgeInserted(e);
   // Run() flushes pending updates automatically.
-  EXPECT_EQ(db_->Run(query).count, before + 1);
+  EXPECT_EQ(db_->Execute(query).count, before + 1);
 }
 
 TEST_F(DatabaseTest, MemoryReporting) {
@@ -134,7 +134,7 @@ TEST_F(DatabaseTest, ExampleFourCurrencyQuery) {
   usd.op = CmpOp::kEq;
   usd.rhs_const = Value::Category(0);  // USD
   query.AddPredicate(usd);
-  QueryResult result = db_->Run(query);
+  QueryOutcome result = db_->Execute(query);
   // USD wires: t5 (v4->v2), t8 (v2->v4), t9 (v4->v5), t14 (v3->v4),
   // t20 (v1->v4). Owned sources: v1..v5 all owned; all 5 qualify.
   EXPECT_EQ(result.count, 5u);

@@ -234,7 +234,7 @@ TEST_P(OptimizerFuzzTest, PlansMatchBruteForce) {
   for (int q = 0; q < 4; ++q) {
     QueryGraph query = RandomQuery(&rng, db.graph(), keys);
     uint64_t expected = BruteForcer(db.graph(), query).Count();
-    QueryResult result = db.Run(query);
+    QueryOutcome result = db.Execute(query);
     ASSERT_EQ(result.count, expected)
         << "seed=" << seed << " query=" << q << "\nplan:\n"
         << result.plan;

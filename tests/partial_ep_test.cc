@@ -111,11 +111,11 @@ TEST_F(PartialEpTest, RuntimeFallbackMatchesMaterializedLists) {
 
 TEST_F(PartialEpTest, QueriesCountIdenticallyUnderBudget) {
   QueryGraph query = FlowQuery();
-  uint64_t base = db_->Run(query).count;
+  uint64_t base = db_->Execute(query).count;
 
   // Full EP index: counts unchanged, EP plan used.
   db_->CreateEpIndex("full", EpKind::kDstFwd, FlowPred(), IndexConfig::Default());
-  EXPECT_EQ(db_->Run(query).count, base);
+  EXPECT_EQ(db_->Execute(query).count, base);
   db_->index_store().DropSecondaryIndexes();
 
   // Partial EP index at a small budget: the ExtendOp fallback must keep
@@ -123,7 +123,7 @@ TEST_F(PartialEpTest, QueriesCountIdenticallyUnderBudget) {
   EpIndex* partial = db_->CreateEpIndex("partial", EpKind::kDstFwd, FlowPred(),
                                         IndexConfig::Default(), nullptr, 4096);
   ASSERT_FALSE(partial->fully_materialized());
-  EXPECT_EQ(db_->Run(query).count, base);
+  EXPECT_EQ(db_->Execute(query).count, base);
 }
 
 TEST_F(PartialEpTest, PartialIndexExcludedFromSortedIntersections) {
@@ -142,9 +142,9 @@ TEST_F(PartialEpTest, PartialIndexExcludedFromSortedIntersections) {
   city_eq.rhs_is_const = false;
   city_eq.rhs_ref = QueryPropRef{2, false, keys_.city, false};
   query.AddPredicate(city_eq);
-  uint64_t with_partial = db_->Run(query).count;
+  uint64_t with_partial = db_->Execute(query).count;
   db_->index_store().DropSecondaryIndexes();
-  EXPECT_EQ(db_->Run(query).count, with_partial);
+  EXPECT_EQ(db_->Execute(query).count, with_partial);
 }
 
 }  // namespace

@@ -1,0 +1,456 @@
+// Serving-layer API tests: prepared queries with $param binding,
+// projected row streaming through RowBatch consumers, LIMIT semantics
+// under serial and morsel-parallel execution, plan-cache behaviour, and
+// the QueryOutcome error contract. Row-level correctness is checked
+// against a BaselineMatcher-derived oracle (binary-join backtracking
+// over the flat-adjacency engine — an independent implementation).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "baseline/flat_adj_engine.h"
+#include "baseline/matcher.h"
+#include "core/database.h"
+#include "datagen/power_law_generator.h"
+#include "util/rng.h"
+
+namespace aplus {
+namespace {
+
+// Collects every cell of every delivered batch. Mutex-guarded so the
+// same collector works under parallel execution (OnBatch fires
+// concurrently from the workers there).
+struct RowCollector : RowConsumer {
+  std::mutex mu;
+  std::vector<std::vector<Value>> rows;
+  void OnBatch(const RowBatch& batch) override {
+    std::lock_guard<std::mutex> lock(mu);
+    for (uint32_t r = 0; r < batch.num_rows(); ++r) {
+      std::vector<Value> row;
+      for (size_t c = 0; c < batch.num_columns(); ++c) row.push_back(batch.Cell(c, r));
+      rows.push_back(std::move(row));
+    }
+  }
+};
+
+// Thread-safe row counter for parallel executions.
+struct RowCounter : RowConsumer {
+  std::atomic<uint64_t> rows{0};
+  std::atomic<uint64_t> batches{0};
+  void OnBatch(const RowBatch& batch) override {
+    rows.fetch_add(batch.num_rows(), std::memory_order_relaxed);
+    batches.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+class ServingApiTest : public ::testing::Test {
+ protected:
+  ServingApiTest() {
+    Graph graph;
+    PowerLawParams params;
+    params.num_vertices = 600;
+    params.avg_degree = 5.0;
+    params.seed = 17;
+    GeneratePowerLawGraph(params, &graph);
+    amt_key_ = graph.AddEdgeProperty("amt", ValueType::kInt64);
+    cur_key_ = graph.AddEdgeProperty("cur", ValueType::kCategory, /*domain_size=*/3);
+    graph.catalog().RegisterCategoryValue(cur_key_, "USD");
+    graph.catalog().RegisterCategoryValue(cur_key_, "EUR");
+    graph.catalog().RegisterCategoryValue(cur_key_, "GBP");
+    tag_key_ = graph.AddVertexProperty("tag", ValueType::kString);
+    PropertyColumn* amt = graph.edge_props().mutable_column(amt_key_);
+    PropertyColumn* cur = graph.edge_props().mutable_column(cur_key_);
+    Rng rng(23);
+    for (edge_id_t e = 0; e < graph.num_edges(); ++e) {
+      amt->SetInt64(e, static_cast<int64_t>(rng.NextBounded(1000)));
+      cur->SetCategory(e, static_cast<category_t>(rng.NextBounded(3)));
+    }
+    PropertyColumn* tag = graph.vertex_props().mutable_column(tag_key_);
+    for (vertex_id_t v = 0; v < graph.num_vertices(); ++v) {
+      tag->SetString(v, "tag_" + std::to_string(v % 7));
+    }
+    db_ = std::make_unique<Database>(std::move(graph));
+    db_->BuildPrimaryIndexes();
+    elabel_ = db_->graph().catalog().FindEdgeLabel("E");
+    engine_ = std::make_unique<FlatAdjEngine>(&db_->graph());
+  }
+
+  // The 2-hop pattern (a)-[r1:E]->(b)-[r2:E]->(c) with `a` pinned, for
+  // the oracle side.
+  QueryGraph TwoHop(vertex_id_t src) const {
+    QueryGraph q;
+    int a = q.AddVertex("a", kInvalidLabel, src);
+    int b = q.AddVertex("b");
+    int c = q.AddVertex("c");
+    q.AddEdge(a, b, elabel_, "r1");
+    q.AddEdge(b, c, elabel_, "r2");
+    return q;
+  }
+
+  // Oracle rows (b, c, r2.amt) of the pinned 2-hop, independently
+  // enumerated by the baseline matcher.
+  std::vector<std::array<int64_t, 3>> OracleTwoHopRows(vertex_id_t src) const {
+    QueryGraph q = TwoHop(src);
+    const PropertyColumn* amt = db_->graph().edge_props().column(amt_key_);
+    std::vector<std::array<int64_t, 3>> rows;
+    BaselineMatcher<FlatAdjEngine> matcher(engine_.get(), &db_->graph(), &q);
+    matcher.Enumerate([&](const MatchState& m) {
+      rows.push_back({static_cast<int64_t>(m.v[1]), static_cast<int64_t>(m.v[2]),
+                      amt->GetInt64(m.e[1])});
+    });
+    return rows;
+  }
+
+  static std::vector<std::array<int64_t, 3>> ToTriples(const RowCollector& rc) {
+    std::vector<std::array<int64_t, 3>> rows;
+    for (const auto& row : rc.rows) {
+      rows.push_back({row[0].AsInt64(), row[1].AsInt64(), row[2].AsInt64()});
+    }
+    return rows;
+  }
+
+  prop_key_t amt_key_ = kInvalidPropKey;
+  prop_key_t cur_key_ = kInvalidPropKey;
+  prop_key_t tag_key_ = kInvalidPropKey;
+  label_t elabel_ = kInvalidLabel;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<FlatAdjEngine> engine_;
+};
+
+constexpr const char* kTwoHopText =
+    "MATCH (a)-[r1:E]->(b)-[r2:E]->(c) WHERE a.ID = $src RETURN b, c, r2.amt";
+
+TEST_F(ServingApiTest, PreparedTwoHopParamBindMatchesOracle) {
+  Session session(db_.get());
+  PreparedQuery* prepared = session.Prepare(kTwoHopText);
+  ASSERT_TRUE(prepared->ok()) << prepared->error();
+  EXPECT_EQ(prepared->num_params(), 1u);
+  ASSERT_EQ(prepared->columns().size(), 3u);
+  EXPECT_EQ(prepared->columns()[0].name, "b");
+  EXPECT_EQ(prepared->columns()[2].name, "r2.amt");
+
+  uint64_t nonzero = 0;
+  for (vertex_id_t src : {0u, 1u, 7u, 42u, 131u, 599u}) {
+    ASSERT_TRUE(prepared->Bind("src", Value::Int64(src))) << prepared->bind_error();
+    RowCollector rc;
+    QueryOutcome out = prepared->Execute(&rc);
+    ASSERT_TRUE(out.ok()) << out.error;
+    std::vector<std::array<int64_t, 3>> got = ToTriples(rc);
+    std::vector<std::array<int64_t, 3>> want = OracleTwoHopRows(src);
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << "src=" << src;
+    EXPECT_EQ(out.rows, want.size());
+    EXPECT_EQ(out.count, want.size());
+    if (!want.empty()) ++nonzero;
+  }
+  EXPECT_GT(nonzero, 0u) << "degenerate workload: every tested source had zero 2-hops";
+
+  // Same normalized text → cache hit, same PreparedQuery, no re-plan.
+  PreparedQuery* again = session.Prepare(
+      "MATCH (a)-[r1:E]->(b)-[r2:E]->(c)\n  WHERE a.ID = $src\n  RETURN b, c, r2.amt");
+  EXPECT_EQ(again, prepared);
+  EXPECT_EQ(session.cache_hits(), 1u);
+  EXPECT_EQ(session.cache_misses(), 1u);
+}
+
+TEST_F(ServingApiTest, RebindAfterParallelExecuteSeesNewValue) {
+  // Replicas created by a parallel Execute must be patched by later
+  // Binds (the slot set is re-collected when the pipeline count grows).
+  Session session(db_.get());
+  PreparedQuery* prepared = session.Prepare(kTwoHopText);
+  ASSERT_TRUE(prepared->ok()) << prepared->error();
+  auto rows_for = [&](vertex_id_t src, int threads) {
+    EXPECT_TRUE(prepared->Bind("src", Value::Int64(src)));
+    RowCollector rc;
+    QueryOutcome out = prepared->Execute(&rc, threads);
+    EXPECT_TRUE(out.ok()) << out.error;
+    auto got = ToTriples(rc);
+    std::sort(got.begin(), got.end());
+    return got;
+  };
+  for (vertex_id_t src : {3u, 99u, 250u}) {
+    auto want = OracleTwoHopRows(src);
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(rows_for(src, 4), want) << "parallel, src=" << src;
+    EXPECT_EQ(rows_for(src, 1), want) << "serial, src=" << src;
+  }
+}
+
+TEST_F(ServingApiTest, LimitStopsEarlySerialAndParallel) {
+  // One-hop enumeration: total matches = number of E edges.
+  Session session(db_.get());
+  uint64_t total = db_->graph().num_edges();
+  const std::string base = "MATCH (a)-[r:E]->(b) RETURN a, b LIMIT ";
+  for (uint64_t limit :
+       std::vector<uint64_t>{0, 1, 100, total - 1, total, total + 500}) {
+    std::string text = base + std::to_string(limit);
+    PreparedQuery* prepared = session.Prepare(text);
+    ASSERT_TRUE(prepared->ok()) << prepared->error();
+    uint64_t want = std::min(limit, total);
+    for (int threads : {1, 4}) {
+      RowCounter rc;
+      QueryOutcome out = prepared->Execute(&rc, threads);
+      ASSERT_TRUE(out.ok()) << out.error;
+      EXPECT_EQ(out.rows, want) << "limit=" << limit << " threads=" << threads;
+      EXPECT_EQ(out.count, want) << "limit=" << limit << " threads=" << threads;
+      EXPECT_EQ(rc.rows.load(), want) << "limit=" << limit << " threads=" << threads;
+    }
+  }
+}
+
+TEST_F(ServingApiTest, CountRemainsTheDegenerateProjection) {
+  Session session(db_.get());
+  QueryOutcome out = session.Execute("MATCH (a)-[r1:E]->(b)-[r2:E]->(c) RETURN COUNT(*)");
+  ASSERT_TRUE(out.ok()) << out.error;
+  EXPECT_EQ(out.rows, 0u);  // counting delivers no rows
+  EXPECT_FALSE(out.plan.empty());
+  QueryGraph q;
+  int a = q.AddVertex("a");
+  int b = q.AddVertex("b");
+  int c = q.AddVertex("c");
+  q.AddEdge(a, b, elabel_, "r1");
+  q.AddEdge(b, c, elabel_, "r2");
+  QueryOutcome programmatic = db_->Execute(q);
+  ASSERT_TRUE(programmatic.ok()) << programmatic.error;
+  EXPECT_EQ(out.count, programmatic.count);
+  // COUNT(*) under a LIMIT stops counting at the limit.
+  QueryOutcome capped = session.Execute("MATCH (a)-[r:E]->(b) RETURN COUNT(*) LIMIT 10");
+  ASSERT_TRUE(capped.ok()) << capped.error;
+  EXPECT_EQ(capped.count, 10u);
+}
+
+TEST_F(ServingApiTest, ProjectedPropertyTypesRoundTrip) {
+  // String + category + id projections against direct property reads.
+  Session session(db_.get());
+  PreparedQuery* prepared = session.Prepare(
+      "MATCH (a)-[r:E]->(b) WHERE a.ID = $src RETURN a.ID, b.tag, r.cur, r.amt");
+  ASSERT_TRUE(prepared->ok()) << prepared->error();
+  ASSERT_TRUE(prepared->Bind("src", Value::Int64(5)));
+  RowCollector rc;
+  QueryOutcome out = prepared->Execute(&rc);
+  ASSERT_TRUE(out.ok()) << out.error;
+  ASSERT_GT(rc.rows.size(), 0u);
+  for (const auto& row : rc.rows) {
+    EXPECT_EQ(row[0].AsInt64(), 5);
+    // b.tag is some vertex's tag string; every tag has the tag_ prefix.
+    EXPECT_EQ(row[1].AsString().substr(0, 4), "tag_");
+    EXPECT_GE(row[2].AsInt64(), 0);
+    EXPECT_LT(row[2].AsInt64(), 3);
+  }
+}
+
+TEST_F(ServingApiTest, CategoryParamBindsByNameAndCode) {
+  Session session(db_.get());
+  PreparedQuery* prepared = session.Prepare(
+      "MATCH (a)-[r:E]->(b) WHERE r.cur = $c RETURN COUNT(*)");
+  ASSERT_TRUE(prepared->ok()) << prepared->error();
+  ASSERT_TRUE(prepared->Bind("c", Value::String("EUR"))) << prepared->bind_error();
+  QueryOutcome by_name = prepared->Execute();
+  ASSERT_TRUE(by_name.ok()) << by_name.error;
+  ASSERT_TRUE(prepared->Bind("c", Value::Int64(1)));  // EUR's code
+  QueryOutcome by_code = prepared->Execute();
+  ASSERT_TRUE(by_code.ok()) << by_code.error;
+  EXPECT_EQ(by_name.count, by_code.count);
+  EXPECT_GT(by_name.count, 0u);
+  // Unknown category names and out-of-domain codes are bind errors.
+  EXPECT_FALSE(prepared->Bind("c", Value::String("JPY")));
+  EXPECT_FALSE(prepared->Bind("c", Value::Int64(99)));
+}
+
+TEST_F(ServingApiTest, BindAndExecuteErrorPaths) {
+  Session session(db_.get());
+  PreparedQuery* prepared = session.Prepare(kTwoHopText);
+  ASSERT_TRUE(prepared->ok()) << prepared->error();
+  // Unbound parameter at execute time.
+  QueryOutcome unbound = prepared->Execute();
+  EXPECT_EQ(unbound.status, QueryOutcome::Status::kBindError);
+  EXPECT_NE(unbound.error.find("$src"), std::string::npos) << unbound.error;
+  EXPECT_EQ(unbound.count, 0u);
+  // Type-mismatched bind: $src compares against .ID (int64).
+  EXPECT_FALSE(prepared->Bind("src", Value::String("zero")));
+  EXPECT_NE(prepared->bind_error().find("type mismatch"), std::string::npos)
+      << prepared->bind_error();
+  // Unknown parameter name.
+  EXPECT_FALSE(prepared->Bind("nope", Value::Int64(1)));
+  // A failed bind leaves the query unexecutable until a good bind lands.
+  EXPECT_EQ(prepared->Execute().status, QueryOutcome::Status::kBindError);
+  ASSERT_TRUE(prepared->Bind("src", Value::Int64(3)));
+  EXPECT_TRUE(prepared->Execute().ok());
+  // Parse errors report kParseError through the one-shot path, with the
+  // message in `error` — never smuggled into the plan text.
+  QueryOutcome bad = session.Execute("MATCH garbage");
+  EXPECT_EQ(bad.status, QueryOutcome::Status::kParseError);
+  EXPECT_FALSE(bad.error.empty());
+  EXPECT_TRUE(bad.plan.empty());
+}
+
+TEST_F(ServingApiTest, DdlInvalidatesPreparedQueriesAndCacheReprepares) {
+  Session session(db_.get());
+  PreparedQuery* prepared = session.Prepare(kTwoHopText);
+  ASSERT_TRUE(prepared->ok()) << prepared->error();
+  ASSERT_TRUE(prepared->Bind("src", Value::Int64(7)));
+  uint64_t before = prepared->Execute().count;
+  // A RECONFIGURE-equivalent rebuild bumps the store version: the held
+  // pointer goes stale instead of reading freed index memory.
+  db_->BuildPrimaryIndexes();
+  EXPECT_FALSE(prepared->current());
+  QueryOutcome stale = prepared->Execute();
+  EXPECT_EQ(stale.status, QueryOutcome::Status::kInvalidated);
+  // The session cache re-prepares transparently on the next Prepare
+  // (the allocator may reuse the stale object's address, so assert on
+  // behaviour and the miss counter, not pointer identity).
+  PreparedQuery* fresh = session.Prepare(kTwoHopText);
+  ASSERT_TRUE(fresh->ok()) << fresh->error();
+  EXPECT_TRUE(fresh->current());
+  ASSERT_TRUE(fresh->Bind("src", Value::Int64(7)));
+  EXPECT_EQ(fresh->Execute().count, before);
+  EXPECT_EQ(session.cache_misses(), 2u);
+}
+
+TEST_F(ServingApiTest, PreparedReexecutionSkipsPlanning) {
+  // The acceptance bar "re-binding without re-planning" — structurally:
+  // the session serves the same PreparedQuery object across requests and
+  // only ever misses once for the text.
+  Session session(db_.get());
+  PreparedQuery* prepared = session.Prepare(kTwoHopText);
+  ASSERT_TRUE(prepared->ok()) << prepared->error();
+  for (int i = 0; i < 20; ++i) {
+    PreparedQuery* p = session.Prepare(kTwoHopText);
+    ASSERT_EQ(p, prepared);
+    ASSERT_TRUE(p->Bind("src", Value::Int64(i)));
+    ASSERT_TRUE(p->Execute().ok());
+  }
+  EXPECT_EQ(session.cache_misses(), 1u);
+  EXPECT_EQ(session.cache_hits(), 20u);
+}
+
+TEST_F(ServingApiTest, ParamPredicateNeverSubsumedByFilteredIndex) {
+  // A $param conjunct has no constant at prepare time, so the optimizer
+  // must not let it certify subsumption by a predicate-filtered
+  // secondary index (that would silently drop rows once the bind is
+  // looser than the view). Regression: with a VP index over amt > 500
+  // present, `r.amt > $min` bound to 10 must still count every match.
+  Predicate large;
+  large.AddConst(PropRef{PropSite::kAdjEdge, amt_key_, false, false}, CmpOp::kGt,
+                 Value::Int64(500));
+  db_->CreateVpIndex("LargeAmt", large, IndexConfig::Default(), Direction::kFwd);
+  Session session(db_.get());
+  PreparedQuery* prepared = session.Prepare(
+      "MATCH (a)-[r:E]->(b) WHERE r.amt > $min RETURN COUNT(*)");
+  ASSERT_TRUE(prepared->ok()) << prepared->error();
+  const PropertyColumn* amt = db_->graph().edge_props().column(amt_key_);
+  for (int64_t min : {10, 400, 700}) {
+    ASSERT_TRUE(prepared->Bind("min", Value::Int64(min)));
+    QueryOutcome out = prepared->Execute();
+    ASSERT_TRUE(out.ok()) << out.error;
+    uint64_t want = 0;
+    for (edge_id_t e = 0; e < db_->graph().num_edges(); ++e) {
+      if (!amt->IsNull(e) && amt->GetInt64(e) > min) ++want;
+    }
+    EXPECT_EQ(out.count, want) << "min=" << min;
+  }
+}
+
+TEST_F(ServingApiTest, NormalizationPreservesStringLiterals) {
+  // Whitespace collapses outside quotes only: queries differing inside a
+  // 'string' literal must never share a plan-cache key.
+  EXPECT_EQ(NormalizeQueryText("MATCH  (a)\n WHERE a.x = 'b  c'"),
+            "MATCH (a) WHERE a.x = 'b  c'");
+  EXPECT_NE(NormalizeQueryText("WHERE n = 'Alice  Smith'"),
+            NormalizeQueryText("WHERE n = 'Alice Smith'"));
+  EXPECT_EQ(NormalizeQueryText("MATCH   (a)-[r:E]->(b)"),
+            NormalizeQueryText(" MATCH (a)-[r:E]->(b) "));
+}
+
+TEST_F(ServingApiTest, PinBindRejectsOutOfRangeVertexIds) {
+  Session session(db_.get());
+  PreparedQuery* prepared = session.Prepare(kTwoHopText);
+  ASSERT_TRUE(prepared->ok()) << prepared->error();
+  EXPECT_FALSE(prepared->Bind("src", Value::Int64(-1)));
+  EXPECT_FALSE(prepared->Bind(
+      "src", Value::Int64(static_cast<int64_t>(db_->graph().num_vertices()))));
+  EXPECT_FALSE(prepared->Bind("src", Value::Int64(1000000000)));
+  EXPECT_NE(prepared->bind_error().find("out of range"), std::string::npos)
+      << prepared->bind_error();
+  ASSERT_TRUE(prepared->Bind(
+      "src", Value::Int64(static_cast<int64_t>(db_->graph().num_vertices()) - 1)));
+}
+
+TEST_F(ServingApiTest, PreparedExecuteFlushesPendingDeletes) {
+  // Edge deletion buffers index-page updates without bumping the store
+  // version or the edge count, so `current()` stays true — the prepared
+  // path must flush before running, exactly like the one-shot path.
+  Session session(db_.get());
+  PreparedQuery* prepared = session.Prepare("MATCH (a)-[r:E]->(b) RETURN COUNT(*)");
+  ASSERT_TRUE(prepared->ok()) << prepared->error();
+  uint64_t before = prepared->Execute().count;
+  db_->maintainer().OnEdgeDeleted(0);
+  ASSERT_TRUE(prepared->current());  // deletion alone does not invalidate
+  QueryOutcome after = prepared->Execute();
+  ASSERT_TRUE(after.ok()) << after.error;
+  EXPECT_EQ(after.count, before - 1);
+  QueryGraph one_hop;
+  int a = one_hop.AddVertex("a");
+  int b = one_hop.AddVertex("b");
+  one_hop.AddEdge(a, b, elabel_, "r");
+  EXPECT_EQ(db_->Execute(one_hop).count, after.count);
+}
+
+TEST_F(ServingApiTest, RepeatedIdConstraintsIntersectInsteadOfOverwriting) {
+  // A vertex carries at most one pin; further ID equalities must behave
+  // as conjuncts (empty intersection when contradictory), not silently
+  // replace the pin.
+  uint64_t out_of_3 = 0;
+  {
+    const Graph& g = db_->graph();
+    for (edge_id_t e = 0; e < g.num_edges(); ++e) {
+      if (g.edge_src(e) == 3) ++out_of_3;
+    }
+  }
+  QueryOutcome contradictory =
+      db_->ExecuteCypher("MATCH (a)-[r:E]->(b) WHERE a.ID = 3 AND a.ID = 4 RETURN COUNT(*)");
+  ASSERT_TRUE(contradictory.ok()) << contradictory.error;
+  EXPECT_EQ(contradictory.count, 0u);
+  Session session(db_.get());
+  PreparedQuery* prepared = session.Prepare(
+      "MATCH (a)-[r:E]->(b) WHERE a.ID = 3 AND a.ID = $p RETURN COUNT(*)");
+  ASSERT_TRUE(prepared->ok()) << prepared->error();
+  ASSERT_TRUE(prepared->Bind("p", Value::Int64(4)));
+  EXPECT_EQ(prepared->Execute().count, 0u);  // 3 ∩ 4 = ∅
+  ASSERT_TRUE(prepared->Bind("p", Value::Int64(3)));
+  EXPECT_EQ(prepared->Execute().count, out_of_3);  // agreeing conjuncts
+}
+
+TEST_F(ServingApiTest, SessionCacheIsBounded) {
+  Session session(db_.get());
+  for (size_t i = 0; i < Session::kMaxCachedQueries + 40; ++i) {
+    std::string text = "MATCH (a)-[r:E]->(b) WHERE a.ID = " + std::to_string(i % 500) +
+                       " RETURN COUNT(*)";
+    PreparedQuery* p = session.Prepare(text);
+    ASSERT_TRUE(p->ok()) << p->error();
+  }
+  EXPECT_LE(session.cache_size(), Session::kMaxCachedQueries);
+  EXPECT_GT(session.cache_size(), 0u);
+}
+
+TEST_F(ServingApiTest, DeprecatedWrappersStillWork) {
+  Database::CypherResult wires = db_->RunCypher("MATCH (a)-[r:E]->(b) RETURN COUNT(*)");
+  ASSERT_TRUE(wires.ok) << wires.error;
+  EXPECT_EQ(wires.result.count, db_->graph().num_edges());
+  EXPECT_FALSE(wires.result.plan.empty());
+  Database::CypherResult bad = db_->RunCypher("MATCH garbage");
+  EXPECT_FALSE(bad.ok);
+  EXPECT_FALSE(bad.error.empty());
+  EXPECT_TRUE(bad.result.plan.empty());
+  EXPECT_EQ(bad.result.count, 0u);
+}
+
+}  // namespace
+}  // namespace aplus

@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <new>
 
+#include "core/database.h"
 #include "datagen/label_assigner.h"
 #include "datagen/power_law_generator.h"
 #include "index/index_store.h"
@@ -271,6 +272,62 @@ TEST_F(ZeroAllocTest, PlanExecuteSteadyStateDoesNotAllocate) {
   EXPECT_EQ(measure(1), 0u) << "serial Execute steady state allocated";
   EXPECT_EQ(measure(4), 0u) << "parallel Execute steady state allocated";
   EXPECT_EQ(plan->Execute(4), plan->Execute(1)) << "parallel/serial count mismatch";
+}
+
+TEST_F(ZeroAllocTest, PreparedServingPathSteadyStateDoesNotAllocate) {
+  // The serving hot path — Bind (slot patch) + Execute (projection sink
+  // streaming typed row batches to a consumer) — must be allocation-free
+  // in steady state at 1 and 4 threads. Warm-up covers scratch growth,
+  // worker-replica creation, and the post-parallel slot re-collection.
+  Graph graph;
+  PowerLawParams params;
+  params.num_vertices = 800;
+  params.avg_degree = 6.0;
+  params.seed = 29;
+  GeneratePowerLawGraph(params, &graph);
+  prop_key_t amt = graph.AddEdgeProperty("amt", ValueType::kInt64);
+  PropertyColumn* col = graph.edge_props().mutable_column(amt);
+  Rng rng(31);
+  for (edge_id_t e = 0; e < graph.num_edges(); ++e) {
+    col->SetInt64(e, static_cast<int64_t>(rng.NextBounded(100)));
+  }
+  Database db(std::move(graph));
+  db.BuildPrimaryIndexes();
+  std::unique_ptr<PreparedQuery> prepared = db.Prepare(
+      "MATCH (a)-[r1:E]->(b)-[r2:E]->(c) WHERE a.ID = $src RETURN b, c, r2.amt");
+  ASSERT_TRUE(prepared->ok()) << prepared->error();
+
+  struct CountingConsumer : RowConsumer {
+    std::atomic<uint64_t> rows{0};
+    void OnBatch(const RowBatch& batch) override {
+      rows.fetch_add(batch.num_rows(), std::memory_order_relaxed);
+    }
+  };
+  CountingConsumer consumer;
+  const vertex_id_t sources[] = {1, 17, 63, 255};
+  auto round = [&] {
+    uint64_t total = 0;
+    for (vertex_id_t src : sources) {
+      ASSERT_TRUE(prepared->Bind("src", Value::Int64(src))) << prepared->bind_error();
+      QueryOutcome s = prepared->Execute(&consumer, 1);
+      QueryOutcome p = prepared->Execute(&consumer, 4);
+      ASSERT_TRUE(s.ok()) << s.error;
+      ASSERT_TRUE(p.ok()) << p.error;
+      EXPECT_EQ(s.rows, p.rows) << "src=" << src;
+      total += s.rows;
+    }
+    EXPECT_GT(total, 0u);
+  };
+  // Two warm-up rounds: the first grows scratch + replicas + pool
+  // threads, the second triggers the one-time slot re-collection after
+  // the pipeline count grew and reaches the high-water mark.
+  round();
+  round();
+  uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  round();
+  round();
+  EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed) - before, 0u)
+      << "prepared Bind+Execute steady state allocated";
 }
 
 TEST_F(ZeroAllocTest, MultiExtendSteadyStateDoesNotAllocate) {
