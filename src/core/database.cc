@@ -112,26 +112,117 @@ std::unique_ptr<PreparedQuery> Database::Prepare(const std::string& text,
       prepared->query_.mutable_vertex(v).bound = 0;
     }
   }
-  for (const ReturnItem& item : parsed.returns) {
-    ProjectColumn col;
-    col.name = item.name;
-    col.ref = item.ref;
-    col.type =
-        item.ref.is_id ? ValueType::kInt64 : graph_.catalog().property(item.ref.key).type;
-    prepared->columns_.push_back(std::move(col));
+  // --- Result-path construction: projected input columns plus the sink
+  // stage chain Project -> [GroupedAggregate] -> [Sort] -> [Limit]. ---
+  auto type_of_ref = [this](const QueryPropRef& ref) {
+    return ref.is_id ? ValueType::kInt64 : graph_.catalog().property(ref.key).type;
+  };
+  auto project_col = [&type_of_ref](const ReturnItem& item) {
+    return ProjectColumn{item.name, item.ref, type_of_ref(item.ref)};
+  };
+  const bool has_agg = parsed.has_aggregate;
+  const bool has_order = !parsed.order_by.empty();
+  std::vector<ProjectColumn> inputs;   // what the ProjectSinkOp materializes
+  std::vector<std::unique_ptr<SinkStage>> stages;
+  if (!has_agg && !has_order) {
+    // Plain projection (or a bare-MATCH count): the input columns are the
+    // output columns, no stages, LIMIT stays on the atomic-budget fast
+    // path.
+    for (const ReturnItem& item : parsed.returns) inputs.push_back(project_col(item));
+    prepared->columns_ = inputs;
+  } else {
+    std::vector<ProjectColumn> out_schema;  // one column per RETURN item
+    if (has_agg) {
+      // Inputs deduplicate by reference: group keys and aggregate
+      // arguments sharing a ref read one projected column.
+      auto input_index_of = [&inputs, &project_col](const ReturnItem& item) {
+        for (size_t i = 0; i < inputs.size(); ++i) {
+          if (inputs[i].ref == item.ref) return static_cast<int>(i);
+        }
+        inputs.push_back(project_col(item));
+        return static_cast<int>(inputs.size() - 1);
+      };
+      std::vector<AggSpec> specs;
+      for (const ReturnItem& item : parsed.returns) {
+        AggSpec spec;
+        spec.fn = item.agg;
+        spec.name = item.name;
+        if (item.agg == AggFn::kNone) {
+          spec.input = input_index_of(item);
+          spec.out_type = type_of_ref(item.ref);
+        } else if (item.star) {
+          spec.input = -1;  // COUNT(*): no argument column
+          spec.out_type = ValueType::kInt64;
+        } else {
+          spec.input = input_index_of(item);
+          ValueType in = type_of_ref(item.ref);
+          switch (item.agg) {
+            case AggFn::kCount:
+              spec.out_type = ValueType::kInt64;
+              break;
+            case AggFn::kAvg:
+              spec.out_type = ValueType::kDouble;
+              break;
+            default:  // SUM / MIN / MAX keep the argument type
+              spec.out_type = in;
+              break;
+          }
+        }
+        ProjectColumn out_col;
+        out_col.name = spec.name;
+        out_col.type = spec.out_type;
+        out_schema.push_back(std::move(out_col));
+        specs.push_back(std::move(spec));
+      }
+      std::vector<ValueType> input_types;
+      input_types.reserve(inputs.size());
+      for (const ProjectColumn& col : inputs) input_types.push_back(col.type);
+      stages.push_back(std::make_unique<GroupedAggregateStage>(
+          std::move(specs), std::move(input_types), options.batch_rows,
+          &prepared->controls_));
+    } else {
+      // ORDER BY over a plain projection: inputs stay in RETURN order
+      // (they are the output schema), no dedup.
+      for (const ReturnItem& item : parsed.returns) {
+        inputs.push_back(project_col(item));
+        ProjectColumn out_col;
+        out_col.name = item.name;
+        out_col.type = type_of_ref(item.ref);
+        out_schema.push_back(std::move(out_col));
+      }
+    }
+    if (has_order) {
+      // The sort owns any LIMIT (top-k partial_sort emits exactly the
+      // capped rows); a trailing LimitStage would only re-copy them.
+      std::vector<SortKeySpec> keys;
+      for (const OrderByItem& order : parsed.order_by) {
+        keys.push_back(SortKeySpec{order.item, order.desc});
+      }
+      stages.push_back(std::make_unique<SortStage>(
+          out_schema, std::move(keys), parsed.has_limit ? parsed.limit : SortStage::kNoLimit,
+          options.batch_rows, &prepared->controls_));
+    } else if (parsed.has_limit) {
+      // LIMIT over an unordered aggregation: caps the emitted groups.
+      stages.push_back(std::make_unique<LimitStage>(out_schema, parsed.limit,
+                                                    options.batch_rows,
+                                                    &prepared->controls_));
+    }
+    prepared->columns_ = std::move(out_schema);
   }
+  prepared->has_stages_ = !stages.empty();
   if (store_->HasPendingUpdates()) store_->FlushAll();
   DpOptimizer* optimizer = CachedOptimizer();
-  auto sink = std::make_unique<ProjectSinkOp>(&graph_, prepared->columns_, options.batch_rows,
-                                              &prepared->controls_);
+  auto sink = std::make_unique<ProjectSinkOp>(&graph_, std::move(inputs), options.batch_rows,
+                                              &prepared->controls_, std::move(stages));
   std::unique_ptr<Plan> plan = optimizer->Optimize(prepared->query_, std::move(sink));
   if (plan == nullptr) {
     prepared->status_ = QueryOutcome::Status::kPlanError;
     prepared->error_ = "no plan found (disconnected or unsupported query)";
     return prepared;
   }
-  prepared->plan_text_ =
-      RenderPlanTree(prepared->query_, graph_.catalog(), optimizer->last_steps());
+  prepared->plan_text_ = RenderPlanTree(
+      prepared->query_, graph_.catalog(), optimizer->last_steps(),
+      static_cast<ProjectSinkOp*>(plan->sink(0))->ChainLines());
   plan->SetStopFlag(&prepared->controls_.stop);
   prepared->plan_ = std::move(plan);
   prepared->RefreshSlots();
@@ -161,27 +252,6 @@ QueryOutcome Database::ExecuteCypher(const std::string& text, RowConsumer* consu
   std::unique_ptr<PreparedQuery> prepared = Prepare(text);
   QueryOutcome out = prepared->Execute(consumer);
   if (out.ok()) out.plan = prepared->plan_text();
-  return out;
-}
-
-QueryResult Database::Run(const QueryGraph& query) {
-  QueryOutcome out = Execute(query);
-  APLUS_CHECK(out.ok()) << out.error;
-  QueryResult result;
-  result.count = out.count;
-  result.seconds = out.seconds;
-  result.plan = std::move(out.plan);
-  return result;
-}
-
-Database::CypherResult Database::RunCypher(const std::string& text) {
-  QueryOutcome outcome = ExecuteCypher(text);
-  CypherResult out;
-  out.ok = outcome.ok();
-  out.error = std::move(outcome.error);
-  out.result.count = outcome.count;
-  out.result.seconds = outcome.seconds;
-  out.result.plan = std::move(outcome.plan);
   return out;
 }
 

@@ -40,8 +40,7 @@ struct DdlResult {
 //   QueryOutcome out = q->Execute(&my_row_consumer);   // streams RowBatches
 //
 // One-shot paths (Execute / ExecuteCypher) parse + optimize per call and
-// also report through QueryOutcome. The pre-QueryOutcome entry points
-// (Run / RunCypher) remain as thin deprecated wrappers.
+// also report through QueryOutcome.
 class Database {
  public:
   explicit Database(Graph graph);
@@ -89,21 +88,6 @@ class Database {
   // Figure 6-style plan rendering without executing.
   std::string Explain(const QueryGraph& query);
   std::string Explain(const std::string& text);
-
-  // --- Deprecated wrappers (pre-QueryOutcome signatures) ---
-
-  // Deprecated: use Execute(query). CHECK-fails on plan errors, exactly
-  // like the historical behaviour.
-  QueryResult Run(const QueryGraph& query);
-
-  // Deprecated: use ExecuteCypher / Session::Execute, which report
-  // through QueryOutcome's dedicated status/error fields.
-  struct CypherResult {
-    bool ok = false;
-    std::string error;
-    QueryResult result;
-  };
-  CypherResult RunCypher(const std::string& text);
 
   size_t IndexMemoryBytes() const { return store_->TotalMemoryBytes(); }
 

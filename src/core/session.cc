@@ -5,6 +5,7 @@
 
 #include "core/database.h"
 #include "util/logging.h"
+#include "util/timer.h"
 
 namespace aplus {
 
@@ -66,6 +67,13 @@ void PreparedQuery::ApplyParam(const ParamInfo& param, int index) {
   for (const ParamSlots::ValueSlot& slot : slots_.values) {
     if (slot.param == index) *slot.value = param.value;
   }
+  // Sort-key bounds folded from $param range conjuncts (the descriptor's
+  // BoundedRange binary search replaces the residual filter).
+  for (const ParamSlots::RangeSlot& slot : slots_.ranges) {
+    if (slot.param != index) continue;
+    *slot.bound = slot.encode_double ? EncodeDoubleSortKey(param.value.AsDouble())
+                                     : param.value.AsInt64();
+  }
   if (param.pin_var >= 0) {
     vertex_id_t id = static_cast<vertex_id_t>(param.value.AsInt64());
     for (const ParamSlots::PinSlot& slot : slots_.pins) {
@@ -83,6 +91,13 @@ bool PreparedQuery::Bind(const std::string& name, const Value& value) {
   ParamInfo& param = params_[index];
   if (value.is_null()) {
     bind_error_ = "cannot bind null to parameter $" + name;
+    return false;
+  }
+  if (value.type() == ValueType::kDouble && value.AsDouble() != value.AsDouble()) {
+    // NaN never satisfies a comparison; accepting it would also corrupt
+    // folded sort-key range bounds (EncodeDoubleSortKey(NaN) encodes
+    // above every finite value).
+    bind_error_ = "cannot bind NaN to parameter $" + name;
     return false;
   }
   Value coerced = value;
@@ -189,28 +204,51 @@ QueryOutcome PreparedQuery::Execute(RowConsumer* consumer, int num_threads) {
   // (index objects are only replaced by DDL, which does bump versions).
   if (db_->index_store().HasPendingUpdates()) db_->index_store().FlushAll();
   controls_.consumer = consumer;
-  controls_.limit_active = has_limit_;
+  // The atomic row budget (early scan termination) serves stage-less
+  // plans only: a LIMIT below aggregation or ordering caps the *output*
+  // rows, which requires the full match enumeration and is enforced by
+  // the LimitStage during the Finish cascade.
+  controls_.limit_active = has_limit_ && !has_stages_;
   int64_t budget = 0;
-  if (has_limit_) {
+  if (controls_.limit_active) {
     constexpr uint64_t kMaxBudget =
         static_cast<uint64_t>(std::numeric_limits<int64_t>::max());
     budget = static_cast<int64_t>(limit_ < kMaxBudget ? limit_ : kMaxBudget);
   }
   controls_.rows_remaining.store(budget, std::memory_order_relaxed);
   controls_.stop.store(false, std::memory_order_relaxed);
+  controls_.rows_emitted = 0;
   for (int i = 0; i < plan_->num_pipelines(); ++i) {
     static_cast<ProjectSinkOp*>(plan_->sink(i))->ResetBatch();
   }
+  // Timed end-to-end: a staged query does real work (partial merge, the
+  // sort, the Finish emission) after the plan's own timer stops, and the
+  // caller waits for all of it.
+  WallTimer timer;
   uint64_t count =
       num_threads == kUseEnvThreads ? plan_->Execute() : plan_->Execute(num_threads);
-  // Partial batches drain on the calling thread once the workers joined.
+  // Partial batches drain on the calling thread once the workers joined
+  // (into each pipeline's own stage chain for staged queries).
   for (int i = 0; i < plan_->num_pipelines(); ++i) {
     static_cast<ProjectSinkOp*>(plan_->sink(i))->Flush();
   }
+  if (has_stages_) {
+    // Parallel partial-merge: fold every worker chain into pipeline 0,
+    // stage by stage, then run the Finish cascade there — aggregate
+    // tables merge exactly, sort buffers concatenate, and the final rows
+    // stream to the consumer from this thread only.
+    auto* primary = static_cast<ProjectSinkOp*>(plan_->sink(0));
+    for (int i = 1; i < plan_->num_pipelines(); ++i) {
+      primary->MergeStagesFrom(static_cast<ProjectSinkOp*>(plan_->sink(i)));
+    }
+    primary->FinishStages();
+    out.rows = controls_.rows_emitted;
+  } else {
+    out.rows = columns_.empty() ? 0 : count;
+  }
   controls_.consumer = nullptr;
   out.count = count;
-  out.rows = columns_.empty() ? 0 : count;
-  out.seconds = plan_->last_execute_seconds();
+  out.seconds = timer.ElapsedSeconds();
   return out;
 }
 

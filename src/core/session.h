@@ -30,8 +30,15 @@ struct QueryOutcome {
 
   Status status = Status::kOk;
   std::string error;  // empty when ok()
-  uint64_t count = 0;  // complete matches (exactly min(LIMIT, matches) under a LIMIT)
-  uint64_t rows = 0;   // rows materialized through the projection sink (0 for COUNT(*))
+  // Complete matches enumerated. Stage-less LIMIT queries stop early, so
+  // count == min(LIMIT, matches) there; aggregate / ORDER BY queries
+  // enumerate everything (their LIMIT caps the *output* rows).
+  uint64_t count = 0;
+  // Rows delivered through the sink pipeline: projected matches for
+  // plain projections, post-aggregation/-ordering/-limit output rows for
+  // staged queries (e.g. 1 for a global RETURN COUNT(*)), 0 for a bare
+  // MATCH count.
+  uint64_t rows = 0;
   double seconds = 0.0;
   // Figure 6-style plan rendering. Filled by the one-shot paths
   // (Database::Execute/ExecuteCypher); PreparedQuery::Execute leaves it
@@ -60,8 +67,11 @@ struct PrepareOptions {
 // Thread-safety: a PreparedQuery is NOT thread-safe — use one Session
 // (and thus one PreparedQuery instance) per thread, and never share one
 // mid-execute. Execute(consumer, k > 1) runs the plan morsel-parallel;
-// in that mode the consumer's OnBatch fires concurrently from the
-// workers (the final partial flush is always on the calling thread).
+// for plain projections the consumer's OnBatch then fires concurrently
+// from the workers (the final partial flush is always on the calling
+// thread). Staged queries (aggregation / ORDER BY) instead accumulate
+// per-worker partial state, merge it once the workers joined, and
+// deliver every batch from the calling thread.
 class PreparedQuery {
  public:
   PreparedQuery(const PreparedQuery&) = delete;
@@ -96,9 +106,15 @@ class PreparedQuery {
   bool current() const;
 
   const std::string& plan_text() const { return plan_text_; }
+  // Output schema: what the consumer receives per batch. For aggregate /
+  // ORDER BY queries this is the post-stage schema (group keys and
+  // aggregate results in RETURN order), not the projected inputs.
   const std::vector<ProjectColumn>& columns() const { return columns_; }
   bool has_limit() const { return has_limit_; }
   uint64_t limit() const { return limit_; }
+  // True when the sink carries post-projection stages (aggregation /
+  // ORDER BY / staged LIMIT).
+  bool has_stages() const { return has_stages_; }
   const std::string& normalized_text() const { return normalized_text_; }
 
  private:
@@ -129,6 +145,7 @@ class PreparedQuery {
   QueryGraph query_;  // placeholder-pinned pattern (kept for rendering/debugging)
   std::vector<ProjectColumn> columns_;
   bool has_limit_ = false;
+  bool has_stages_ = false;
   uint64_t limit_ = 0;
   std::vector<ParamInfo> params_;
 

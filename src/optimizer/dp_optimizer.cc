@@ -252,6 +252,88 @@ std::unique_ptr<Plan> DpOptimizer::Optimize(const QueryGraph& query,
     return ext;
   };
 
+  // Folds $param range conjuncts on the candidate's first sort key into
+  // bind-time-patched descriptor bounds (ParamSlots::RangeSlot). A
+  // $param has no constant at plan time, so it can never certify
+  // subsumption or a literal bound — but when the list is sorted on the
+  // conjunct's property, the *bound value* is the only missing piece,
+  // and patching it at Bind re-enables the sorted-prefix binary search
+  // (the MagicRecs time-window parameter, Section V-C1). The folded
+  // conjunct is marked covered and leaves the residual set.
+  auto fold_param_range_bounds = [&](CandidateList* c) {
+    if (!c->allow_param_range_bounds) return;
+    const std::vector<SortCriterion>& sorts = c->desc.sorts();
+    if (sorts.empty()) return;
+    const SortCriterion& sort = sorts.front();
+    for (size_t qc = 0; qc < conjuncts.size(); ++qc) {
+      const QueryComparison& cmp = conjuncts[qc];
+      if (cmp.rhs_param < 0 || !cmp.rhs_is_const) continue;
+      bool matches = false;
+      switch (sort.source) {
+        case SortSource::kEdgeProp:
+          matches = cmp.lhs.is_edge && cmp.lhs.var == c->desc.target_edge_var &&
+                    !cmp.lhs.is_id && cmp.lhs.key == sort.key;
+          break;
+        case SortSource::kNbrProp:
+          matches = !cmp.lhs.is_edge && cmp.lhs.var == c->desc.target_vertex_var &&
+                    !cmp.lhs.is_id && cmp.lhs.key == sort.key;
+          break;
+        case SortSource::kNbrId:
+          matches = !cmp.lhs.is_edge && cmp.lhs.var == c->desc.target_vertex_var &&
+                    cmp.lhs.is_id;
+          break;
+        default:
+          break;
+      }
+      if (!matches) continue;
+      // One param bound per side; literal bounds installed by the
+      // matcher keep priority (the extra conjunct stays residual).
+      bool folded = false;
+      switch (cmp.op) {
+        case CmpOp::kLt:
+        case CmpOp::kLe:
+          if (!c->desc.has_upper_bound) {
+            c->desc.has_upper_bound = true;
+            c->desc.upper_strict = cmp.op == CmpOp::kLt;
+            c->desc.upper_bound_param = cmp.rhs_param;
+            folded = true;
+          }
+          break;
+        case CmpOp::kGt:
+        case CmpOp::kGe:
+          if (!c->desc.has_lower_bound) {
+            c->desc.has_lower_bound = true;
+            c->desc.lower_strict = cmp.op == CmpOp::kGt;
+            c->desc.lower_bound_param = cmp.rhs_param;
+            folded = true;
+          }
+          break;
+        case CmpOp::kEq:
+          if (!c->desc.has_lower_bound && !c->desc.has_upper_bound) {
+            c->desc.has_lower_bound = true;
+            c->desc.lower_strict = false;
+            c->desc.lower_bound_param = cmp.rhs_param;
+            c->desc.has_upper_bound = true;
+            c->desc.upper_strict = false;
+            c->desc.upper_bound_param = cmp.rhs_param;
+            folded = true;
+          }
+          break;
+        default:
+          break;
+      }
+      if (folded) {
+        c->desc.bound_param_double = sort.source != SortSource::kNbrId &&
+                                     sort.key != kInvalidPropKey &&
+                                     graph_->catalog().property(sort.key).type ==
+                                         ValueType::kDouble;
+        c->covered_conjuncts.push_back(static_cast<int>(qc));
+        c->est_len *= 0.3;  // rough range selectivity, as for literal bounds
+        c->est_out *= 0.3;
+      }
+    }
+  };
+
   // Candidate lists for extending along query edge `qe_id` from bound set
   // `mask` to `target`. Includes vertex-bound lists and, when a bound
   // query edge shares the pivot vertex and a cross-edge predicate exists,
@@ -273,6 +355,7 @@ std::unique_ptr<Plan> DpOptimizer::Optimize(const QueryGraph& query,
       c.desc.target_edge_var = qe_id;
       c.desc.target_bound = target_bound;
       if (target_bound != kInvalidVertex) c.est_out = std::min(c.est_out, 1.0);
+      fold_param_range_bounds(&c);
       all.push_back(std::move(c));
     }
     // EP candidates: every bound query edge incident to the pivot.
@@ -296,6 +379,7 @@ std::unique_ptr<Plan> DpOptimizer::Optimize(const QueryGraph& query,
         c.desc.target_edge_var = qe_id;
         c.desc.target_bound = target_bound;
         if (target_bound != kInvalidVertex) c.est_out = std::min(c.est_out, 1.0);
+        fold_param_range_bounds(&c);
         all.push_back(std::move(c));
       }
     }

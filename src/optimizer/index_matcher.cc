@@ -287,6 +287,7 @@ std::vector<CandidateList> IndexMatcher::FindVertexLists(Direction dir, label_t 
       out *= stats_->AvgListLen(edge_label) / std::max(stats_->AvgListLen(kInvalidLabel), 1e-9);
     }
     candidate.est_out = out;
+    candidate.allow_param_range_bounds = sort.allow_range_bounds;
     if (sort.allow_range_bounds) ApplySortKeyBounds(config, ext_pred, &candidate);
     candidates.push_back(std::move(candidate));
   };
@@ -365,6 +366,7 @@ std::vector<CandidateList> IndexMatcher::FindEdgeLists(EpKind kind, label_t edge
       out *= stats_->VertexLabelFraction(nbr_label);
     }
     candidate.est_out = out;
+    candidate.allow_param_range_bounds = sort.allow_range_bounds;
     if (sort.allow_range_bounds) ApplySortKeyBounds(config, ext_pred, &candidate);
     candidates.push_back(std::move(candidate));
   }

@@ -33,6 +33,11 @@ struct CandidateList {
   // Estimated number of entries surviving the descriptor's label filters
   // (the cardinality contribution); est_out <= est_len.
   double est_out = 0.0;
+  // True when the list's first sort criterion holds within BoundedRange
+  // (innermost sublist, no neighbour-ID/label pin in the way): the
+  // optimizer may fold $param range conjuncts on the sort key into
+  // bind-time-patched descriptor bounds (ParamSlots::RangeSlot).
+  bool allow_param_range_bounds = false;
 };
 
 // Matches extension requirements against the INDEX STORE: checks sort

@@ -3,7 +3,8 @@
 namespace aplus {
 
 std::string RenderPlanTree(const QueryGraph& query, const Catalog& catalog,
-                           const std::vector<PlanStep>& steps) {
+                           const std::vector<PlanStep>& steps,
+                           const std::vector<std::string>& sink_chain) {
   // Bottom-up: the scan prints last, each subsequent operator above it.
   std::vector<std::string> lines;
   for (const PlanStep& step : steps) {
@@ -52,6 +53,9 @@ std::string RenderPlanTree(const QueryGraph& query, const Catalog& catalog,
     }
     lines.push_back(std::move(line));
   }
+  // The sink chain consumes the operator tree's output: each entry is one
+  // step further downstream, so it stacks on top in chain order.
+  for (const std::string& stage : sink_chain) lines.push_back(stage);
   std::string out;
   for (size_t i = lines.size(); i-- > 0;) {
     size_t depth = lines.size() - 1 - i;

@@ -10,8 +10,13 @@ namespace aplus {
 
 // Renders an optimized step sequence as a bottom-up plan tree in the
 // style of Figure 6 (Scan at the bottom, each operator above its input).
+// `sink_chain` (ProjectSinkOp::ChainLines: projection first, each sink
+// stage after it) renders above the operator tree, most-downstream stage
+// (LIMIT / ORDER BY) outermost, so QueryOutcome::plan explains the full
+// result path of aggregate plans.
 std::string RenderPlanTree(const QueryGraph& query, const Catalog& catalog,
-                           const std::vector<PlanStep>& steps);
+                           const std::vector<PlanStep>& steps,
+                           const std::vector<std::string>& sink_chain = {});
 
 }  // namespace aplus
 

@@ -122,6 +122,9 @@ class Parser {
     if (AcceptKeyword("RETURN")) {
       if (!ParseReturn()) return result_;
     }
+    if (AcceptKeyword("ORDER")) {
+      if (!ParseOrderBy()) return result_;
+    }
     if (AcceptKeyword("LIMIT")) {
       if (Peek().kind != Token::Kind::kNumber ||
           Peek().text.find('.') != std::string::npos ||
@@ -284,43 +287,127 @@ class Parser {
     return true;
   }
 
-  // COUNT(*) | item (, item)* where item := <var> | <var>.<prop> | <var>.ID
-  bool ParseReturn() {
-    if (Peek().kind == Token::Kind::kIdent && Upper(Peek().text) == "COUNT" &&
-        Peek(1).kind == Token::Kind::kOp && Peek(1).text == "(") {
-      ++pos_;
-      if (!Expect("(") || !Expect("*") || !Expect(")")) return false;
-      return true;  // the degenerate (counting) projection
+  // AggFn of an identifier token, kNone when it is not an aggregate name.
+  static AggFn AggFnOf(const std::string& ident) {
+    std::string up = Upper(ident);
+    if (up == "COUNT") return AggFn::kCount;
+    if (up == "SUM") return AggFn::kSum;
+    if (up == "MIN") return AggFn::kMin;
+    if (up == "MAX") return AggFn::kMax;
+    if (up == "AVG") return AggFn::kAvg;
+    return AggFn::kNone;
+  }
+
+  // <var> | <var>.<prop> | <var>.ID, shared by RETURN items, aggregate
+  // arguments, and ORDER BY keys. Bare variables project the bound id.
+  bool ParseProjectionRef(ReturnItem* item, const char* clause) {
+    if (Peek().kind != Token::Kind::kIdent) {
+      result_.error = std::string("expected variable reference in ") + clause;
+      return false;
     }
-    do {
-      if (Peek().kind != Token::Kind::kIdent) {
-        result_.error = "expected variable or COUNT(*) in RETURN";
+    std::string var_name = Peek().text;
+    if (Peek(1).kind == Token::Kind::kOp && Peek(1).text == ".") {
+      if (!ParseRef(&item->ref)) {
+        // ParseRef reports unknown variables/properties; sharpen the
+        // clause context for the common failure mode.
+        result_.error += std::string(" (in ") + clause + ")";
         return false;
       }
-      ReturnItem item;
-      std::string var_name = Peek().text;
-      if (Peek(1).kind == Token::Kind::kOp && Peek(1).text == ".") {
-        if (!ParseRef(&item.ref)) {
-          // ParseRef reports unknown variables/properties; sharpen the
-          // clause context for the common failure mode.
-          result_.error += " (in RETURN)";
-          return false;
-        }
-        item.name = var_name + "." + (item.ref.is_id ? "ID" : PropName(item.ref.key));
-      } else {
-        ++pos_;
-        int vertex_var = result_.query.FindVertex(var_name);
-        int edge_var = result_.query.FindEdge(var_name);
-        if (vertex_var < 0 && edge_var < 0) {
-          result_.error = "unknown variable " + var_name + " in RETURN";
-          return false;
-        }
-        item.ref.is_edge = vertex_var < 0;
-        item.ref.var = item.ref.is_edge ? edge_var : vertex_var;
-        item.ref.is_id = true;  // bare variables project the bound id
-        item.name = var_name;
+      item->name = var_name + "." + (item->ref.is_id ? "ID" : PropName(item->ref.key));
+      return true;
+    }
+    ++pos_;
+    int vertex_var = result_.query.FindVertex(var_name);
+    int edge_var = result_.query.FindEdge(var_name);
+    if (vertex_var < 0 && edge_var < 0) {
+      result_.error = "unknown variable " + var_name + " in " + clause;
+      return false;
+    }
+    item->ref.is_edge = vertex_var < 0;
+    item->ref.var = item->ref.is_edge ? edge_var : vertex_var;
+    item->ref.is_id = true;
+    item->name = var_name;
+    return true;
+  }
+
+  // item := AGG '(' '*' | ref ')' | ref, where AGG is COUNT / SUM / MIN
+  // / MAX / AVG and ref := <var> | <var>.<prop> | <var>.ID.
+  bool ParseReturnItem(ReturnItem* item, const char* clause) {
+    AggFn fn = Peek().kind == Token::Kind::kIdent ? AggFnOf(Peek().text) : AggFn::kNone;
+    bool is_call = fn != AggFn::kNone && Peek(1).kind == Token::Kind::kOp &&
+                   Peek(1).text == "(";
+    if (!is_call) return ParseProjectionRef(item, clause);
+    ++pos_;
+    if (!Expect("(")) return false;
+    item->agg = fn;
+    if (Accept("*")) {
+      if (fn != AggFn::kCount) {
+        result_.error = std::string(ToString(fn)) + "(*) is not supported; COUNT(*) only";
+        return false;
       }
+      item->star = true;
+      item->name = "COUNT(*)";
+      return Expect(")");
+    }
+    if (!ParseProjectionRef(item, clause)) return false;
+    if (!Expect(")")) return false;
+    if (fn != AggFn::kCount) {
+      // SUM/MIN/MAX/AVG need a numeric argument; ids count as int64.
+      ValueType type = item->ref.is_id ? ValueType::kInt64 : catalog_.property(item->ref.key).type;
+      if (type != ValueType::kInt64 && type != ValueType::kDouble) {
+        result_.error = std::string(ToString(fn)) + "(" + item->name +
+                        ") requires an int64 or double argument";
+        return false;
+      }
+    }
+    item->name = std::string(ToString(fn)) + "(" + item->name + ")";
+    return true;
+  }
+
+  // item (, item)*; bare items double as group keys when aggregates are
+  // present (implicit GROUP BY).
+  bool ParseReturn() {
+    do {
+      ReturnItem item;
+      if (!ParseReturnItem(&item, "RETURN")) return false;
+      if (item.agg != AggFn::kNone) result_.has_aggregate = true;
       result_.returns.push_back(std::move(item));
+    } while (Accept(","));
+    return true;
+  }
+
+  // ORDER BY key [ASC|DESC] (, key [ASC|DESC])*. Keys are matched
+  // against the RETURN items by rendered name (aggregation makes any
+  // other target ill-defined).
+  bool ParseOrderBy() {
+    if (!AcceptKeyword("BY")) {
+      result_.error = "expected BY after ORDER";
+      return false;
+    }
+    if (result_.returns.empty()) {
+      result_.error = "ORDER BY requires a RETURN projection";
+      return false;
+    }
+    do {
+      ReturnItem key;
+      if (!ParseReturnItem(&key, "ORDER BY")) return false;
+      OrderByItem order;
+      for (size_t i = 0; i < result_.returns.size(); ++i) {
+        if (result_.returns[i].name == key.name) {
+          order.item = static_cast<int>(i);
+          break;
+        }
+      }
+      if (order.item < 0) {
+        result_.error = "ORDER BY key " + key.name + " is not a RETURN item";
+        return false;
+      }
+      if (AcceptKeyword("DESC")) {
+        order.desc = true;
+      } else {
+        AcceptKeyword("ASC");
+      }
+      result_.order_by.push_back(order);
     } while (Accept(","));
     return true;
   }

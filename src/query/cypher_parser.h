@@ -10,11 +10,11 @@ namespace aplus {
 
 // Parses the openCypher subset the paper's examples are written in
 // (Sections I-III), extended with the serving-layer surface: $param
-// placeholders, a projection list, and LIMIT.
+// placeholders, a projection list with aggregates, ORDER BY, and LIMIT.
 //
 //   MATCH (c1:Customer)-[r1:O]->(a1:Account)-[r2:W]->(a2)
 //   WHERE c1.name = 'Alice', r2.currency = USD, r2.amount > $min
-//   RETURN a1, a2, r2.amount LIMIT 100
+//   RETURN a1, COUNT(*), SUM(r2.amount) ORDER BY SUM(r2.amount) DESC LIMIT 100
 //
 // Supported WHERE terms: <var>.<property>, <var>.ID, integer / float /
 // 'string' literals, $name parameters, bare identifiers (resolved as
@@ -25,10 +25,21 @@ namespace aplus {
 // (the paper's a1.ID = v5 bindings); `<var>.ID = $p` records a
 // parameter pin patched at bind time (core/session.h).
 //
-// RETURN takes either COUNT(*) (the degenerate projection) or a
-// comma-separated list of bare variables (projected as vertex/edge ids)
-// and <var>.<property> reads. LIMIT caps the emitted rows (LIMIT 0 is
-// valid and yields no rows).
+// RETURN takes a comma-separated list of items: bare variables
+// (projected as vertex/edge ids), <var>.<property> reads, and aggregate
+// calls COUNT(*) / COUNT(<item>) / SUM / MIN / MAX / AVG(<item>).
+// Mixing bare items and aggregates groups by the bare items (SQL-style
+// implicit GROUP BY); SUM/MIN/MAX/AVG require an int64 or double
+// argument and skip null cells, COUNT(<item>) counts non-null cells.
+//
+// ORDER BY takes return items (matched against the RETURN list by their
+// rendered name, e.g. `ORDER BY COUNT(*) DESC, a1`), each with an
+// optional ASC (default) or DESC. Nulls order last under ASC; ties on
+// the sort keys break by the remaining output columns, so result order
+// is deterministic up to fully identical rows.
+//
+// LIMIT caps the emitted rows (LIMIT 0 is valid and yields no rows); it
+// applies to the final output, i.e. after aggregation and ordering.
 
 // One $name placeholder. The expected type is derived from the
 // comparison the parameter appears in (kInt64 for .ID comparisons, the
@@ -41,15 +52,26 @@ struct CypherParam {
   int pin_var = -1;  // query vertex pinned by `<var>.ID = $name`, -1 when none
 };
 
-// One projection item of the RETURN clause.
+// One projection item of the RETURN clause: a plain reference (group
+// key when aggregates are present) or an aggregate call.
 struct ReturnItem {
   QueryPropRef ref;  // ref.is_id for bare variables (project the id)
-  std::string name;  // display name, e.g. "a2" or "r2.amount"
+  std::string name;  // display name, e.g. "a2", "r2.amount", "SUM(r2.amount)"
+  AggFn agg = AggFn::kNone;
+  bool star = false;  // COUNT(*): no argument reference
+};
+
+// One ORDER BY key: an index into `returns` plus the direction.
+struct OrderByItem {
+  int item = -1;
+  bool desc = false;
 };
 
 struct ParsedCypher {
   QueryGraph query;
-  std::vector<ReturnItem> returns;  // empty = COUNT(*) / bare MATCH
+  std::vector<ReturnItem> returns;  // empty = bare MATCH (pure counting)
+  std::vector<OrderByItem> order_by;
+  bool has_aggregate = false;  // any returns[i].agg != kNone
   bool has_limit = false;
   uint64_t limit = 0;
   std::vector<CypherParam> params;

@@ -14,12 +14,10 @@ namespace aplus {
 // pins the worker count explicitly.
 inline constexpr int kUseEnvThreads = 0;
 
-// Result of running one plan.
-//
-// Deprecated at the serving layer: new code should go through
+// Result of running one plan. Serving code goes through
 // Database::Execute / PreparedQuery::Execute, which return the richer
-// QueryOutcome (core/session.h). RunPlan remains the low-level
-// plan-driver for benches and tests that assemble plans by hand.
+// QueryOutcome (core/session.h); RunPlan is the low-level plan-driver
+// for benches and tests that assemble plans by hand.
 struct QueryResult {
   uint64_t count = 0;
   double seconds = 0.0;

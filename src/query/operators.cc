@@ -78,11 +78,20 @@ bool EvalResiduals(const Graph& graph, const std::vector<QueryComparison>& preds
   return true;
 }
 
-// Shared CollectParamSlots pieces: a list's materialized target pin and
-// the $param constants of a residual-conjunct vector.
+// Shared CollectParamSlots pieces: a list's materialized target pin, its
+// $param-backed sort-key bounds, and the $param constants of a
+// residual-conjunct vector.
 void CollectListPin(ListDescriptor* list, ParamSlots* slots) {
   if (list->target_bound != kInvalidVertex && list->target_vertex_var >= 0) {
     slots->pins.push_back({list->target_vertex_var, &list->target_bound});
+  }
+  if (list->upper_bound_param >= 0) {
+    slots->ranges.push_back(
+        {list->upper_bound_param, &list->upper_bound, list->bound_param_double});
+  }
+  if (list->lower_bound_param >= 0) {
+    slots->ranges.push_back(
+        {list->lower_bound_param, &list->lower_bound, list->bound_param_double});
   }
 }
 
@@ -158,14 +167,25 @@ std::pair<uint32_t, uint32_t> ListDescriptor::BoundedRange(const AdjListSlice& s
     }
     begin = lo;
   }
-  if (has_upper_bound) {
+  // A bound always comes from a range predicate on the sort key (or a
+  // label pin, which installs both sides), and predicates on null
+  // values compare false — so a lower-bound-only range must still stop
+  // before the null tail (null keys sort last as kNullSortKey; a pure
+  // `key > c` search would otherwise swallow them). An explicit upper
+  // bound caps the range below the tail on its own — except a
+  // non-strict bound AT kNullSortKey (`key <= INT64_MAX`), which
+  // tightens to strict so the tail stays excluded.
+  int64_t upper = has_upper_bound ? upper_bound : kNullSortKey;
+  bool upper_is_strict = has_upper_bound ? upper_strict : true;
+  if (upper == kNullSortKey) upper_is_strict = true;
+  if (has_upper_bound || has_lower_bound) {
     uint32_t lo = begin;
     uint32_t hi = slice.len;
     // First entry with key >= bound (strict) or key > bound.
     while (lo < hi) {
       uint32_t mid = lo + (hi - lo) / 2;
       int64_t key = SortKeyAt(slice, mid);
-      bool below = upper_strict ? key < upper_bound : key <= upper_bound;
+      bool below = upper_is_strict ? key < upper : key <= upper;
       if (below) {
         lo = mid + 1;
       } else {
@@ -287,6 +307,9 @@ void ExtendOp::Run(MatchState* state) {
         }
         if (list_.has_upper_bound || list_.has_lower_bound) {
           int64_t key = EntrySortKey(*graph_, list_.sorts().front(), eadj, nbr);
+          // Range predicates on the sort key compare false for null
+          // values (mirrors BoundedRange's null-tail cap).
+          if (key == kNullSortKey) return;
           if (list_.has_upper_bound &&
               !(list_.upper_strict ? key < list_.upper_bound : key <= list_.upper_bound)) {
             return;

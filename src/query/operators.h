@@ -75,6 +75,17 @@ struct ListDescriptor {
   bool has_lower_bound = false;
   int64_t lower_bound = 0;
   bool lower_strict = true;  // key > bound vs key >= bound
+  // >= 0 when the corresponding bound comes from a prepared-query $param
+  // (a range conjunct on the list's first sort key folded at plan time):
+  // the bound value is patched at Bind through ParamSlots::RangeSlot
+  // instead of staying a residual per-entry predicate, so the sorted-
+  // prefix binary search serves parameterized windows too (the MagicRecs
+  // time-window pattern, Section V-C1).
+  int upper_bound_param = -1;
+  int lower_bound_param = -1;
+  // True when the sort key is a double property: the bound value is
+  // encoded via EncodeDoubleSortKey at Bind.
+  bool bound_param_double = false;
 
   AdjListSlice Fetch(const MatchState& state) const;
   // First-sort-criterion key of entry i (used by MULTI-EXTEND merges).
@@ -105,12 +116,21 @@ struct ParamSlots {
     int var;           // query-vertex index the site was materialized from
     vertex_id_t* pin;  // the bound-vertex slot to patch
   };
+  // A $param folded into a ListDescriptor sort-key bound: the raw int64
+  // bound to patch, with doubles encoded via EncodeDoubleSortKey first.
+  struct RangeSlot {
+    int param;
+    int64_t* bound;
+    bool encode_double;
+  };
   std::vector<ValueSlot> values;
   std::vector<PinSlot> pins;
+  std::vector<RangeSlot> ranges;
 
   void Clear() {
     values.clear();
     pins.clear();
+    ranges.clear();
   }
 };
 

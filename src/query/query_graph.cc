@@ -4,6 +4,24 @@
 
 namespace aplus {
 
+const char* ToString(AggFn fn) {
+  switch (fn) {
+    case AggFn::kNone:
+      return "";
+    case AggFn::kCount:
+      return "COUNT";
+    case AggFn::kSum:
+      return "SUM";
+    case AggFn::kMin:
+      return "MIN";
+    case AggFn::kMax:
+      return "MAX";
+    case AggFn::kAvg:
+      return "AVG";
+  }
+  return "?";
+}
+
 int QueryGraph::AddVertex(const std::string& name, label_t label, vertex_id_t bound) {
   APLUS_CHECK(FindVertex(name) < 0) << "duplicate query vertex " << name;
   vertices_.push_back(QueryVertex{name, label, bound});

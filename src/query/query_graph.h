@@ -10,6 +10,21 @@
 
 namespace aplus {
 
+// Aggregate functions of the RETURN clause (the serving layer's
+// grouped-aggregation surface). kNone marks a plain projection item,
+// which doubles as a group key when the projection mixes bare items and
+// aggregates (SQL-style implicit GROUP BY).
+enum class AggFn : uint8_t {
+  kNone = 0,
+  kCount,  // COUNT(*) / COUNT(<ref>) — rows (non-null refs) per group
+  kSum,
+  kMin,
+  kMax,
+  kAvg,
+};
+
+const char* ToString(AggFn fn);
+
 // A property reference inside a query predicate: <var>.<key>, where var
 // names a query vertex or query edge, or the pseudo-property .ID.
 struct QueryPropRef {

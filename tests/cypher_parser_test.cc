@@ -138,13 +138,16 @@ TEST_F(CypherParserTest, LimitClause) {
   ASSERT_TRUE(with_return.ok()) << with_return.error;
   EXPECT_TRUE(with_return.has_limit);
   EXPECT_EQ(with_return.limit, 25u);
-  // LIMIT 0 is valid (zero rows); LIMIT also applies to bare counts.
+  // LIMIT 0 is valid (zero rows); COUNT(*) is an ordinary return item.
   ParsedCypher zero =
       ParseCypher("MATCH (a1)-[r1:W]->(a2) RETURN COUNT(*) LIMIT 0", ex_.graph.catalog());
   ASSERT_TRUE(zero.ok()) << zero.error;
   EXPECT_TRUE(zero.has_limit);
   EXPECT_EQ(zero.limit, 0u);
-  EXPECT_TRUE(zero.returns.empty());
+  ASSERT_EQ(zero.returns.size(), 1u);
+  EXPECT_EQ(zero.returns[0].agg, AggFn::kCount);
+  EXPECT_TRUE(zero.returns[0].star);
+  EXPECT_TRUE(zero.has_aggregate);
   // Malformed limits.
   EXPECT_FALSE(ParseCypher("MATCH (a1)-[r1:W]->(a2) LIMIT x", ex_.graph.catalog()).ok());
   EXPECT_FALSE(ParseCypher("MATCH (a1)-[r1:W]->(a2) LIMIT 1.5", ex_.graph.catalog()).ok());
@@ -212,26 +215,92 @@ TEST_F(CypherParserTest, Parameters) {
   EXPECT_FALSE(ParseCypher("MATCH (a)-[r]->(b) WHERE a.ID = $", ex_.graph.catalog()).ok());
 }
 
+TEST_F(CypherParserTest, AggregatesAndGroupBy) {
+  ParsedCypher parsed = ParseCypher(
+      "MATCH (a1:Account)-[r1:W]->(a2:Account) "
+      "RETURN a2.city, COUNT(*), SUM(r1.amount), AVG(r1.amount), MIN(a1.ID), MAX(r1.amount)",
+      ex_.graph.catalog());
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  ASSERT_EQ(parsed.returns.size(), 6u);
+  EXPECT_TRUE(parsed.has_aggregate);
+  EXPECT_EQ(parsed.returns[0].agg, AggFn::kNone);  // bare item = group key
+  EXPECT_EQ(parsed.returns[0].name, "a2.city");
+  EXPECT_EQ(parsed.returns[1].agg, AggFn::kCount);
+  EXPECT_TRUE(parsed.returns[1].star);
+  EXPECT_EQ(parsed.returns[1].name, "COUNT(*)");
+  EXPECT_EQ(parsed.returns[2].agg, AggFn::kSum);
+  EXPECT_EQ(parsed.returns[2].name, "SUM(r1.amount)");
+  EXPECT_TRUE(parsed.returns[2].ref.is_edge);
+  EXPECT_EQ(parsed.returns[3].agg, AggFn::kAvg);
+  EXPECT_EQ(parsed.returns[4].agg, AggFn::kMin);
+  EXPECT_TRUE(parsed.returns[4].ref.is_id);
+  EXPECT_EQ(parsed.returns[5].agg, AggFn::kMax);
+  // COUNT over a non-numeric argument is fine; SUM is not.
+  EXPECT_TRUE(ParseCypher("MATCH (a1:Account)-[r1:W]->(a2) RETURN COUNT(a2.city)",
+                          ex_.graph.catalog())
+                  .ok());
+  ParsedCypher bad_sum = ParseCypher(
+      "MATCH (a1:Account)-[r1:W]->(a2) RETURN SUM(a2.city)", ex_.graph.catalog());
+  EXPECT_FALSE(bad_sum.ok());
+  EXPECT_NE(bad_sum.error.find("int64 or double"), std::string::npos) << bad_sum.error;
+  // Only COUNT takes '*'.
+  EXPECT_FALSE(
+      ParseCypher("MATCH (a1)-[r1:W]->(a2) RETURN SUM(*)", ex_.graph.catalog()).ok());
+}
+
+TEST_F(CypherParserTest, OrderByClause) {
+  ParsedCypher parsed = ParseCypher(
+      "MATCH (a1:Account)-[r1:W]->(a2) "
+      "RETURN a2, COUNT(*) ORDER BY COUNT(*) DESC, a2 LIMIT 5",
+      ex_.graph.catalog());
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  ASSERT_EQ(parsed.order_by.size(), 2u);
+  EXPECT_EQ(parsed.order_by[0].item, 1);
+  EXPECT_TRUE(parsed.order_by[0].desc);
+  EXPECT_EQ(parsed.order_by[1].item, 0);
+  EXPECT_FALSE(parsed.order_by[1].desc);
+  EXPECT_TRUE(parsed.has_limit);
+  EXPECT_EQ(parsed.limit, 5u);
+  // Explicit ASC parses too.
+  ParsedCypher asc = ParseCypher(
+      "MATCH (a1)-[r1:W]->(a2) RETURN a1, r1.amount ORDER BY r1.amount ASC",
+      ex_.graph.catalog());
+  ASSERT_TRUE(asc.ok()) << asc.error;
+  EXPECT_FALSE(asc.order_by[0].desc);
+  EXPECT_EQ(asc.order_by[0].item, 1);
+  // ORDER BY keys must be RETURN items.
+  ParsedCypher not_returned = ParseCypher(
+      "MATCH (a1)-[r1:W]->(a2) RETURN a1 ORDER BY r1.amount", ex_.graph.catalog());
+  EXPECT_FALSE(not_returned.ok());
+  EXPECT_NE(not_returned.error.find("not a RETURN item"), std::string::npos)
+      << not_returned.error;
+  // ORDER BY without a projection is meaningless.
+  EXPECT_FALSE(
+      ParseCypher("MATCH (a1)-[r1:W]->(a2) ORDER BY a1", ex_.graph.catalog()).ok());
+  // ORDER without BY.
+  EXPECT_FALSE(
+      ParseCypher("MATCH (a1)-[r1:W]->(a2) RETURN a1 ORDER a1", ex_.graph.catalog()).ok());
+}
+
 TEST_F(CypherParserTest, EndToEndThroughDatabase) {
   label_t wire = ex_.wire_label;
   (void)wire;
   Database db(std::move(ex_.graph));
   db.BuildPrimaryIndexes();
   // All Wire transfers between accounts: 9.
-  Database::CypherResult wires =
-      db.RunCypher("MATCH (a:Account)-[r:W]->(b:Account) RETURN COUNT(*)");
-  ASSERT_TRUE(wires.ok) << wires.error;
-  EXPECT_EQ(wires.result.count, 9u);
+  QueryOutcome wires = db.ExecuteCypher("MATCH (a:Account)-[r:W]->(b:Account) RETURN COUNT(*)");
+  ASSERT_TRUE(wires.ok()) << wires.error;
+  EXPECT_EQ(wires.count, 9u);
   // Alice's wire destinations via her accounts (Example 2): v1 and v4
   // are Alice's; their Wire out-edges: t4, t17, t20 (v1) and t5, t9,
   // t11 (v4) = 6.
-  Database::CypherResult alice = db.RunCypher(
+  QueryOutcome alice = db.ExecuteCypher(
       "MATCH (c1:Customer)-[r1:O]->(a1)-[r2:W]->(a2) WHERE c1.name = 'Alice' "
       "RETURN COUNT(*)");
-  ASSERT_TRUE(alice.ok) << alice.error;
-  EXPECT_EQ(alice.result.count, 6u);
+  ASSERT_TRUE(alice.ok()) << alice.error;
+  EXPECT_EQ(alice.count, 6u);
   // Parse errors surface cleanly.
-  EXPECT_FALSE(db.RunCypher("MATCH garbage").ok);
+  EXPECT_FALSE(db.ExecuteCypher("MATCH garbage").ok());
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -205,12 +206,20 @@ TEST_F(ServingApiTest, LimitStopsEarlySerialAndParallel) {
   }
 }
 
-TEST_F(ServingApiTest, CountRemainsTheDegenerateProjection) {
+TEST_F(ServingApiTest, CountStarIsTheDegenerateAggregate) {
+  // RETURN COUNT(*) runs through the grouped-aggregate stage with no
+  // group keys: one output row carrying the match count. A bare MATCH
+  // (no RETURN) stays the stage-less counting projection (rows == 0).
   Session session(db_.get());
-  QueryOutcome out = session.Execute("MATCH (a)-[r1:E]->(b)-[r2:E]->(c) RETURN COUNT(*)");
+  RowCollector rc;
+  QueryOutcome out =
+      session.Execute("MATCH (a)-[r1:E]->(b)-[r2:E]->(c) RETURN COUNT(*)", &rc);
   ASSERT_TRUE(out.ok()) << out.error;
-  EXPECT_EQ(out.rows, 0u);  // counting delivers no rows
+  EXPECT_EQ(out.rows, 1u);
+  ASSERT_EQ(rc.rows.size(), 1u);
+  EXPECT_EQ(static_cast<uint64_t>(rc.rows[0][0].AsInt64()), out.count);
   EXPECT_FALSE(out.plan.empty());
+  EXPECT_NE(out.plan.find("GROUP AGGREGATE"), std::string::npos) << out.plan;
   QueryGraph q;
   int a = q.AddVertex("a");
   int b = q.AddVertex("b");
@@ -220,10 +229,113 @@ TEST_F(ServingApiTest, CountRemainsTheDegenerateProjection) {
   QueryOutcome programmatic = db_->Execute(q);
   ASSERT_TRUE(programmatic.ok()) << programmatic.error;
   EXPECT_EQ(out.count, programmatic.count);
-  // COUNT(*) under a LIMIT stops counting at the limit.
+  QueryOutcome bare = session.Execute("MATCH (a)-[r1:E]->(b)-[r2:E]->(c)");
+  ASSERT_TRUE(bare.ok()) << bare.error;
+  EXPECT_EQ(bare.rows, 0u);
+  EXPECT_EQ(bare.count, programmatic.count);
+  // LIMIT under aggregation caps the output rows (here: the single
+  // aggregate row), not the match enumeration.
   QueryOutcome capped = session.Execute("MATCH (a)-[r:E]->(b) RETURN COUNT(*) LIMIT 10");
   ASSERT_TRUE(capped.ok()) << capped.error;
-  EXPECT_EQ(capped.count, 10u);
+  EXPECT_EQ(capped.count, db_->graph().num_edges());
+  EXPECT_EQ(capped.rows, 1u);
+  QueryOutcome zero = session.Execute("MATCH (a)-[r:E]->(b) RETURN COUNT(*) LIMIT 0");
+  ASSERT_TRUE(zero.ok()) << zero.error;
+  EXPECT_EQ(zero.rows, 0u);
+}
+
+TEST_F(ServingApiTest, GroupedAggregateOrderByLimitEndToEnd) {
+  // Per-source rollup with a deterministic top-k: group by a, order by
+  // COUNT(*) DESC (ties break on the remaining column, a, ascending).
+  Session session(db_.get());
+  RowCollector rc;
+  QueryOutcome out = session.Execute(
+      "MATCH (a)-[r:E]->(b) RETURN a, COUNT(*), SUM(r.amt) "
+      "ORDER BY COUNT(*) DESC, a LIMIT 10",
+      &rc);
+  ASSERT_TRUE(out.ok()) << out.error;
+  EXPECT_EQ(out.count, db_->graph().num_edges());
+  EXPECT_EQ(out.rows, rc.rows.size());
+  EXPECT_LE(rc.rows.size(), 10u);
+  // Reference rollup straight off the graph.
+  const Graph& g = db_->graph();
+  const PropertyColumn* amt = g.edge_props().column(amt_key_);
+  std::map<int64_t, std::pair<int64_t, int64_t>> ref;  // a -> (count, sum)
+  for (edge_id_t e = 0; e < g.num_edges(); ++e) {
+    auto& acc = ref[static_cast<int64_t>(g.edge_src(e))];
+    acc.first++;
+    if (!amt->IsNull(e)) acc.second += amt->GetInt64(e);
+  }
+  std::vector<std::array<int64_t, 3>> want;
+  for (const auto& [src, acc] : ref) want.push_back({src, acc.first, acc.second});
+  std::sort(want.begin(), want.end(), [](const auto& x, const auto& y) {
+    if (x[1] != y[1]) return x[1] > y[1];  // COUNT(*) DESC
+    return x[0] < y[0];                    // a ASC
+  });
+  want.resize(std::min<size_t>(want.size(), 10));
+  ASSERT_EQ(rc.rows.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(rc.rows[i][0].AsInt64(), want[i][0]) << "row " << i;
+    EXPECT_EQ(rc.rows[i][1].AsInt64(), want[i][1]) << "row " << i;
+    EXPECT_EQ(rc.rows[i][2].AsInt64(), want[i][2]) << "row " << i;
+  }
+  // The plan text explains the whole sink chain.
+  EXPECT_NE(out.plan.find("GROUP AGGREGATE"), std::string::npos) << out.plan;
+  EXPECT_NE(out.plan.find("ORDER BY"), std::string::npos) << out.plan;
+  EXPECT_NE(out.plan.find("LIMIT 10"), std::string::npos) << out.plan;
+}
+
+TEST_F(ServingApiTest, ParamRangeBoundFoldsIntoSortedIndex) {
+  // The MagicRecs pattern: a VP index sorted on the range property lets
+  // a $param window fold into the descriptor's BoundedRange at Bind time
+  // (sorted-prefix binary search) instead of staying a residual filter.
+  // Some amt cells are nulled to pin down the null-tail semantics: null
+  // sort keys order last, and a range predicate must reject them in
+  // BOTH directions — a lower-bound-only fold (`amt > $min`) must stop
+  // before the null tail, exactly like the residual filter it replaces.
+  {
+    PropertyColumn* amt = db_->graph().edge_props().mutable_column(amt_key_);
+    for (edge_id_t e = 0; e < db_->graph().num_edges(); e += 4) amt->SetNull(e);
+  }
+  IndexConfig amt_sorted = IndexConfig::Default();
+  amt_sorted.sorts.clear();
+  amt_sorted.sorts.push_back({SortSource::kEdgeProp, amt_key_});
+  Predicate all;
+  db_->CreateVpIndex("AmtSorted", all, amt_sorted, Direction::kFwd);
+  Session session(db_.get());
+  const Graph& g = db_->graph();
+  const PropertyColumn* amt = g.edge_props().column(amt_key_);
+  struct Dir {
+    const char* text;
+    bool upper;  // true: amt < $x, false: amt > $x
+  };
+  for (const Dir& dir :
+       {Dir{"MATCH (a)-[r:E]->(b) WHERE a.ID = $src AND r.amt < $x RETURN COUNT(*)", true},
+        Dir{"MATCH (a)-[r:E]->(b) WHERE a.ID = $src AND r.amt > $x RETURN COUNT(*)",
+            false}}) {
+    PreparedQuery* prepared = session.Prepare(dir.text);
+    ASSERT_TRUE(prepared->ok()) << prepared->error();
+    // Folded: the window is a descriptor bound, not a residual filter.
+    EXPECT_EQ(prepared->plan_text().find("FILTER"), std::string::npos)
+        << prepared->plan_text();
+    for (vertex_id_t src : {0u, 5u, 42u, 300u}) {
+      for (int64_t x : {0, 50, 500, 2000}) {
+        ASSERT_TRUE(prepared->Bind("src", Value::Int64(src))) << prepared->bind_error();
+        ASSERT_TRUE(prepared->Bind("x", Value::Int64(x))) << prepared->bind_error();
+        uint64_t want = 0;
+        for (edge_id_t e = 0; e < g.num_edges(); ++e) {
+          if (g.edge_src(e) != src || amt->IsNull(e)) continue;
+          if (dir.upper ? amt->GetInt64(e) < x : amt->GetInt64(e) > x) ++want;
+        }
+        for (int threads : {1, 4}) {
+          QueryOutcome out = prepared->Execute(nullptr, threads);
+          ASSERT_TRUE(out.ok()) << out.error;
+          EXPECT_EQ(out.count, want) << dir.text << " src=" << src << " x=" << x
+                                     << " threads=" << threads;
+        }
+      }
+    }
+  }
 }
 
 TEST_F(ServingApiTest, ProjectedPropertyTypesRoundTrip) {
@@ -438,18 +550,6 @@ TEST_F(ServingApiTest, SessionCacheIsBounded) {
   }
   EXPECT_LE(session.cache_size(), Session::kMaxCachedQueries);
   EXPECT_GT(session.cache_size(), 0u);
-}
-
-TEST_F(ServingApiTest, DeprecatedWrappersStillWork) {
-  Database::CypherResult wires = db_->RunCypher("MATCH (a)-[r:E]->(b) RETURN COUNT(*)");
-  ASSERT_TRUE(wires.ok) << wires.error;
-  EXPECT_EQ(wires.result.count, db_->graph().num_edges());
-  EXPECT_FALSE(wires.result.plan.empty());
-  Database::CypherResult bad = db_->RunCypher("MATCH garbage");
-  EXPECT_FALSE(bad.ok);
-  EXPECT_FALSE(bad.error.empty());
-  EXPECT_TRUE(bad.result.plan.empty());
-  EXPECT_EQ(bad.result.count, 0u);
 }
 
 }  // namespace
