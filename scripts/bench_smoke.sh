@@ -82,6 +82,13 @@ for bench in "${BENCHES[@]}"; do
     run_one "${bench}" env APLUS_SCALE="${SCALE}" \
       APLUS_PAR_MAX_THREADS="${APLUS_PAR_MAX_THREADS:-$(( CORES < 8 ? CORES : 8 ))}" \
       APLUS_PAR_REPS="${APLUS_PAR_REPS:-1}" || FAILED=1
+  elif [[ "${bench}" == "bench_mixed" ]]; then
+    # Small request budget and a slow ingest stream: smoke guards the
+    # concurrent read/write path end-to-end, the perf-gate job carries
+    # the throughput comparison.
+    run_one "${bench}" env APLUS_SCALE="${SCALE}" \
+      APLUS_MIXED_REQS="${APLUS_MIXED_REQS:-200}" \
+      APLUS_MIXED_RATE="${APLUS_MIXED_RATE:-5000}" || FAILED=1
   elif [[ "${bench}" == "bench_serving" ]]; then
     # Fewer requests and one timed rep at smoke scale; the perf-gate job
     # runs the full request stream.

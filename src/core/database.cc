@@ -1,6 +1,7 @@
 #include "core/database.h"
 
 #include "optimizer/plan_printer.h"
+#include "util/epoch.h"
 #include "util/logging.h"
 
 namespace aplus {
@@ -75,13 +76,42 @@ DdlResult Database::ExecuteDdl(const std::string& command) {
 }
 
 DpOptimizer* Database::CachedOptimizer() {
-  if (optimizer_ == nullptr || optimizer_store_version_ != store_->version() ||
-      optimizer_num_edges_ != graph_.num_edges()) {
+  // The optimizer's catalog statistics are a cost model, not a
+  // correctness input, so ingest does not have to rebuild it per edge:
+  // refresh on DDL (version bump), on shrinkage, or once the graph has
+  // grown enough (2x) that its cardinality estimates are meaningfully
+  // stale. This keeps Prepare cheap while updates stream in.
+  uint64_t num_edges = graph_.num_edges();
+  bool stale = optimizer_ == nullptr || optimizer_store_version_ != store_->version() ||
+               num_edges < optimizer_num_edges_ || num_edges > optimizer_num_edges_ * 2;
+  if (stale) {
     optimizer_ = std::make_unique<DpOptimizer>(&graph_, store_.get());
     optimizer_store_version_ = store_->version();
-    optimizer_num_edges_ = graph_.num_edges();
+    optimizer_num_edges_ = num_edges;
   }
   return optimizer_.get();
+}
+
+void Database::BeginConcurrentIngest(const ConcurrentIngestOptions& options) {
+  APLUS_CHECK(!concurrent_ingest_active()) << "concurrent ingest is already active";
+  APLUS_CHECK_GE(options.max_vertices, graph_.num_vertices());
+  APLUS_CHECK_GE(options.max_edges, graph_.num_edges());
+  // Start from exact indexes so the run+delta views only ever lag by the
+  // currently buffered deltas.
+  if (store_->HasPendingUpdates()) store_->FlushAll();
+  graph_.ReserveForIngest(options.max_vertices, options.max_edges);
+  store_->PrepareForConcurrentIngest(options.max_vertices);
+  maintainer_->EnterConcurrentMode(options.background_merge);
+  ingest_active_.store(true, std::memory_order_release);
+}
+
+void Database::EndConcurrentIngest() {
+  APLUS_CHECK(concurrent_ingest_active()) << "concurrent ingest is not active";
+  // Flush deltas first (ExitConcurrentMode), then wait for every reader
+  // to drain so the retired runs can be freed.
+  maintainer_->ExitConcurrentMode();
+  EpochManager::Global().DrainAndReclaimAll();
+  ingest_active_.store(false, std::memory_order_release);
 }
 
 std::unique_ptr<PreparedQuery> Database::Prepare(const std::string& text,
@@ -210,7 +240,9 @@ std::unique_ptr<PreparedQuery> Database::Prepare(const std::string& text,
     prepared->columns_ = std::move(out_schema);
   }
   prepared->has_stages_ = !stages.empty();
-  if (store_->HasPendingUpdates()) store_->FlushAll();
+  // During concurrent ingest the probe paths merge deltas themselves;
+  // flushing here would serialize Prepare against the ingest thread.
+  if (!concurrent_ingest_active() && store_->HasPendingUpdates()) store_->FlushAll();
   DpOptimizer* optimizer = CachedOptimizer();
   auto sink = std::make_unique<ProjectSinkOp>(&graph_, std::move(inputs), options.batch_rows,
                                               &prepared->controls_, std::move(stages));
@@ -233,7 +265,7 @@ std::unique_ptr<PreparedQuery> Database::Prepare(const std::string& text,
 
 QueryOutcome Database::Execute(const QueryGraph& query) {
   QueryOutcome out;
-  if (store_->HasPendingUpdates()) store_->FlushAll();
+  if (!concurrent_ingest_active() && store_->HasPendingUpdates()) store_->FlushAll();
   DpOptimizer* optimizer = CachedOptimizer();
   std::unique_ptr<Plan> plan = optimizer->Optimize(query);
   if (plan == nullptr) {
@@ -256,7 +288,7 @@ QueryOutcome Database::ExecuteCypher(const std::string& text, RowConsumer* consu
 }
 
 std::string Database::Explain(const QueryGraph& query) {
-  if (store_->HasPendingUpdates()) store_->FlushAll();
+  if (!concurrent_ingest_active() && store_->HasPendingUpdates()) store_->FlushAll();
   DpOptimizer* optimizer = CachedOptimizer();
   std::unique_ptr<Plan> plan = optimizer->Optimize(query);
   if (plan == nullptr) return "(no plan)";

@@ -1,6 +1,7 @@
 #ifndef APLUS_CORE_DATABASE_H_
 #define APLUS_CORE_DATABASE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 
@@ -21,6 +22,16 @@ struct DdlResult {
   bool ok = false;
   std::string message;
   double seconds = 0.0;  // index (re)build time — the IR/IC columns
+};
+
+// Capacity contract of one concurrent ingest phase: the graph and index
+// storage are pre-sized so lock-free readers never race a reallocation.
+struct ConcurrentIngestOptions {
+  uint64_t max_vertices = 0;  // >= current count; hard cap during the phase
+  uint64_t max_edges = 0;
+  // Compact deltas on a dedicated merger thread (default); false merges
+  // inline on the ingest thread once a page crosses its cost threshold.
+  bool background_merge = true;
 };
 
 // The public facade of the engine: a property graph plus its A+ index
@@ -67,6 +78,27 @@ class Database {
   // Parses and executes one of the paper's index DDL commands.
   DdlResult ExecuteDdl(const std::string& command);
 
+  // --- Concurrent serving under online updates ---
+  //
+  // Between Begin and End, exactly one ingest thread may stream updates
+  // (Graph::AddEdge / property writes, then Maintainer::OnEdgeInserted /
+  // OnEdgeDeleted — property writes must precede the maintainer call so
+  // the edge is fully formed when it becomes probe-visible) while any
+  // number of serving threads execute prepared queries. Readers see
+  // per-list read-committed snapshots: each probe merges the page's
+  // published run + delta atomically, so every row is backed by edges
+  // that were live at some point during the phase; whole-query snapshot
+  // isolation is NOT provided. DDL, secondary indexes and string
+  // property writes are unsupported while the phase is active. Both
+  // transitions require quiescence (no queries in flight).
+  void BeginConcurrentIngest(const ConcurrentIngestOptions& options);
+  // Stops the merger, flushes every delta and drains the epoch queue;
+  // the indexes are exact w.r.t. the graph afterwards.
+  void EndConcurrentIngest();
+  bool concurrent_ingest_active() const {
+    return ingest_active_.load(std::memory_order_acquire);
+  }
+
   // --- Serving API ---
 
   // Parses + optimizes `text` once into a reusable PreparedQuery (always
@@ -100,6 +132,7 @@ class Database {
   std::unique_ptr<IndexStore> store_;
   std::unique_ptr<Maintainer> maintainer_;
   std::unique_ptr<DpOptimizer> optimizer_;
+  std::atomic<bool> ingest_active_{false};
   uint64_t optimizer_store_version_ = ~0ULL;
   uint64_t optimizer_num_edges_ = 0;
 };

@@ -53,8 +53,12 @@ int PreparedQuery::FindParam(const std::string& name) const {
 }
 
 bool PreparedQuery::current() const {
-  return plan_ != nullptr && store_version_ == db_->index_store().version() &&
-         num_edges_ == db_->graph().num_edges();
+  // Validity tracks the store version only (DDL replaces index objects
+  // the plan points into). Plain edge growth does NOT invalidate: probe
+  // paths merge run + delta views, so a prepared plan keeps returning
+  // correct rows across online ingest. Plan *quality* staleness from
+  // large growth is a cache policy, handled by Session::Prepare.
+  return plan_ != nullptr && store_version_ == db_->index_store().version();
 }
 
 void PreparedQuery::RefreshSlots() {
@@ -197,12 +201,16 @@ QueryOutcome PreparedQuery::Execute(RowConsumer* consumer, int num_threads) {
       return out;
     }
   }
-  // Queries require clean indexes (the pre-serving Run invariant).
-  // Deletions buffer page updates without bumping the store version or
-  // the edge count, so `current()` alone cannot catch them; flushing
-  // mutates page internals in place and never invalidates plan pointers
-  // (index objects are only replaced by DDL, which does bump versions).
-  if (db_->index_store().HasPendingUpdates()) db_->index_store().FlushAll();
+  // Outside concurrent ingest, queries require clean indexes (the
+  // pre-serving Run invariant): deletions buffer page updates without
+  // bumping the store version, so `current()` alone cannot catch them;
+  // flushing mutates page internals in place and never invalidates plan
+  // pointers (index objects are only replaced by DDL, which does bump
+  // versions). During concurrent ingest the probe paths merge deltas
+  // themselves and flushing belongs to the merger.
+  if (!db_->concurrent_ingest_active() && db_->index_store().HasPendingUpdates()) {
+    db_->index_store().FlushAll();
+  }
   controls_.consumer = consumer;
   // The atomic row budget (early scan termination) serves stage-less
   // plans only: a LIMIT below aggregation or ordering caps the *output*
@@ -257,12 +265,18 @@ PreparedQuery* Session::Prepare(const std::string& text, const PrepareOptions& o
   ++tick_;
   auto it = cache_.find(key);
   if (it != cache_.end()) {
-    if (it->second.prepared->current()) {
+    // A cached plan stays *valid* across ingest (current() checks the
+    // store version only), but its join order was costed on the graph as
+    // of Prepare; once the graph doubles, re-prepare for plan quality.
+    uint64_t num_edges = db_->graph().num_edges();
+    uint64_t prepared_edges = it->second.prepared->num_edges_at_prepare();
+    bool quality_stale = num_edges < prepared_edges || num_edges > prepared_edges * 2;
+    if (it->second.prepared->current() && !quality_stale) {
       ++cache_hits_;
       it->second.last_used = tick_;
       return it->second.prepared.get();
     }
-    cache_.erase(it);  // stale: the store or graph moved on
+    cache_.erase(it);  // stale: the store moved on, or the graph outgrew the plan
   }
   ++cache_misses_;
   std::unique_ptr<PreparedQuery> prepared = db_->Prepare(text, options);

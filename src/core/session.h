@@ -116,6 +116,9 @@ class PreparedQuery {
   // ORDER BY / staged LIMIT).
   bool has_stages() const { return has_stages_; }
   const std::string& normalized_text() const { return normalized_text_; }
+  // Edge count the plan was costed against (Session's plan-quality
+  // re-prepare heuristic compares it to the live graph).
+  uint64_t num_edges_at_prepare() const { return num_edges_; }
 
  private:
   friend class Database;

@@ -10,7 +10,7 @@ IndexStore::IndexStore(const Graph* graph)
       primary_bwd_(std::make_unique<PrimaryIndex>(graph, Direction::kBwd)) {}
 
 double IndexStore::BuildPrimary(const IndexConfig& config) {
-  ++version_;
+  BumpVersion();
   double seconds = primary_fwd_->Build(config);
   seconds += primary_bwd_->Build(config);
   // A reconfiguration invalidates secondary indexes' offsets; rebuild.
@@ -21,7 +21,7 @@ double IndexStore::BuildPrimary(const IndexConfig& config) {
 
 VpIndex* IndexStore::CreateVpIndex(const OneHopViewDef& view, const IndexConfig& config,
                                    Direction dir, double* build_seconds) {
-  ++version_;
+  BumpVersion();
   auto index = std::make_unique<VpIndex>(graph_, primary(dir), view, config);
   double seconds = index->Build();
   if (build_seconds != nullptr) *build_seconds = seconds;
@@ -31,7 +31,7 @@ VpIndex* IndexStore::CreateVpIndex(const OneHopViewDef& view, const IndexConfig&
 
 EpIndex* IndexStore::CreateEpIndex(const TwoHopViewDef& view, const IndexConfig& config,
                                    double* build_seconds, size_t budget_bytes) {
-  ++version_;
+  BumpVersion();
   auto index = std::make_unique<EpIndex>(graph_, primary_fwd_.get(), primary_bwd_.get(), view,
                                          config, budget_bytes);
   double seconds = index->Build();
@@ -41,7 +41,7 @@ EpIndex* IndexStore::CreateEpIndex(const TwoHopViewDef& view, const IndexConfig&
 }
 
 void IndexStore::DropSecondaryIndexes() {
-  ++version_;
+  BumpVersion();
   vp_indexes_.clear();
   ep_indexes_.clear();
 }
@@ -85,6 +85,13 @@ void IndexStore::FlushAll() {
   primary_bwd_->FlushUpdates();
   for (auto& vp : vp_indexes_) vp->FlushUpdates();
   for (auto& ep : ep_indexes_) ep->FlushUpdates();
+}
+
+void IndexStore::PrepareForConcurrentIngest(uint64_t max_vertices) {
+  APLUS_CHECK(vp_indexes_.empty() && ep_indexes_.empty())
+      << "secondary indexes are unsupported during concurrent ingest";
+  primary_fwd_->ReservePages(max_vertices);
+  primary_bwd_->ReservePages(max_vertices);
 }
 
 bool IndexStore::HasPendingUpdates() const {

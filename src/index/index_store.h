@@ -64,15 +64,24 @@ class IndexStore {
   void FlushAll();
   bool HasPendingUpdates() const;
 
+  // Pre-sizes both primary indexes' page vectors for a concurrent ingest
+  // phase (the slot arrays must not grow under lock-free readers) and
+  // checks no secondary indexes exist. Must be called while quiesced.
+  void PrepareForConcurrentIngest(uint64_t max_vertices);
+
   const Graph* graph() const { return graph_; }
 
   // Monotonic counter bumped whenever the set or configuration of
-  // indexes changes; lets the Database cache its optimizer.
-  uint64_t version() const { return version_; }
+  // indexes changes; lets the Database cache its optimizer and prepared
+  // queries validate against DDL. Reads are lock-free (serving threads
+  // revalidate plans while a writer may be running DDL-adjacent code).
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
 
  private:
+  void BumpVersion() { version_.fetch_add(1, std::memory_order_acq_rel); }
+
   const Graph* graph_;
-  uint64_t version_ = 0;
+  std::atomic<uint64_t> version_{0};
   std::unique_ptr<PrimaryIndex> primary_fwd_;
   std::unique_ptr<PrimaryIndex> primary_bwd_;
   std::vector<std::unique_ptr<VpIndex>> vp_indexes_;

@@ -1,8 +1,10 @@
 #ifndef APLUS_INDEX_LIST_PAGE_H_
 #define APLUS_INDEX_LIST_PAGE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+
 #include <vector>
 
 #include "storage/types.h"
@@ -18,24 +20,43 @@ namespace aplus {
 // at csr[o * fp + s]. Because nested sublists are laid out contiguously,
 // any partition *prefix* is still one contiguous range, which is what
 // gives constant-time access at every level of the index.
+//
+// A page is an immutable sorted run once published: maintenance never
+// mutates it in place. Updates accumulate in a separate PageDelta and a
+// merge builds a fresh IdListPage, swaps it in behind an atomic pointer
+// and retires this one through the EpochManager once no reader can still
+// be probing it (Section IV-C, made concurrency-safe).
 struct IdListPage {
   std::vector<uint32_t> csr;
   std::vector<vertex_id_t> nbrs;
   std::vector<edge_id_t> eids;
 
-  // Pending inserts not yet merged into the arrays (Section IV-C). Each
-  // entry is an edge id owned by a vertex of this page.
-  std::vector<edge_id_t> insert_buffer;
-  // Tombstoned positions awaiting a merge; parallel to nbrs/eids when
-  // non-empty.
-  std::vector<uint8_t> tombstones;
-  uint32_t num_tombstones = 0;
-
   size_t MemoryBytes() const {
     return csr.capacity() * sizeof(uint32_t) + nbrs.capacity() * sizeof(vertex_id_t) +
-           eids.capacity() * sizeof(edge_id_t) + insert_buffer.capacity() * sizeof(edge_id_t) +
-           tombstones.capacity();
+           eids.capacity() * sizeof(edge_id_t);
   }
+};
+
+// Pending updates of one page, kept out of the sorted run so concurrent
+// readers never observe a half-mutated list. Fixed-capacity arrays with
+// atomically published counts: the (single) writer stores the entry
+// first, then bumps the count with release semantics; readers load the
+// count with acquire and only look at entries below it. Appending is
+// therefore allocation-free and never invalidates a concurrent probe.
+//
+// `inserts` holds edge ids not yet merged into the run; `deletes` holds
+// edge ids to suppress (they may live in the run *or* in `inserts` — a
+// probe and a merge both treat `deletes` as a filter over the union).
+// When either side fills up the writer must merge the page inline.
+struct PageDelta {
+  static constexpr uint32_t kCapacity = 64;
+
+  std::atomic<uint32_t> num_inserts{0};
+  std::atomic<uint32_t> num_deletes{0};
+  edge_id_t inserts[kCapacity];
+  edge_id_t deletes[kCapacity];
+
+  size_t MemoryBytes() const { return sizeof(PageDelta); }
 };
 
 }  // namespace aplus

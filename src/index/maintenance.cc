@@ -1,8 +1,35 @@
 #include "index/maintenance.h"
 
+#include "util/epoch.h"
+#include "util/logging.h"
+
 namespace aplus {
 
+Maintainer::~Maintainer() {
+  if (concurrent_mode()) ExitConcurrentMode();
+}
+
+uint32_t Maintainer::MergeThreshold(uint32_t run_entries) {
+  // d* = r / 64, clamped to [8, kCapacity / 2]: small pages merge after a
+  // handful of updates, hot long lists defer until the probe-side scan
+  // cost genuinely outweighs the rebuild. The hard kCapacity bound in
+  // PrimaryIndex still forces an inline merge if the merger falls behind.
+  uint32_t t = run_entries / 64;
+  if (t < 8) t = 8;
+  if (t > PageDelta::kCapacity / 2) t = PageDelta::kCapacity / 2;
+  return t;
+}
+
 void Maintainer::OnEdgeInserted(edge_id_t e) {
+  if (concurrent_mode()) {
+    PrimaryIndex* fwd = store_->primary(Direction::kFwd);
+    PrimaryIndex* bwd = store_->primary(Direction::kBwd);
+    fwd->InsertEdge(e);
+    bwd->InsertEdge(e);
+    MaybeScheduleMerge(fwd, e);
+    MaybeScheduleMerge(bwd, e);
+    return;
+  }
   store_->primary(Direction::kFwd)->InsertEdge(e);
   store_->primary(Direction::kBwd)->InsertEdge(e);
   for (auto& vp : store_->vp_indexes()) {
@@ -26,6 +53,15 @@ void Maintainer::OnEdgeInserted(edge_id_t e) {
 }
 
 void Maintainer::OnEdgeDeleted(edge_id_t e) {
+  if (concurrent_mode()) {
+    PrimaryIndex* fwd = store_->primary(Direction::kFwd);
+    PrimaryIndex* bwd = store_->primary(Direction::kBwd);
+    fwd->DeleteEdge(e);
+    bwd->DeleteEdge(e);
+    MaybeScheduleMerge(fwd, e);
+    MaybeScheduleMerge(bwd, e);
+    return;
+  }
   // Capture EP pages affected by e acting as an adjacent edge *before*
   // the primary indexes forget it (marks the same pages pending).
   for (auto& ep : store_->ep_indexes()) ep->InsertEdge(e);
@@ -35,5 +71,78 @@ void Maintainer::OnEdgeDeleted(edge_id_t e) {
 }
 
 void Maintainer::Finalize() { store_->FlushAll(); }
+
+void Maintainer::MaybeScheduleMerge(PrimaryIndex* index, edge_id_t e) {
+  uint32_t page = index->OwnerOf(e) / kGroupSize;
+  uint32_t d = index->DeltaEntries(page);
+  if (d < MergeThreshold(index->RunEntries(page))) return;
+  if (!background_) {
+    index->FlushPage(page);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (!queued_.insert({index, page}).second) return;  // already scheduled
+    queue_.push_back({index, page});
+  }
+  queue_cv_.notify_one();
+}
+
+void Maintainer::MergerLoop() {
+  for (;;) {
+    MergeTask task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stop_merger_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_merger_) return;
+        continue;
+      }
+      task = queue_.front();
+      queue_.pop_front();
+      queued_.erase({task.index, task.page});
+    }
+    // FlushPage publishes the fresh run, retires the old run + delta and
+    // advances the epoch; reclaim what drained readers no longer hold.
+    task.index->FlushPage(task.page);
+    background_merges_.fetch_add(1, std::memory_order_relaxed);
+    EpochManager::Global().TryReclaim();
+  }
+}
+
+void Maintainer::EnterConcurrentMode(bool background_merge) {
+  APLUS_CHECK(!concurrent_mode()) << "concurrent mode is already active";
+  APLUS_CHECK(store_->vp_indexes().empty() && store_->ep_indexes().empty())
+      << "secondary indexes are unsupported during concurrent ingest "
+         "(their offset lists resolve against primary runs non-atomically)";
+  store_->primary(Direction::kFwd)->set_auto_merge(false);
+  store_->primary(Direction::kBwd)->set_auto_merge(false);
+  background_ = background_merge;
+  if (background_) {
+    stop_merger_ = false;
+    merger_ = std::thread([this] { MergerLoop(); });
+  }
+  concurrent_.store(true, std::memory_order_release);
+}
+
+void Maintainer::ExitConcurrentMode() {
+  APLUS_CHECK(concurrent_mode()) << "concurrent mode is not active";
+  if (background_) {
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      stop_merger_ = true;
+    }
+    queue_cv_.notify_one();
+    merger_.join();
+    queue_.clear();
+    queued_.clear();
+  }
+  store_->primary(Direction::kFwd)->set_auto_merge(true);
+  store_->primary(Direction::kBwd)->set_auto_merge(true);
+  // Compact every remaining delta: afterwards plain GetList probes (and
+  // the quiesced oracle paths in tests) see the exact index again.
+  store_->FlushAll();
+  concurrent_.store(false, std::memory_order_release);
+}
 
 }  // namespace aplus

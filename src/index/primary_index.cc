@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "util/epoch.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -23,6 +24,13 @@ int64_t EncodeDoubleSortKey(double d) {
 
 PrimaryIndex::PrimaryIndex(const Graph* graph, Direction direction)
     : graph_(graph), direction_(direction) {}
+
+PrimaryIndex::~PrimaryIndex() {
+  for (PageSlot& slot : pages_) {
+    delete slot.run.load(std::memory_order_relaxed);
+    delete slot.delta.load(std::memory_order_relaxed);
+  }
+}
 
 category_t PrimaryIndex::CategoryOf(const PartitionCriterion& criterion, edge_id_t e,
                                     vertex_id_t nbr) const {
@@ -107,6 +115,7 @@ SortKey PrimaryIndex::ComputeSortKey(const IndexConfig& config, edge_id_t e,
 
 double PrimaryIndex::Build(const IndexConfig& config) {
   WallTimer timer;
+  std::lock_guard<std::mutex> lock(writer_mu_);
   config_ = config;
   fanouts_.clear();
   fanout_product_ = 1;
@@ -121,9 +130,20 @@ double PrimaryIndex::Build(const IndexConfig& config) {
 
   uint64_t nv = graph_->num_vertices();
   uint32_t num_pages = static_cast<uint32_t>((nv + kGroupSize - 1) / kGroupSize);
-  pages_.clear();
-  pages_.reserve(num_pages);
-  for (uint32_t p = 0; p < num_pages; ++p) pages_.push_back(std::make_unique<IdListPage>());
+  // A rebuild is DDL: callers quiesce queries first, but retire the old
+  // versions anyway so the protocol is uniform.
+  for (PageSlot& slot : pages_) {
+    EpochManager::Global().Retire(slot.run.load(std::memory_order_relaxed));
+    EpochManager::Global().Retire(slot.delta.load(std::memory_order_relaxed));
+    slot.run.store(nullptr, std::memory_order_relaxed);
+    slot.delta.store(nullptr, std::memory_order_relaxed);
+  }
+  if (pages_.size() < num_pages) {
+    pages_.reserve(num_pages);
+    while (pages_.size() < num_pages) pages_.emplace_back();
+  } else {
+    pages_.resize(num_pages);
+  }
 
   // Distribute edges to their page.
   std::vector<uint32_t> page_counts(num_pages, 0);
@@ -133,18 +153,20 @@ double PrimaryIndex::Build(const IndexConfig& config) {
   for (uint32_t p = 0; p < num_pages; ++p) page_edges[p].reserve(page_counts[p]);
   for (edge_id_t e = 0; e < ne; ++e) page_edges[PageOf(OwnerOf(e))].push_back(e);
 
-  num_edges_indexed_ = 0;
+  uint64_t indexed = 0;
   for (uint32_t p = 0; p < num_pages; ++p) {
-    RebuildPage(p, page_edges[p]);
-    num_edges_indexed_ += page_edges[p].size();
+    pages_[p].run.store(BuildRun(page_edges[p]).release(), std::memory_order_release);
+    indexed += page_edges[p].size();
   }
-  pending_updates_ = 0;
+  num_edges_indexed_.store(indexed, std::memory_order_relaxed);
+  pending_updates_.store(0, std::memory_order_relaxed);
+  EpochManager::Global().TryReclaim();
   build_seconds_ = timer.ElapsedSeconds();
   return build_seconds_;
 }
 
-void PrimaryIndex::RebuildPage(uint32_t page_idx, const std::vector<edge_id_t>& edges) {
-  IdListPage& page = *pages_[page_idx];
+std::unique_ptr<IdListPage> PrimaryIndex::BuildRun(const std::vector<edge_id_t>& edges) const {
+  auto page = std::make_unique<IdListPage>();
   uint32_t slots = kGroupSize * fanout_product_;
 
   std::vector<BuildEntry> entries;
@@ -164,26 +186,22 @@ void PrimaryIndex::RebuildPage(uint32_t page_idx, const std::vector<edge_id_t>& 
     return a.key < b.key;
   });
 
-  page.csr.assign(slots + 1, 0);
-  for (const BuildEntry& entry : entries) page.csr[entry.bucket + 1]++;
-  for (uint32_t s = 0; s < slots; ++s) page.csr[s + 1] += page.csr[s];
+  page->csr.assign(slots + 1, 0);
+  for (const BuildEntry& entry : entries) page->csr[entry.bucket + 1]++;
+  for (uint32_t s = 0; s < slots; ++s) page->csr[s + 1] += page->csr[s];
 
-  page.nbrs.resize(entries.size());
-  page.eids.resize(entries.size());
+  page->nbrs.resize(entries.size());
+  page->eids.resize(entries.size());
   for (size_t i = 0; i < entries.size(); ++i) {
-    page.nbrs[i] = entries[i].nbr;
-    page.eids[i] = entries[i].eid;
+    page->nbrs[i] = entries[i].nbr;
+    page->eids[i] = entries[i].eid;
   }
-  page.insert_buffer.clear();
-  page.tombstones.clear();
-  page.num_tombstones = 0;
+  return page;
 }
 
-AdjListSlice PrimaryIndex::GetList(vertex_id_t v, const std::vector<category_t>& cats) const {
-  APLUS_DCHECK(v < graph_->num_vertices());
-  APLUS_DCHECK(cats.size() <= fanouts_.size()) << "partition path too long";
-  if (PageOf(v) >= pages_.size() || pages_[PageOf(v)]->csr.empty()) return AdjListSlice();
-  const IdListPage& page = *pages_[PageOf(v)];
+AdjListSlice PrimaryIndex::SliceFromRun(const IdListPage* run, vertex_id_t v,
+                                        const std::vector<category_t>& cats) const {
+  if (run == nullptr || run->csr.empty()) return AdjListSlice();
   uint32_t base = (v % kGroupSize) * fanout_product_;
   uint32_t start = base;
   uint32_t span = fanout_product_;
@@ -192,110 +210,350 @@ AdjListSlice PrimaryIndex::GetList(vertex_id_t v, const std::vector<category_t>&
     start += cats[i] * span;
   }
   AdjListSlice slice;
-  slice.nbrs = page.nbrs.data() + page.csr[start];
-  slice.edges = page.eids.data() + page.csr[start];
-  slice.len = page.csr[start + span] - page.csr[start];
+  slice.nbrs = run->nbrs.data() + run->csr[start];
+  slice.edges = run->eids.data() + run->csr[start];
+  slice.len = run->csr[start + span] - run->csr[start];
   return slice;
+}
+
+AdjListSlice PrimaryIndex::GetList(vertex_id_t v, const std::vector<category_t>& cats) const {
+  APLUS_DCHECK(v < graph_->num_vertices());
+  APLUS_DCHECK(cats.size() <= fanouts_.size()) << "partition path too long";
+  if (PageOf(v) >= pages_.size()) return AdjListSlice();
+  return SliceFromRun(pages_[PageOf(v)].run.load(std::memory_order_acquire), v, cats);
 }
 
 AdjListSlice PrimaryIndex::GetFullList(vertex_id_t v) const { return GetList(v, {}); }
 
+AdjListSlice PrimaryIndex::GetListSnapshot(vertex_id_t v, const std::vector<category_t>& cats,
+                                           ListMergeScratch* scratch) const {
+  APLUS_DCHECK(cats.size() <= fanouts_.size()) << "partition path too long";
+  uint32_t page_idx = PageOf(v);
+  if (page_idx >= pages_.size()) return AdjListSlice();
+  const PageSlot& slot = pages_[page_idx];
+  // Load run before delta: the merge publishes in the opposite order
+  // (delta cleared, then new run installed), so a probe either sees a
+  // consistent pre-merge pair, the post-merge pair, or — transiently —
+  // the old run with no delta, which is a valid earlier snapshot. It can
+  // never see a delta entry twice.
+  const IdListPage* run = slot.run.load(std::memory_order_acquire);
+  const PageDelta* delta = slot.delta.load(std::memory_order_acquire);
+  if (delta == nullptr) return SliceFromRun(run, v, cats);
+  uint32_t ni = delta->num_inserts.load(std::memory_order_acquire);
+  uint32_t nd = delta->num_deletes.load(std::memory_order_acquire);
+  if (ni == 0 && nd == 0) return SliceFromRun(run, v, cats);
+
+  // Does any delta entry belong to this owner at all?
+  bool relevant = false;
+  for (uint32_t i = 0; i < ni && !relevant; ++i) relevant = OwnerOf(delta->inserts[i]) == v;
+  for (uint32_t i = 0; i < nd && !relevant; ++i) relevant = OwnerOf(delta->deletes[i]) == v;
+  if (!relevant) return SliceFromRun(run, v, cats);
+
+  // Requested bucket range within the page (same arithmetic as
+  // SliceFromRun, but we need the bucket bounds to place adds).
+  uint32_t base = (v % kGroupSize) * fanout_product_;
+  uint32_t start = base;
+  uint32_t span = fanout_product_;
+  for (size_t i = 0; i < cats.size(); ++i) {
+    span /= fanouts_[i];
+    start += cats[i] * span;
+  }
+  bool has_run = run != nullptr && !run->csr.empty();
+  uint32_t begin = has_run ? run->csr[start] : 0;
+  uint32_t end = has_run ? run->csr[start + span] : 0;
+
+  scratch->deletes.clear();
+  for (uint32_t i = 0; i < nd; ++i) {
+    if (OwnerOf(delta->deletes[i]) == v) scratch->deletes.push_back(delta->deletes[i]);
+  }
+  auto is_deleted = [&](edge_id_t e) {
+    for (edge_id_t d : scratch->deletes) {
+      if (d == e) return true;
+    }
+    return false;
+  };
+
+  scratch->adds.clear();
+  for (uint32_t i = 0; i < ni; ++i) {
+    edge_id_t e = delta->inserts[i];
+    if (OwnerOf(e) != v || is_deleted(e)) continue;
+    vertex_id_t nbr = NbrOf(e);
+    uint32_t bucket = base + BucketOf(config_, fanouts_, e, nbr);
+    if (bucket < start || bucket >= start + span) continue;
+    ListMergeScratch::Add add;
+    add.bucket = bucket;
+    add.key = ComputeSortKey(config_, e, nbr);
+    add.nbr = nbr;
+    add.eid = e;
+    add.pos = 0;
+    scratch->adds.push_back(add);
+  }
+  if (scratch->adds.empty() && scratch->deletes.empty()) return SliceFromRun(run, v, cats);
+
+  // Sorted insertion position of each add inside its bucket's run range
+  // (keys within a bucket are sorted, so binary search applies).
+  for (ListMergeScratch::Add& add : scratch->adds) {
+    if (!has_run) {
+      add.pos = 0;
+      continue;
+    }
+    uint32_t lo = run->csr[add.bucket];
+    uint32_t hi = run->csr[add.bucket + 1];
+    while (lo < hi) {
+      uint32_t mid = lo + (hi - lo) / 2;
+      SortKey mid_key = ComputeSortKey(config_, run->eids[mid], run->nbrs[mid]);
+      if (add.key < mid_key) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    add.pos = lo;
+  }
+  std::sort(scratch->adds.begin(), scratch->adds.end(),
+            [](const ListMergeScratch::Add& a, const ListMergeScratch::Add& b) {
+              if (a.pos != b.pos) return a.pos < b.pos;
+              if (a.bucket != b.bucket) return a.bucket < b.bucket;
+              return a.key < b.key;
+            });
+
+  scratch->nbrs.clear();
+  scratch->eids.clear();
+  scratch->nbrs.reserve(end - begin + scratch->adds.size());
+  scratch->eids.reserve(end - begin + scratch->adds.size());
+  size_t ai = 0;
+  for (uint32_t p = begin; p <= end; ++p) {
+    while (ai < scratch->adds.size() && scratch->adds[ai].pos <= p) {
+      scratch->nbrs.push_back(scratch->adds[ai].nbr);
+      scratch->eids.push_back(scratch->adds[ai].eid);
+      ++ai;
+    }
+    if (p == end) break;
+    if (!scratch->deletes.empty() && is_deleted(run->eids[p])) continue;
+    scratch->nbrs.push_back(run->nbrs[p]);
+    scratch->eids.push_back(run->eids[p]);
+  }
+
+  AdjListSlice slice;
+  slice.nbrs = scratch->nbrs.data();
+  slice.edges = scratch->eids.data();
+  slice.len = static_cast<uint32_t>(scratch->eids.size());
+  return slice;
+}
+
 void PrimaryIndex::GetListBase(vertex_id_t v, const vertex_id_t** nbrs, const edge_id_t** eids,
                                uint32_t* len) const {
-  if (PageOf(v) >= pages_.size() || pages_[PageOf(v)]->csr.empty()) {
+  const IdListPage* run =
+      PageOf(v) < pages_.size() ? pages_[PageOf(v)].run.load(std::memory_order_acquire) : nullptr;
+  if (run == nullptr || run->csr.empty()) {
     *nbrs = nullptr;
     *eids = nullptr;
     *len = 0;
     return;
   }
-  const IdListPage& page = *pages_[PageOf(v)];
   uint32_t base = (v % kGroupSize) * fanout_product_;
-  uint32_t begin = page.csr[base];
-  uint32_t end = page.csr[base + fanout_product_];
-  *nbrs = page.nbrs.data() + begin;
-  *eids = page.eids.data() + begin;
+  uint32_t begin = run->csr[base];
+  uint32_t end = run->csr[base + fanout_product_];
+  *nbrs = run->nbrs.data() + begin;
+  *eids = run->eids.data() + begin;
   *len = end - begin;
 }
 
 size_t PrimaryIndex::MemoryBytes() const {
   size_t bytes = 0;
-  for (const auto& page : pages_) bytes += page->MemoryBytes();
+  for (const PageSlot& slot : pages_) {
+    const IdListPage* run = slot.run.load(std::memory_order_acquire);
+    if (run != nullptr) bytes += run->MemoryBytes();
+    const PageDelta* delta = slot.delta.load(std::memory_order_acquire);
+    if (delta != nullptr) bytes += delta->MemoryBytes();
+  }
   return bytes;
 }
 
 size_t PrimaryIndex::PartitionLevelBytes() const {
   size_t bytes = 0;
-  for (const auto& page : pages_) bytes += page->csr.capacity() * sizeof(uint32_t);
+  for (const PageSlot& slot : pages_) {
+    const IdListPage* run = slot.run.load(std::memory_order_acquire);
+    if (run != nullptr) bytes += run->csr.capacity() * sizeof(uint32_t);
+  }
   return bytes;
 }
 
+void PrimaryIndex::ReservePages(uint64_t max_vertices) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  uint32_t num_pages = static_cast<uint32_t>((max_vertices + kGroupSize - 1) / kGroupSize);
+  pages_.reserve(num_pages);
+  while (pages_.size() < num_pages) {
+    pages_.emplace_back();
+    pages_.back().run.store(BuildRun({}).release(), std::memory_order_release);
+  }
+  pages_reserved_ = true;
+}
+
+void PrimaryIndex::GrowPagesLocked(uint32_t page_idx) {
+  // The graph may have grown past the pages built at Build() time.
+  // Growing moves the slot array, so it is only legal while no reader
+  // is active; concurrent serving pre-sizes via ReservePages.
+  APLUS_CHECK(!pages_reserved_ || page_idx < pages_.size())
+      << "edge insert beyond the page range reserved for concurrent ingest";
+  while (pages_.size() <= page_idx) {
+    pages_.emplace_back();
+    pages_.back().run.store(BuildRun({}).release(), std::memory_order_release);
+  }
+}
+
 void PrimaryIndex::InsertEdge(edge_id_t e) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
   vertex_id_t owner = OwnerOf(e);
   uint32_t page_idx = PageOf(owner);
-  // The graph may have grown past the pages built at Build() time.
-  while (pages_.size() <= page_idx) pages_.push_back(std::make_unique<IdListPage>());
-  IdListPage& page = *pages_[page_idx];
-  if (page.csr.empty()) page.csr.assign(kGroupSize * fanout_product_ + 1, 0);
-  page.insert_buffer.push_back(e);
-  ++pending_updates_;
-  ++num_edges_indexed_;
-  if (page.insert_buffer.size() >= kUpdateBufferCapacity) MergePage(page_idx);
+  GrowPagesLocked(page_idx);
+  PageSlot& slot = pages_[page_idx];
+  PageDelta* delta = slot.delta.load(std::memory_order_relaxed);
+  if (delta != nullptr &&
+      delta->num_inserts.load(std::memory_order_relaxed) >= PageDelta::kCapacity) {
+    MergePageLocked(page_idx);
+    delta = nullptr;
+  }
+  if (delta == nullptr) {
+    delta = new PageDelta();
+    slot.delta.store(delta, std::memory_order_release);
+  }
+  uint32_t nd = delta->num_deletes.load(std::memory_order_relaxed);
+  for (uint32_t i = 0; i < nd; ++i) {
+    // A pending delete of the same id would suppress this insert at
+    // merge time; flushing first keeps the ordering unambiguous.
+    APLUS_CHECK(delta->deletes[i] != e) << "reinserting edge " << e << " with a pending delete";
+  }
+  uint32_t n = delta->num_inserts.load(std::memory_order_relaxed);
+  delta->inserts[n] = e;
+  delta->num_inserts.store(n + 1, std::memory_order_release);
+  pending_updates_.fetch_add(1, std::memory_order_relaxed);
+  num_edges_indexed_.fetch_add(1, std::memory_order_relaxed);
+  if (auto_merge_ && n + 1 >= kUpdateBufferCapacity) MergePageLocked(page_idx);
 }
 
 void PrimaryIndex::DeleteEdge(edge_id_t e) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
   vertex_id_t owner = OwnerOf(e);
   uint32_t page_idx = PageOf(owner);
   APLUS_CHECK_LT(page_idx, pages_.size());
-  IdListPage& page = *pages_[page_idx];
-  // The edge may still sit in the insert buffer.
-  for (size_t i = 0; i < page.insert_buffer.size(); ++i) {
-    if (page.insert_buffer[i] == e) {
-      page.insert_buffer.erase(page.insert_buffer.begin() + static_cast<int64_t>(i));
-      --pending_updates_;
-      --num_edges_indexed_;
-      return;
+  PageSlot& slot = pages_[page_idx];
+
+  // The edge must exist: either in the sorted run or still buffered.
+  const IdListPage* run = slot.run.load(std::memory_order_relaxed);
+  PageDelta* delta = slot.delta.load(std::memory_order_relaxed);
+  bool found = false;
+  if (run != nullptr) {
+    for (edge_id_t re : run->eids) {
+      if (re == e) {
+        found = true;
+        break;
+      }
     }
   }
-  if (page.tombstones.empty()) page.tombstones.assign(page.eids.size(), 0);
-  for (size_t i = 0; i < page.eids.size(); ++i) {
-    if (page.eids[i] == e && !page.tombstones[i]) {
-      page.tombstones[i] = 1;
-      page.num_tombstones++;
-      ++pending_updates_;
-      --num_edges_indexed_;
-      if (page.num_tombstones >= kUpdateBufferCapacity) MergePage(page_idx);
-      return;
-    }
+  uint32_t ni = delta != nullptr ? delta->num_inserts.load(std::memory_order_relaxed) : 0;
+  uint32_t nd = delta != nullptr ? delta->num_deletes.load(std::memory_order_relaxed) : 0;
+  for (uint32_t i = 0; i < ni && !found; ++i) found = delta->inserts[i] == e;
+  for (uint32_t i = 0; i < nd; ++i) {
+    APLUS_CHECK(delta->deletes[i] != e) << "edge " << e << " deleted twice";
   }
-  APLUS_CHECK(false) << "edge " << e << " not found for deletion";
+  APLUS_CHECK(found) << "edge " << e << " not found for deletion";
+
+  if (delta != nullptr && nd >= PageDelta::kCapacity) {
+    MergePageLocked(page_idx);
+    delta = nullptr;
+    nd = 0;
+  }
+  if (delta == nullptr) {
+    delta = new PageDelta();
+    slot.delta.store(delta, std::memory_order_release);
+  }
+  delta->deletes[nd] = e;
+  delta->num_deletes.store(nd + 1, std::memory_order_release);
+  pending_updates_.fetch_add(1, std::memory_order_relaxed);
+  num_edges_indexed_.fetch_sub(1, std::memory_order_relaxed);
+  if (auto_merge_ && nd + 1 >= kUpdateBufferCapacity) MergePageLocked(page_idx);
 }
 
-void PrimaryIndex::MergePage(uint32_t page_idx) {
-  IdListPage& page = *pages_[page_idx];
+void PrimaryIndex::MergePageLocked(uint32_t page_idx) {
+  PageSlot& slot = pages_[page_idx];
+  const IdListPage* old_run = slot.run.load(std::memory_order_relaxed);
+  PageDelta* delta = slot.delta.load(std::memory_order_relaxed);
+  if (delta == nullptr) return;
+  uint32_t ni = delta->num_inserts.load(std::memory_order_relaxed);
+  uint32_t nd = delta->num_deletes.load(std::memory_order_relaxed);
+  if (ni == 0 && nd == 0) return;
+
+  auto is_deleted = [&](edge_id_t e) {
+    for (uint32_t i = 0; i < nd; ++i) {
+      if (delta->deletes[i] == e) return true;
+    }
+    return false;
+  };
   std::vector<edge_id_t> edges;
-  edges.reserve(page.eids.size() + page.insert_buffer.size());
-  for (size_t i = 0; i < page.eids.size(); ++i) {
-    if (page.tombstones.empty() || !page.tombstones[i]) edges.push_back(page.eids[i]);
+  edges.reserve((old_run != nullptr ? old_run->eids.size() : 0) + ni);
+  if (old_run != nullptr) {
+    for (edge_id_t e : old_run->eids) {
+      if (!is_deleted(e)) edges.push_back(e);
+    }
   }
-  uint64_t merged = page.insert_buffer.size() + page.num_tombstones;
-  edges.insert(edges.end(), page.insert_buffer.begin(), page.insert_buffer.end());
-  RebuildPage(page_idx, edges);
-  APLUS_CHECK_GE(pending_updates_, merged);
-  pending_updates_ -= merged;
+  for (uint32_t i = 0; i < ni; ++i) {
+    if (!is_deleted(delta->inserts[i])) edges.push_back(delta->inserts[i]);
+  }
+  PublishRun(page_idx, BuildRun(edges));
+  uint64_t merged = ni + nd;
+  APLUS_CHECK_GE(pending_updates_.load(std::memory_order_relaxed), merged);
+  pending_updates_.fetch_sub(merged, std::memory_order_relaxed);
+}
+
+void PrimaryIndex::PublishRun(uint32_t page_idx, std::unique_ptr<IdListPage> run) {
+  PageSlot& slot = pages_[page_idx];
+  const IdListPage* old_run = slot.run.load(std::memory_order_relaxed);
+  PageDelta* old_delta = slot.delta.load(std::memory_order_relaxed);
+  // Clear the delta *before* installing the run that absorbed it: a
+  // reader loading run-then-delta then either misses the delta (a valid
+  // earlier snapshot) or sees the new run with no delta — never the new
+  // run plus the already-merged delta (which would duplicate entries).
+  slot.delta.store(nullptr, std::memory_order_release);
+  slot.run.store(run.release(), std::memory_order_release);
+  EpochManager& epochs = EpochManager::Global();
+  epochs.Retire(old_run);
+  epochs.Retire(old_delta);
+  epochs.Advance();
+}
+
+// DeltaEntries/RunEntries feed the maintainer's merge cost model from
+// the ingest thread, which holds no epoch pin: writer_mu_ is what keeps
+// the background merger from retiring and freeing the pointers mid-read
+// (all retirement happens under the mutex, so a pointer loaded here is
+// current and cannot be reclaimed before we release it).
+uint32_t PrimaryIndex::DeltaEntries(uint32_t page_idx) const {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (page_idx >= pages_.size()) return 0;
+  const PageDelta* delta = pages_[page_idx].delta.load(std::memory_order_acquire);
+  if (delta == nullptr) return 0;
+  return delta->num_inserts.load(std::memory_order_acquire) +
+         delta->num_deletes.load(std::memory_order_acquire);
+}
+
+uint32_t PrimaryIndex::RunEntries(uint32_t page_idx) const {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (page_idx >= pages_.size()) return 0;
+  const IdListPage* run = pages_[page_idx].run.load(std::memory_order_acquire);
+  return run != nullptr ? static_cast<uint32_t>(run->eids.size()) : 0;
 }
 
 void PrimaryIndex::FlushPage(uint32_t page_idx) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
   if (page_idx >= pages_.size()) return;
-  IdListPage& page = *pages_[page_idx];
-  if (!page.insert_buffer.empty() || page.num_tombstones > 0) MergePage(page_idx);
+  MergePageLocked(page_idx);
 }
 
 void PrimaryIndex::FlushUpdates() {
-  for (uint32_t p = 0; p < pages_.size(); ++p) {
-    IdListPage& page = *pages_[p];
-    if (!page.insert_buffer.empty() || page.num_tombstones > 0) MergePage(p);
-  }
-  APLUS_CHECK_EQ(pending_updates_, 0u);
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  for (uint32_t p = 0; p < pages_.size(); ++p) MergePageLocked(p);
+  APLUS_CHECK_EQ(pending_updates_.load(std::memory_order_relaxed), 0u);
+  EpochManager::Global().TryReclaim();
 }
 
 }  // namespace aplus

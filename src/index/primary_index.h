@@ -2,7 +2,9 @@
 #define APLUS_INDEX_PRIMARY_INDEX_H_
 
 #include <array>
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "index/adj_list_slice.h"
@@ -45,6 +47,24 @@ inline constexpr int64_t kNullSortKey = INT64_MAX;
 int64_t EntrySortKey(const Graph& graph, const SortCriterion& criterion, edge_id_t e,
                      vertex_id_t nbr);
 
+// Reusable scratch for materializing a merged run+delta view of one
+// list. Owned by the probing ListDescriptor (cloned per worker replica),
+// so the no-delta fast path performs no allocation at all and the slow
+// path amortizes its buffers across probes.
+struct ListMergeScratch {
+  struct Add {
+    uint32_t pos;  // insertion index within the probed run range
+    uint32_t bucket;
+    SortKey key;
+    vertex_id_t nbr;
+    edge_id_t eid;
+  };
+  std::vector<vertex_id_t> nbrs;
+  std::vector<edge_id_t> eids;
+  std::vector<Add> adds;
+  std::vector<edge_id_t> deletes;
+};
+
 // A primary A+ index (Section III-A): one of the two mandatory indexes
 // (forward or backward) that stores every edge of the graph in a nested
 // CSR partitioned first by vertex ID (in pages of 64 vertices), then by
@@ -55,9 +75,24 @@ int64_t EntrySortKey(const Graph& graph, const SortCriterion& criterion, edge_id
 // reconfigurable at runtime (RECONFIGURE PRIMARY INDEXES): Build() can be
 // called again with a new config, which is exactly the paper's index
 // reconfiguration (the IR column of Table II).
+//
+// Concurrency model: each page slot holds an immutable sorted run and an
+// optional PageDelta behind atomic pointers. Readers (GetListSnapshot)
+// are lock-free; they load run-then-delta with acquire semantics and
+// merge the two views at probe time. All mutation — InsertEdge,
+// DeleteEdge, merges, Build — serializes on an internal writer mutex, so
+// one ingest thread and one background merger can run against any number
+// of readers. Replaced runs/deltas are retired through the global
+// EpochManager and freed only after every reader that could hold a
+// pointer into them has unpinned. During concurrent serving the page
+// vector must be pre-sized with ReservePages (growing it would move the
+// slots under the readers); secondary indexes resolve offsets against
+// primary runs non-atomically and are therefore unsupported while
+// writers are active (enforced by Database::BeginConcurrentIngest).
 class PrimaryIndex {
  public:
   PrimaryIndex(const Graph* graph, Direction direction);
+  ~PrimaryIndex();
 
   // (Re)builds the whole index under `config`. Returns build seconds.
   double Build(const IndexConfig& config);
@@ -75,11 +110,23 @@ class PrimaryIndex {
     return direction_ == Direction::kFwd ? graph_->edge_dst(e) : graph_->edge_src(e);
   }
 
-  // Constant-time list access. `cats` fixes a prefix of the partition
-  // criteria (Section III-A1): empty = the whole list of v, one value =
-  // the level-1 sublist, and so on. Any prefix is one contiguous range.
+  // Constant-time list access against the sorted run only. `cats` fixes
+  // a prefix of the partition criteria (Section III-A1): empty = the
+  // whole list of v, one value = the level-1 sublist, and so on. Any
+  // prefix is one contiguous range. Requires a clean index (no pending
+  // delta entries) for exact results; concurrent probes use
+  // GetListSnapshot instead.
   AdjListSlice GetList(vertex_id_t v, const std::vector<category_t>& cats) const;
   AdjListSlice GetFullList(vertex_id_t v) const;
+
+  // Like GetList but merges the page's delta buffer into the view when
+  // one is pending: run entries suppressed by `deletes` are skipped and
+  // buffered inserts are spliced in at their sorted position, using
+  // `scratch` for the materialized copy. When the page has no relevant
+  // delta this degenerates to the zero-copy run slice. The caller must
+  // hold an epoch pin for the lifetime of the returned slice.
+  AdjListSlice GetListSnapshot(vertex_id_t v, const std::vector<category_t>& cats,
+                               ListMergeScratch* scratch) const;
 
   // Base pointers of v's full ID list; secondary indexes resolve their
   // vertex-relative offsets against these.
@@ -99,26 +146,47 @@ class PrimaryIndex {
   const std::vector<uint32_t>& fanouts() const { return fanouts_; }
   uint32_t fanout_product() const { return fanout_product_; }
   uint32_t num_pages() const { return static_cast<uint32_t>(pages_.size()); }
-  const IdListPage& page(uint32_t p) const { return *pages_[p]; }
+  const IdListPage& page(uint32_t p) const {
+    return *pages_[p].run.load(std::memory_order_acquire);
+  }
 
   size_t MemoryBytes() const;
   // Bytes of the partitioning-level CSRs only (the Dp overhead of
   // Table II comes from this component).
   size_t PartitionLevelBytes() const;
-  uint64_t num_edges_indexed() const { return num_edges_indexed_; }
+  uint64_t num_edges_indexed() const {
+    return num_edges_indexed_.load(std::memory_order_relaxed);
+  }
   double build_seconds() const { return build_seconds_; }
 
   // --- Maintenance (Section IV-C) ---
   // Buffers the insertion of edge `e` (must already exist in the graph);
-  // the page merges automatically when its buffer fills up.
+  // the page merges automatically when its buffer fills up, unless auto
+  // merge is off (background-merge mode), in which case only a full
+  // PageDelta forces an inline merge.
   void InsertEdge(edge_id_t e);
-  // Tombstones `e`; reclaimed at the next page merge.
+  // Buffers the deletion of `e`; reclaimed at the next page merge.
   void DeleteEdge(edge_id_t e);
-  // Merges all pending buffers/tombstones. Queries require a clean index.
+  // Merges all pending deltas. Non-snapshot queries require a clean index.
   void FlushUpdates();
-  // Merges one page's pending updates (no-op when clean).
+  // Merges one page's pending delta (no-op when clean).
   void FlushPage(uint32_t page_idx);
-  bool HasPendingUpdates() const { return pending_updates_ > 0; }
+  bool HasPendingUpdates() const {
+    return pending_updates_.load(std::memory_order_relaxed) > 0;
+  }
+
+  // Pre-sizes the page vector for concurrent serving: the slot array
+  // must not grow (and thus move) while lock-free readers index into it.
+  void ReservePages(uint64_t max_vertices);
+  // Background-merge mode: the maintainer decides when to merge, pages
+  // only force an inline merge when a delta side fills up entirely.
+  void set_auto_merge(bool on) { auto_merge_ = on; }
+  bool auto_merge() const { return auto_merge_; }
+
+  // Delta occupancy of one page (inserts + deletes) and length of its
+  // sorted run; the maintainer's merge cost model reads these.
+  uint32_t DeltaEntries(uint32_t page_idx) const;
+  uint32_t RunEntries(uint32_t page_idx) const;
 
   // Buffer capacity per page before an automatic merge.
   static constexpr uint32_t kUpdateBufferCapacity = 32;
@@ -131,8 +199,33 @@ class PrimaryIndex {
     SortKey key;
   };
 
-  void RebuildPage(uint32_t page_idx, const std::vector<edge_id_t>& edges);
-  void MergePage(uint32_t page_idx);
+  // One page's published state. Only ever mutated under writer_mu_;
+  // readers load the pointers with acquire semantics. Moves happen only
+  // while the vector grows under writer_mu_ with no concurrent readers
+  // (enforced by ReservePages in concurrent mode).
+  struct PageSlot {
+    std::atomic<const IdListPage*> run{nullptr};
+    std::atomic<PageDelta*> delta{nullptr};
+
+    PageSlot() = default;
+    PageSlot(PageSlot&& other) noexcept
+        : run(other.run.load(std::memory_order_relaxed)),
+          delta(other.delta.load(std::memory_order_relaxed)) {
+      other.run.store(nullptr, std::memory_order_relaxed);
+      other.delta.store(nullptr, std::memory_order_relaxed);
+    }
+    PageSlot(const PageSlot&) = delete;
+    PageSlot& operator=(const PageSlot&) = delete;
+  };
+
+  std::unique_ptr<IdListPage> BuildRun(const std::vector<edge_id_t>& edges) const;
+  // Publishes `run` as the page's new sorted run and clears its delta;
+  // the old run/delta are retired through the EpochManager.
+  void PublishRun(uint32_t page_idx, std::unique_ptr<IdListPage> run);
+  void MergePageLocked(uint32_t page_idx);
+  void GrowPagesLocked(uint32_t page_idx);
+  AdjListSlice SliceFromRun(const IdListPage* run, vertex_id_t v,
+                            const std::vector<category_t>& cats) const;
   uint32_t PageOf(vertex_id_t v) const { return v / kGroupSize; }
 
   const Graph* graph_;
@@ -140,10 +233,14 @@ class PrimaryIndex {
   IndexConfig config_;
   std::vector<uint32_t> fanouts_;
   uint32_t fanout_product_ = 1;
-  std::vector<std::unique_ptr<IdListPage>> pages_;
-  uint64_t num_edges_indexed_ = 0;
-  uint64_t pending_updates_ = 0;
+  std::vector<PageSlot> pages_;
+  std::atomic<uint64_t> num_edges_indexed_{0};
+  std::atomic<uint64_t> pending_updates_{0};
+  bool auto_merge_ = true;
+  bool pages_reserved_ = false;
   double build_seconds_ = 0.0;
+  // Serializes every mutator (ingest writer, background merger, DDL).
+  mutable std::mutex writer_mu_;
 };
 
 }  // namespace aplus

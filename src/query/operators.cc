@@ -106,7 +106,11 @@ void CollectPredSlots(std::vector<QueryComparison>* preds, ParamSlots* slots) {
 AdjListSlice ListDescriptor::Fetch(const MatchState& state) const {
   switch (source) {
     case Source::kPrimary:
-      return primary->GetList(state.v[bound_var], cats);
+      // Snapshot probe: merges the page's delta buffer into the view
+      // when an ingest writer is active; degenerates to the zero-copy
+      // run slice on a clean page. Secondary indexes have no delta
+      // layer (concurrent ingest forbids them), so they read runs.
+      return primary->GetListSnapshot(state.v[bound_var], cats, &merge_scratch);
     case Source::kVp:
       return vp->GetList(state.v[bound_var], cats);
     case Source::kEp:

@@ -87,6 +87,12 @@ struct ListDescriptor {
   // encoded via EncodeDoubleSortKey at Bind.
   bool bound_param_double = false;
 
+  // Per-descriptor scratch for merged run+delta probes under concurrent
+  // ingest (primary_index.h). Descriptors are cloned into each worker
+  // replica along with their operator, so the scratch is never shared
+  // across threads; mutable because Fetch is logically const.
+  mutable ListMergeScratch merge_scratch;
+
   AdjListSlice Fetch(const MatchState& state) const;
   // First-sort-criterion key of entry i (used by MULTI-EXTEND merges).
   int64_t SortKeyAt(const AdjListSlice& slice, uint32_t i) const;

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "util/epoch.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -54,6 +55,11 @@ uint64_t Plan::ExecuteSerial(ScanOp* scan) {
 
 uint64_t Plan::Execute(int num_threads) {
   WallTimer timer;
+  // Pin an epoch for the whole execution: the pool workers run strictly
+  // inside the spawn/join window, so one pin on the calling thread keeps
+  // every run/delta version probed by any replica alive until we return
+  // (util/epoch.h). Nested pins (sub-plans in sink callbacks) are free.
+  EpochGuard epoch_guard;
   int k = num_threads < 1 ? 1 : (num_threads > kMaxThreads ? kMaxThreads : num_threads);
   auto* scan = dynamic_cast<ScanOp*>(ops_.front().get());
   // Morsel dispatch partitions the driving scan; a plan led by anything

@@ -6,8 +6,12 @@ namespace aplus {
 
 vertex_id_t Graph::AddVertex(label_t label) {
   vertex_id_t id = static_cast<vertex_id_t>(vertex_labels_.size());
+  APLUS_CHECK(!ingest_reserved_ || vertex_labels_.size() < vertex_labels_.capacity())
+      << "vertex insert beyond the capacity reserved for concurrent ingest";
   vertex_labels_.push_back(label);
   vertex_props_.Resize(vertex_labels_.size());
+  // Publish only once the label and property slots are in place.
+  published_vertices_.store(vertex_labels_.size(), std::memory_order_release);
   return id;
 }
 
@@ -15,11 +19,27 @@ edge_id_t Graph::AddEdge(vertex_id_t src, vertex_id_t dst, label_t label) {
   APLUS_DCHECK(src < num_vertices()) << "unknown source vertex";
   APLUS_DCHECK(dst < num_vertices()) << "unknown destination vertex";
   edge_id_t id = edge_srcs_.size();
+  APLUS_CHECK(!ingest_reserved_ || edge_srcs_.size() < edge_srcs_.capacity())
+      << "edge insert beyond the capacity reserved for concurrent ingest";
   edge_srcs_.push_back(src);
   edge_dsts_.push_back(dst);
   edge_labels_.push_back(label);
   edge_props_.Resize(edge_srcs_.size());
+  // Publish only once endpoints, label and property slots are in place.
+  published_edges_.store(edge_srcs_.size(), std::memory_order_release);
   return id;
+}
+
+void Graph::ReserveForIngest(uint64_t max_vertices, uint64_t max_edges) {
+  APLUS_CHECK_GE(max_vertices, num_vertices());
+  APLUS_CHECK_GE(max_edges, num_edges());
+  vertex_labels_.reserve(max_vertices);
+  edge_srcs_.reserve(max_edges);
+  edge_dsts_.reserve(max_edges);
+  edge_labels_.reserve(max_edges);
+  vertex_props_.Reserve(max_vertices);
+  edge_props_.Reserve(max_edges);
+  ingest_reserved_ = true;
 }
 
 prop_key_t Graph::AddVertexProperty(const std::string& name, ValueType type,

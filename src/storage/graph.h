@@ -1,6 +1,7 @@
 #ifndef APLUS_STORAGE_GRAPH_H_
 #define APLUS_STORAGE_GRAPH_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -17,14 +18,55 @@ namespace aplus {
 //
 // Vertex ids are assigned consecutively from 0 (Section IV-B relies on
 // this for the div/mod page addressing). Edge ids likewise.
+//
+// Concurrent serving: num_vertices()/num_edges() return atomically
+// *published* counts, stored with release only after the element data
+// (labels, endpoints) is in place, so lock-free readers racing a single
+// ingest writer see a consistent prefix of the graph. The backing
+// vectors must not reallocate while readers are active —
+// ReserveForIngest pre-sizes their capacity before a concurrent ingest
+// phase, and AddVertex/AddEdge check they stay within it.
 class Graph {
  public:
   Graph() : vertex_props_(PropTargetKind::kVertex), edge_props_(PropTargetKind::kEdge) {}
 
   Graph(const Graph&) = delete;
   Graph& operator=(const Graph&) = delete;
-  Graph(Graph&&) = default;
-  Graph& operator=(Graph&&) = default;
+  // Moves happen only while quiesced (dataset construction hands the
+  // graph to a Database); the atomic counters block the defaults.
+  Graph(Graph&& other) noexcept
+      : catalog_(std::move(other.catalog_)),
+        vertex_labels_(std::move(other.vertex_labels_)),
+        edge_srcs_(std::move(other.edge_srcs_)),
+        edge_dsts_(std::move(other.edge_dsts_)),
+        edge_labels_(std::move(other.edge_labels_)),
+        vertex_props_(std::move(other.vertex_props_)),
+        edge_props_(std::move(other.edge_props_)) {
+    ingest_reserved_ = other.ingest_reserved_;
+    published_vertices_.store(other.published_vertices_.load(std::memory_order_relaxed),
+                              std::memory_order_relaxed);
+    published_edges_.store(other.published_edges_.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+    other.published_vertices_.store(0, std::memory_order_relaxed);
+    other.published_edges_.store(0, std::memory_order_relaxed);
+  }
+  Graph& operator=(Graph&& other) noexcept {
+    catalog_ = std::move(other.catalog_);
+    vertex_labels_ = std::move(other.vertex_labels_);
+    edge_srcs_ = std::move(other.edge_srcs_);
+    edge_dsts_ = std::move(other.edge_dsts_);
+    edge_labels_ = std::move(other.edge_labels_);
+    vertex_props_ = std::move(other.vertex_props_);
+    edge_props_ = std::move(other.edge_props_);
+    ingest_reserved_ = other.ingest_reserved_;
+    published_vertices_.store(other.published_vertices_.load(std::memory_order_relaxed),
+                              std::memory_order_relaxed);
+    published_edges_.store(other.published_edges_.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+    other.published_vertices_.store(0, std::memory_order_relaxed);
+    other.published_edges_.store(0, std::memory_order_relaxed);
+    return *this;
+  }
 
   Catalog& catalog() { return catalog_; }
   const Catalog& catalog() const { return catalog_; }
@@ -32,8 +74,13 @@ class Graph {
   vertex_id_t AddVertex(label_t label);
   edge_id_t AddEdge(vertex_id_t src, vertex_id_t dst, label_t label);
 
-  uint64_t num_vertices() const { return vertex_labels_.size(); }
-  uint64_t num_edges() const { return edge_srcs_.size(); }
+  uint64_t num_vertices() const { return published_vertices_.load(std::memory_order_acquire); }
+  uint64_t num_edges() const { return published_edges_.load(std::memory_order_acquire); }
+
+  // Pre-allocates vertex/edge storage (including every property column)
+  // so a concurrent ingest phase appends without reallocating under
+  // lock-free readers. Must be called while quiesced.
+  void ReserveForIngest(uint64_t max_vertices, uint64_t max_edges);
 
   label_t vertex_label(vertex_id_t v) const { return vertex_labels_[v]; }
   label_t edge_label(edge_id_t e) const { return edge_labels_[e]; }
@@ -72,6 +119,9 @@ class Graph {
 
  private:
   Catalog catalog_;
+  std::atomic<uint64_t> published_vertices_{0};
+  std::atomic<uint64_t> published_edges_{0};
+  bool ingest_reserved_ = false;
   std::vector<label_t> vertex_labels_;
   std::vector<vertex_id_t> edge_srcs_;
   std::vector<vertex_id_t> edge_dsts_;

@@ -31,6 +31,28 @@ void PropertyColumn::Resize(size_t n) {
     case ValueType::kNull:
       break;
   }
+  // Publish the new length only after the payload vectors hold it, so a
+  // racing reader that passes the size() bound never reads off the end.
+  published_size_.store(n, std::memory_order_release);
+}
+
+void PropertyColumn::Reserve(size_t n) {
+  nulls_.reserve(n);
+  switch (type_) {
+    case ValueType::kInt64:
+    case ValueType::kBool:
+    case ValueType::kCategory:
+      ints_.reserve(n);
+      break;
+    case ValueType::kDouble:
+      doubles_.reserve(n);
+      break;
+    case ValueType::kString:
+      codes_.reserve(n);
+      break;
+    case ValueType::kNull:
+      break;
+  }
 }
 
 void PropertyColumn::SetInt64(uint64_t id, int64_t v) {
@@ -133,7 +155,7 @@ PropertyColumn* PropertyStore::AddColumn(const Catalog& catalog, prop_key_t key)
   if (key >= columns_.size()) columns_.resize(key + 1);
   if (columns_[key] == nullptr) {
     columns_[key] = std::make_unique<PropertyColumn>(key, meta.type, meta.domain_size);
-    columns_[key]->Resize(size_);
+    columns_[key]->Resize(size());
   }
   return columns_[key].get();
 }
@@ -149,9 +171,15 @@ PropertyColumn* PropertyStore::mutable_column(prop_key_t key) {
 }
 
 void PropertyStore::Resize(size_t n) {
-  size_ = n;
   for (auto& col : columns_) {
     if (col != nullptr) col->Resize(n);
+  }
+  size_.store(n, std::memory_order_release);
+}
+
+void PropertyStore::Reserve(size_t n) {
+  for (auto& col : columns_) {
+    if (col != nullptr) col->Reserve(n);
   }
 }
 

@@ -1,6 +1,7 @@
 #ifndef APLUS_STORAGE_PROPERTY_STORE_H_
 #define APLUS_STORAGE_PROPERTY_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -16,6 +17,16 @@ namespace aplus {
 // A single typed, nullable property column, indexed by vertex or edge id.
 // Strings are dictionary-encoded; categorical values are stored as dense
 // int codes in [0, domain_size).
+//
+// Concurrent serving: size() reflects the atomically *published* length,
+// stored with release after Resize has grown the payload vectors, so a
+// reader racing an ingest writer never indexes past initialized memory.
+// Growth past the reserved capacity would reallocate the vectors under
+// the readers; Database::BeginConcurrentIngest calls Reserve to rule
+// that out. Values of an id must be written before the id becomes
+// reachable (i.e. before the edge/vertex is published to the indexes);
+// string columns additionally grow their dictionary on write and are
+// therefore writable only while queries are quiesced.
 class PropertyColumn {
  public:
   PropertyColumn(prop_key_t key, ValueType type, uint32_t domain_size);
@@ -23,9 +34,10 @@ class PropertyColumn {
   prop_key_t key() const { return key_; }
   ValueType type() const { return type_; }
   uint32_t domain_size() const { return domain_size_; }
-  size_t size() const { return nulls_.size(); }
+  size_t size() const { return published_size_.load(std::memory_order_acquire); }
 
   void Resize(size_t n);
+  void Reserve(size_t n);
 
   void SetInt64(uint64_t id, int64_t v);
   void SetDouble(uint64_t id, double v);
@@ -58,6 +70,7 @@ class PropertyColumn {
   ValueType type_;
   uint32_t domain_size_;
 
+  std::atomic<size_t> published_size_{0};
   std::vector<uint8_t> nulls_;     // 1 = null
   std::vector<int64_t> ints_;      // kInt64 / kBool / kCategory payload
   std::vector<double> doubles_;    // kDouble payload
@@ -72,6 +85,22 @@ class PropertyStore {
  public:
   explicit PropertyStore(PropTargetKind target) : target_(target) {}
 
+  // Moves happen only while quiesced (dataset construction); the atomic
+  // published size blocks the defaulted special members.
+  PropertyStore(PropertyStore&& other) noexcept
+      : target_(other.target_),
+        size_(other.size_.load(std::memory_order_relaxed)),
+        columns_(std::move(other.columns_)) {
+    other.size_.store(0, std::memory_order_relaxed);
+  }
+  PropertyStore& operator=(PropertyStore&& other) noexcept {
+    target_ = other.target_;
+    size_.store(other.size_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    columns_ = std::move(other.columns_);
+    other.size_.store(0, std::memory_order_relaxed);
+    return *this;
+  }
+
   PropTargetKind target() const { return target_; }
 
   // Creates the column for `key` (idempotent) and returns it.
@@ -83,7 +112,10 @@ class PropertyStore {
 
   // Grows every column to hold ids in [0, n).
   void Resize(size_t n);
-  size_t size() const { return size_; }
+  // Pre-allocates capacity in every column so a concurrent ingest phase
+  // never reallocates payload vectors under lock-free readers.
+  void Reserve(size_t n);
+  size_t size() const { return size_.load(std::memory_order_acquire); }
 
   bool IsNull(prop_key_t key, uint64_t id) const;
   Value Get(prop_key_t key, uint64_t id) const;
@@ -92,7 +124,7 @@ class PropertyStore {
 
  private:
   PropTargetKind target_;
-  size_t size_ = 0;
+  std::atomic<size_t> size_{0};
   std::vector<std::unique_ptr<PropertyColumn>> columns_;  // indexed by key (sparse)
 };
 

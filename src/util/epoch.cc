@@ -1,0 +1,194 @@
+#include "util/epoch.h"
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace aplus {
+namespace {
+
+// Liveness registry for manager identities, consulted by thread-exit
+// cleanup so a thread never touches slots of a manager that was already
+// destroyed (test fixtures build managers on the stack and destroy them
+// while the main thread's registry still holds entries). Leaked so it
+// outlives every thread_local destructor.
+std::mutex& LiveManagersMu() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+std::set<uint64_t>& LiveManagers() {
+  static std::set<uint64_t>* live = new std::set<uint64_t>();
+  return *live;
+}
+std::atomic<uint64_t> g_next_manager_id{1};
+
+}  // namespace
+
+// Per-thread bookkeeping: which slot this thread holds in which manager,
+// plus the nesting depth of Pin() calls. The registry's destructor runs
+// at thread exit and returns the slots, so short-lived writer/reader
+// threads (benches, stress tests) do not leak slots. Managers referenced
+// here must outlive the threads that PIN them; the Global() manager is
+// leaked to make that unconditionally true, and entries of managers that
+// died while this thread was unpinned are skipped via the id check.
+struct EpochThreadRegistry {
+  struct Entry {
+    EpochManager* mgr;
+    uint64_t id;  // mgr->id_ at claim time; detects address reuse
+    EpochManager::Slot* slot;
+    int depth = 0;
+  };
+  std::vector<Entry> entries;
+
+  Entry* Find(EpochManager* mgr) {
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (entries[i].mgr != mgr) continue;
+      if (entries[i].id == mgr->id_) return &entries[i];
+      // Stale: a previous manager at a recycled address. Its slot is
+      // gone with it; just drop the entry.
+      APLUS_CHECK_EQ(entries[i].depth, 0) << "pinned manager was destroyed";
+      entries.erase(entries.begin() + i);
+      return nullptr;
+    }
+    return nullptr;
+  }
+
+  ~EpochThreadRegistry() {
+    std::lock_guard<std::mutex> lock(LiveManagersMu());
+    for (Entry& e : entries) {
+      if (LiveManagers().count(e.id) == 0) continue;  // manager died first
+      APLUS_CHECK_EQ(e.depth, 0) << "thread exited while epoch-pinned";
+      e.slot->epoch.store(0, std::memory_order_release);
+      e.slot->claimed.store(false, std::memory_order_release);
+    }
+  }
+};
+
+namespace {
+thread_local EpochThreadRegistry t_epoch_registry;
+
+EpochThreadRegistry::Entry* LocalEntry(EpochManager* mgr) {
+  return t_epoch_registry.Find(mgr);
+}
+}  // namespace
+
+EpochManager& EpochManager::Global() {
+  static EpochManager* g = new EpochManager();
+  return *g;
+}
+
+EpochManager::EpochManager() : id_(g_next_manager_id.fetch_add(1, std::memory_order_relaxed)) {
+  std::lock_guard<std::mutex> lock(LiveManagersMu());
+  LiveManagers().insert(id_);
+}
+
+EpochManager::~EpochManager() {
+  {
+    std::lock_guard<std::mutex> lock(LiveManagersMu());
+    LiveManagers().erase(id_);
+  }
+  // Anything still queued is unreachable by contract (no pinned readers
+  // may outlive the manager); free it.
+  std::lock_guard<std::mutex> lock(garbage_mu_);
+  for (GarbageItem& item : garbage_) item.deleter(item.obj);
+  garbage_.clear();
+}
+
+EpochManager::Slot* EpochManager::LocalSlot() {
+  EpochThreadRegistry::Entry* entry = LocalEntry(this);
+  if (entry != nullptr) return entry->slot;
+  for (int i = 0; i < kMaxSlots; ++i) {
+    bool expected = false;
+    if (slots_[i].claimed.compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
+      t_epoch_registry.entries.push_back({this, id_, &slots_[i], 0});
+      return &slots_[i];
+    }
+  }
+  APLUS_CHECK(false) << "more than " << kMaxSlots << " threads registered with EpochManager";
+  return nullptr;
+}
+
+uint64_t EpochManager::Pin() {
+  Slot* slot = LocalSlot();
+  EpochThreadRegistry::Entry* entry = LocalEntry(this);
+  if (++entry->depth > 1) return slot->epoch.load(std::memory_order_relaxed);
+  // Publish-then-recheck closes the race with a concurrent Advance(): if
+  // the global moved between our load and our store, a reclaimer may
+  // have scanned the slots before our store became visible, so retry
+  // under the new epoch (seq_cst makes the case analysis sound).
+  uint64_t e;
+  do {
+    e = global_epoch_.load(std::memory_order_seq_cst);
+    slot->epoch.store(e, std::memory_order_seq_cst);
+  } while (global_epoch_.load(std::memory_order_seq_cst) != e);
+  return e;
+}
+
+void EpochManager::Unpin() {
+  EpochThreadRegistry::Entry* entry = LocalEntry(this);
+  APLUS_CHECK(entry != nullptr && entry->depth > 0) << "Unpin without matching Pin";
+  if (--entry->depth == 0) entry->slot->epoch.store(0, std::memory_order_release);
+}
+
+void EpochManager::Retire(void* obj, void (*deleter)(void*)) {
+  uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+  std::lock_guard<std::mutex> lock(garbage_mu_);
+  garbage_.push_back({obj, deleter, e});
+}
+
+uint64_t EpochManager::Advance() {
+  return global_epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+}
+
+uint64_t EpochManager::MinActiveEpoch() const {
+  uint64_t min = global_epoch_.load(std::memory_order_seq_cst);
+  for (const Slot& slot : slots_) {
+    uint64_t e = slot.epoch.load(std::memory_order_seq_cst);
+    if (e != 0 && e < min) min = e;
+  }
+  return min;
+}
+
+size_t EpochManager::TryReclaim() {
+  uint64_t min = MinActiveEpoch();
+  // Swap out the freeable items under the lock, run deleters outside it.
+  std::vector<GarbageItem> freeable;
+  {
+    std::lock_guard<std::mutex> lock(garbage_mu_);
+    size_t kept = 0;
+    for (size_t i = 0; i < garbage_.size(); ++i) {
+      if (garbage_[i].epoch < min) {
+        freeable.push_back(garbage_[i]);
+      } else {
+        garbage_[kept++] = garbage_[i];
+      }
+    }
+    garbage_.resize(kept);
+  }
+  for (GarbageItem& item : freeable) item.deleter(item.obj);
+  return freeable.size();
+}
+
+void EpochManager::DrainAndReclaimAll() {
+  while (garbage_size() > 0) {
+    Advance();
+    if (TryReclaim() == 0) std::this_thread::yield();
+  }
+}
+
+int EpochManager::num_pinned() const {
+  int n = 0;
+  for (const Slot& slot : slots_) {
+    if (slot.epoch.load(std::memory_order_seq_cst) != 0) ++n;
+  }
+  return n;
+}
+
+size_t EpochManager::garbage_size() const {
+  std::lock_guard<std::mutex> lock(garbage_mu_);
+  return garbage_.size();
+}
+
+}  // namespace aplus

@@ -1,0 +1,123 @@
+#ifndef APLUS_UTIL_EPOCH_H_
+#define APLUS_UTIL_EPOCH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+namespace aplus {
+
+// Epoch-based reclamation for the concurrent serving path: readers pin
+// the current epoch for the duration of a plan execution, writers swap
+// immutable index structures (sorted runs, delta buffers) behind atomic
+// pointers and retire the old versions here. A retired object is freed
+// only once every reader that could still hold a reference has unpinned,
+// i.e. once the minimum pinned epoch has moved past the retire epoch.
+//
+// The protocol is the classic three-state scheme (Fraser '04, also used
+// by the Hyper/Umbra family of morsel-driven systems): Pin() publishes
+// the global epoch into a per-thread slot and re-reads the global to
+// close the race with a concurrent Advance(); TryReclaim() frees garbage
+// whose retire epoch is strictly below the minimum over all pinned slots
+// (or below the global epoch when nothing is pinned). Writers call
+// Advance() after retiring so garbage eventually becomes reclaimable.
+//
+// Readers are wait-free and allocation-free: Pin/Unpin are two atomic
+// stores plus one load on the hot path. Retire/TryReclaim take a mutex
+// and are meant for the (single) writer and the background merger only.
+class EpochManager {
+ public:
+  EpochManager();
+  ~EpochManager();
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  // Process-wide manager used by the serving path. Intentionally leaked
+  // so worker threads may unregister their slots during late shutdown.
+  static EpochManager& Global();
+
+  // Pins the calling thread to the current epoch and returns it. Nested
+  // pins are cheap no-ops (only the outermost pair publishes). A thread
+  // that never pinned claims a slot on first use and releases it at
+  // thread exit; at most kMaxSlots threads may be registered at once.
+  uint64_t Pin();
+  void Unpin();
+
+  // Hands `obj` to the reclamation queue; `deleter(obj)` runs once no
+  // pinned reader can still reference it. Writer-side only.
+  void Retire(void* obj, void (*deleter)(void*));
+  template <typename T>
+  void Retire(const T* obj) {
+    if (obj == nullptr) return;
+    Retire(const_cast<void*>(static_cast<const void*>(obj)),
+           [](void* p) { delete static_cast<T*>(p); });
+  }
+
+  // Bumps the global epoch so earlier retirements can drain. Returns the
+  // new epoch.
+  uint64_t Advance();
+
+  // Frees every garbage item whose retire epoch is below the minimum
+  // active epoch. Returns the number of items freed.
+  size_t TryReclaim();
+
+  // Advance + reclaim until the queue is empty. Requires that no thread
+  // stays pinned (quiesced writers-side shutdown); spins briefly waiting
+  // for stragglers to unpin.
+  void DrainAndReclaimAll();
+
+  uint64_t current_epoch() const { return global_epoch_.load(std::memory_order_seq_cst); }
+  // Minimum epoch over all pinned slots, or the global epoch when none
+  // is pinned.
+  uint64_t MinActiveEpoch() const;
+  int num_pinned() const;
+  size_t garbage_size() const;
+
+  static constexpr int kMaxSlots = 256;
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> epoch{0};   // 0 = not pinned
+    std::atomic<bool> claimed{false};
+  };
+  struct GarbageItem {
+    void* obj;
+    void (*deleter)(void*);
+    uint64_t epoch;
+  };
+
+  Slot* LocalSlot();
+  friend struct EpochThreadRegistry;
+
+  // Process-unique identity. Thread-local slot caches are keyed on
+  // (address, id) so a manager constructed at a recycled address (tests
+  // build them on the stack) is never confused with its predecessor.
+  const uint64_t id_;
+
+  std::atomic<uint64_t> global_epoch_{1};
+  Slot slots_[kMaxSlots];
+
+  mutable std::mutex garbage_mu_;
+  std::deque<GarbageItem> garbage_;
+};
+
+// RAII pin: every Plan::Execute / prepared-query execution holds one of
+// these for its whole duration, which also covers the pool workers it
+// fans out to (they run strictly inside the spawn/join window).
+class EpochGuard {
+ public:
+  explicit EpochGuard(EpochManager& mgr = EpochManager::Global()) : mgr_(mgr) { mgr_.Pin(); }
+  ~EpochGuard() { mgr_.Unpin(); }
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+
+ private:
+  EpochManager& mgr_;
+};
+
+}  // namespace aplus
+
+#endif  // APLUS_UTIL_EPOCH_H_

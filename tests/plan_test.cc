@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "datagen/example_graph.h"
 #include "datagen/power_law_generator.h"
 #include "index/index_store.h"
@@ -82,7 +84,7 @@ TEST_F(PlanTest, ExecuteIsRepeatable) {
 
 class BoundedRangeTest : public ::testing::Test {
  protected:
-  BoundedRangeTest() : primary_(nullptr, Direction::kFwd) {
+  BoundedRangeTest() {
     PowerLawParams params;
     params.num_vertices = 200;
     params.avg_degree = 20.0;
@@ -92,17 +94,17 @@ class BoundedRangeTest : public ::testing::Test {
     for (edge_id_t e = 0; e < graph_.num_edges(); ++e) {
       col->SetInt64(e, static_cast<int64_t>(e % 100));
     }
-    primary_ = PrimaryIndex(&graph_, Direction::kFwd);
+    primary_ = std::make_unique<PrimaryIndex>(&graph_, Direction::kFwd);
     IndexConfig config = IndexConfig::Default();
     config.sorts.clear();
     config.sorts.push_back({SortSource::kEdgeProp, score_});
-    primary_.Build(config);
+    primary_->Build(config);
   }
 
   ListDescriptor Desc(vertex_id_t v) {
     ListDescriptor desc;
     desc.source = ListDescriptor::Source::kPrimary;
-    desc.primary = &primary_;
+    desc.primary = primary_.get();
     desc.bound_var = 0;
     desc.cats = {0};  // single edge label
     desc.target_vertex_var = 1;
@@ -114,7 +116,7 @@ class BoundedRangeTest : public ::testing::Test {
 
   Graph graph_;
   prop_key_t score_;
-  PrimaryIndex primary_;
+  std::unique_ptr<PrimaryIndex> primary_;
   MatchState bound_state_;
 };
 
