@@ -25,6 +25,7 @@
 #include "datagen/power_law_generator.h"
 #include "index/primary_index.h"
 #include "index/vp_index.h"
+#include "query/intersect_kernels.h"
 #include "query/operators.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -259,6 +260,7 @@ struct CaseResult {
   double ref_seconds = 0.0;
   uint64_t matches = 0;
   uint64_t tuples = 0;
+  simd::Level simd = simd::Level::kScalar;  // dispatch level the case ran at
 
   double Speedup() const { return seconds > 0.0 ? ref_seconds / seconds : 0.0; }
 };
@@ -269,6 +271,9 @@ struct IntersectCase {
   std::vector<ListDescriptor> lists;
   std::vector<std::vector<vertex_id_t>> tuples;  // tuples[t][l] binds var l
   bool multi_extend = false;
+  // Kernel-variant sweeps pin the dispatch level for this case; -1 keeps
+  // whatever APLUS_SIMD resolved (the serving default).
+  int forced_level = -1;
 };
 
 CaseResult RunCase(const Graph& graph, const IntersectCase& c, int reps) {
@@ -277,6 +282,11 @@ CaseResult RunCase(const Graph& graph, const IntersectCase& c, int reps) {
   CaseResult result;
   result.name = c.name;
   result.tuples = c.tuples.size();
+  simd::Level prev_level = simd::ActiveLevel();
+  if (c.forced_level >= 0) {
+    simd::SetLevel(static_cast<simd::Level>(c.forced_level));
+  }
+  result.simd = simd::ActiveLevel();
 
   // Optimized path: the real operators; reference path: the pre-PR
   // replicas. Both emit into the same SinkOp.
@@ -328,6 +338,7 @@ CaseResult RunCase(const Graph& graph, const IntersectCase& c, int reps) {
   }
   result.ref_seconds = ref_best;
   APLUS_CHECK_EQ(count, ref_count) << "optimized and reference paths disagree on " << c.name;
+  if (c.forced_level >= 0) simd::SetLevel(prev_level);
   return result;
 }
 
@@ -562,15 +573,36 @@ int main() {
       cases.push_back(std::move(c));
     }
   }
+  // Kernel-variant A/B sweep: the representative skewed shape, direct
+  // and offset, pinned to each dispatch level this host can execute
+  // (z3_skew_scalar / z3_skew_sse / z3_skew_avx2, ...). Levels the host
+  // lacks emit no case; scripts/bench_compare.py skips them via the
+  // per-case "simd" field instead of failing the gate.
+  for (bool offset : {false, true}) {
+    for (simd::Level level : {simd::Level::kScalar, simd::Level::kSse, simd::Level::kAvx2}) {
+      if (level > simd::HostMaxLevel()) continue;
+      IntersectCase c;
+      c.name = std::string("z3_skew") + (offset ? "_offset_" : "_") + simd::ToString(level);
+      for (size_t l = 0; l < 3; ++l) {
+        c.lists.push_back(make_list(static_cast<int>(l), 3, static_cast<int>(l), offset));
+      }
+      c.tuples = make_group_tuples(group_sets[1][1]);
+      c.forced_level = static_cast<int>(level);
+      cases.push_back(std::move(c));
+    }
+  }
 
   PrintBanner("Intersection hot path: optimized vs pre-optimization reference (" +
               TablePrinter::Count(graph.num_edges()) + " edges, " +
-              TablePrinter::Count(num_tuples) + " tuples/case)");
-  TablePrinter table({"Case", "optimized", "reference", "speedup", "matches"});
+              TablePrinter::Count(num_tuples) + " tuples/case, simd=" +
+              simd::ToString(simd::ActiveLevel()) + ", host max " +
+              simd::ToString(simd::HostMaxLevel()) + ")");
+  TablePrinter table({"Case", "simd", "optimized", "reference", "speedup", "matches"});
   std::vector<CaseResult> results;
   for (const IntersectCase& c : cases) {
     CaseResult r = RunCase(graph, c, reps);
-    table.AddRow({r.name, TablePrinter::Seconds(r.seconds), TablePrinter::Seconds(r.ref_seconds),
+    table.AddRow({r.name, simd::ToString(r.simd), TablePrinter::Seconds(r.seconds),
+                  TablePrinter::Seconds(r.ref_seconds),
                   TablePrinter::Speedup(r.ref_seconds, r.seconds), TablePrinter::Count(r.matches)});
     results.push_back(r);
   }
@@ -584,14 +616,16 @@ int main() {
   if (json_path != nullptr) {
     std::FILE* f = std::fopen(json_path, "w");
     APLUS_CHECK(f != nullptr) << "cannot write " << json_path;
-    std::fprintf(f, "{\n  \"bench\": \"bench_intersect\",\n  \"cases\": {\n");
+    std::fprintf(f, "{\n  \"bench\": \"bench_intersect\",\n  \"host_simd\": \"%s\",\n  \"cases\": {\n",
+                 simd::ToString(simd::HostMaxLevel()));
     for (size_t i = 0; i < results.size(); ++i) {
       const CaseResult& r = results[i];
       std::fprintf(f,
                    "    \"%s\": {\"seconds\": %.6f, \"reference_seconds\": %.6f, "
-                   "\"speedup\": %.3f, \"matches\": %llu}%s\n",
+                   "\"speedup\": %.3f, \"simd\": \"%s\", \"matches\": %llu}%s\n",
                    r.name.c_str(), r.seconds, r.ref_seconds, r.Speedup(),
-                   static_cast<unsigned long long>(r.matches), i + 1 < results.size() ? "," : "");
+                   simd::ToString(r.simd), static_cast<unsigned long long>(r.matches),
+                   i + 1 < results.size() ? "," : "");
     }
     std::fprintf(f, "  }\n}\n");
     std::fclose(f);

@@ -47,9 +47,17 @@ struct Workload {
   std::unique_ptr<PrimaryIndex> primary;
   std::unique_ptr<QueryGraph> query;
   std::unique_ptr<Plan> plan;
+  // Executes per timed repetition: tiny-domain (pinned) plans finish in
+  // microseconds each, so one rep times a batch.
+  int exec_batch = 1;
 };
 
-Workload MakeTriangleWorkload(std::string name, std::unique_ptr<Graph> graph) {
+// When `pin` is a valid vertex the triangle's `a` is bound to it: the
+// scan domain collapses to one vertex and Execute(k) takes the
+// deep-morselization path (the first EXTEND's entry domain splits
+// across the workers instead of scan morsels).
+Workload MakeTriangleWorkload(std::string name, std::unique_ptr<Graph> graph,
+                              vertex_id_t pin = kInvalidVertex) {
   Workload w;
   w.name = std::move(name);
   w.graph = std::move(graph);
@@ -58,7 +66,7 @@ Workload MakeTriangleWorkload(std::string name, std::unique_ptr<Graph> graph) {
   label_t elabel = w.graph->catalog().FindEdgeLabel("E");
 
   w.query = std::make_unique<QueryGraph>();
-  int a = w.query->AddVertex("a");
+  int a = w.query->AddVertex("a", kInvalidLabel, pin);
   int b = w.query->AddVertex("b");
   int c = w.query->AddVertex("c");
   w.query->AddEdge(a, b, elabel, "e0");
@@ -116,6 +124,36 @@ int main() {
     GenerateDataset(*brk, std::min(1.0, scale), /*seed=*/1003, graph.get());
     workloads.push_back(MakeTriangleWorkload("triangle_brk", std::move(graph)));
   }
+  {
+    // Single-vertex-domain triangle: `a` pinned to the highest-degree
+    // hub of a fresh power-law graph. The scan offers one morsel, so
+    // scaling here measures the deep-morselization path (entry-domain
+    // splitting below the scan); each rep times a batch of executes.
+    auto graph = std::make_unique<Graph>();
+    PowerLawParams params;
+    params.num_vertices = std::max<uint64_t>(2000, static_cast<uint64_t>(1000000 * scale));
+    params.avg_degree = 8.0;
+    params.preferential_fraction = 0.75;
+    params.seed = 77;
+    GeneratePowerLawGraph(params, graph.get());
+    // Pin to the highest-degree vertex whose list stays moderate (<= 256
+    // entries): the top hub's quadratic triangle neighbourhood would
+    // make the case emission-bound, which is not what this case measures.
+    PrimaryIndex degree_probe(graph.get(), Direction::kFwd);
+    degree_probe.Build(IndexConfig::Default());
+    vertex_id_t hub = 0;
+    uint32_t best_len = 0;
+    for (vertex_id_t v = 0; v < graph->num_vertices(); ++v) {
+      uint32_t len = degree_probe.GetFullList(v).len;
+      if (len > best_len && len <= 256) {
+        best_len = len;
+        hub = v;
+      }
+    }
+    Workload w = MakeTriangleWorkload("pinned", std::move(graph), hub);
+    w.exec_batch = 32;
+    workloads.push_back(std::move(w));
+  }
 
   std::vector<int> thread_counts;
   for (int k : {1, 2, 4, 8}) {
@@ -135,7 +173,8 @@ int main() {
       double best = -1.0;
       for (int r = 0; r < reps; ++r) {
         WallTimer timer;
-        uint64_t got = w.plan->Execute(k);
+        uint64_t got = 0;
+        for (int e = 0; e < w.exec_batch; ++e) got = w.plan->Execute(k);
         double elapsed = timer.ElapsedSeconds();
         APLUS_CHECK_EQ(got, matches) << w.name << " t" << k << " count drifted across reps";
         if (best < 0.0 || elapsed < best) best = elapsed;
@@ -159,8 +198,11 @@ int main() {
       results.push_back(r);
       // Expected scaling on multi-core hosts: >= 0.6x the core count the
       // sweep can actually use (oversubscribed thread counts excluded).
+      // The deep-morselized pinned case contends on one entry cursor and
+      // re-runs the tiny scan per replica, so it gets a softer 0.5x bar
+      // (t4 >= 2x t1).
       if (cores > 1 && static_cast<unsigned>(k) <= cores && k > 1) {
-        double target = 0.6 * k;
+        double target = (w.exec_batch > 1 ? 0.5 : 0.6) * k;
         if (r.Speedup() < target) scaling_ok = false;
       }
     }

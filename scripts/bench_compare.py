@@ -28,6 +28,12 @@ Rules:
     are missing from the new run are informational — not a failure —
     when the thread count exceeds the new run's recorded "cores": a
     smaller runner legitimately cannot produce them.
+  * ISA-keyed cases (a "simd" field in the case entry, emitted by
+    bench_intersect's kernel-variant sweep) are likewise informational
+    when the new run's recorded "host_simd" cannot execute that level
+    (scalar < sse < avx2), and when both runs have the case but resolved
+    different dispatch levels (auto dispatch on hosts of different
+    ISAs): timings of different kernels are not comparable.
   * Top-level `wall_seconds` comparisons are single-sample whole-binary
     wall times (process startup + data generation included), so they are
     gated loosely against --wall-threshold — a catastrophic-regression
@@ -61,6 +67,15 @@ def load_results(directory):
             else:
                 entry[key] = value
     return results
+
+
+# SIMD dispatch levels, in capability order (bench_intersect's per-case
+# "simd" field / top-level "host_simd").
+SIMD_RANK = {"scalar": 0, "sse": 1, "avx2": 2}
+
+
+def simd_rank(level):
+    return SIMD_RANK.get(level) if isinstance(level, str) else None
 
 
 def case_threshold(bench, case, case_data, budgets, default):
@@ -164,7 +179,22 @@ def main():
                     print(f"  {name}/{case:<38} skipped (t{threads} > {new_cores} cores "
                           "on the new host)")
                     continue
+                # Kernel-variant cases the new host's ISA cannot run
+                # (e.g. z3_skew_avx2 compared on an SSE-only runner).
+                case_simd = simd_rank(base_cases[case].get("simd"))
+                host_simd = simd_rank(n.get("host_simd"))
+                if case_simd is not None and host_simd is not None and case_simd > host_simd:
+                    print(f"  {name}/{case:<38} skipped "
+                          f"({base_cases[case]['simd']} > host {n['host_simd']})")
+                    continue
                 failures.append(f"{name}/{case}: case missing from new run")
+                continue
+            base_simd = base_cases[case].get("simd")
+            new_simd = new_cases[case].get("simd")
+            if base_simd is not None and new_simd is not None and base_simd != new_simd:
+                # Auto-dispatch resolved different kernels on the two
+                # hosts; their timings are not comparable.
+                print(f"  {name}/{case:<38} skipped (simd {base_simd} vs {new_simd})")
                 continue
             threshold, budget_key = case_threshold(name, case, base_cases[case], budgets,
                                                    args.threshold)

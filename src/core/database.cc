@@ -152,9 +152,23 @@ std::unique_ptr<PreparedQuery> Database::Prepare(const std::string& text,
   };
   const bool has_agg = parsed.has_aggregate;
   const bool has_order = !parsed.order_by.empty();
+  // Bare `RETURN COUNT(*)` (no grouping, no ordering): the answer is the
+  // match count the counting sink already maintains, so the plan gets a
+  // stage-less, column-less ProjectSinkOp (no row materialization at
+  // all) and Execute synthesizes the single output row afterwards.
+  const bool count_star_only = has_agg && !has_order && parsed.returns.size() == 1 &&
+                               parsed.returns[0].agg == AggFn::kCount &&
+                               parsed.returns[0].star;
   std::vector<ProjectColumn> inputs;   // what the ProjectSinkOp materializes
   std::vector<std::unique_ptr<SinkStage>> stages;
-  if (!has_agg && !has_order) {
+  if (count_star_only) {
+    ProjectColumn out_col;
+    out_col.name = parsed.returns[0].name;
+    out_col.type = ValueType::kInt64;
+    prepared->columns_.push_back(std::move(out_col));
+    prepared->count_star_only_ = true;
+    prepared->count_row_.Init(prepared->columns_, 1);
+  } else if (!has_agg && !has_order) {
     // Plain projection (or a bare-MATCH count): the input columns are the
     // output columns, no stages, LIMIT stays on the atomic-budget fast
     // path.

@@ -1,6 +1,7 @@
 #include "core/session.h"
 
 #include <cctype>
+#include <cstdlib>
 #include <limits>
 
 #include "core/database.h"
@@ -23,6 +24,8 @@ const char* ToString(QueryOutcome::Status status) {
       return "INVALIDATED";
     case QueryOutcome::Status::kExecError:
       return "EXEC_ERROR";
+    case QueryOutcome::Status::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
   }
   return "?";
 }
@@ -215,8 +218,9 @@ QueryOutcome PreparedQuery::Execute(RowConsumer* consumer, int num_threads) {
   // The atomic row budget (early scan termination) serves stage-less
   // plans only: a LIMIT below aggregation or ordering caps the *output*
   // rows, which requires the full match enumeration and is enforced by
-  // the LimitStage during the Finish cascade.
-  controls_.limit_active = has_limit_ && !has_stages_;
+  // the LimitStage during the Finish cascade. The COUNT(*) pushdown is
+  // also excluded — its single output row needs the full enumeration.
+  controls_.limit_active = has_limit_ && !has_stages_ && !count_star_only_;
   int64_t budget = 0;
   if (controls_.limit_active) {
     constexpr uint64_t kMaxBudget =
@@ -226,6 +230,16 @@ QueryOutcome PreparedQuery::Execute(RowConsumer* consumer, int num_threads) {
   controls_.rows_remaining.store(budget, std::memory_order_relaxed);
   controls_.stop.store(false, std::memory_order_relaxed);
   controls_.rows_emitted = 0;
+  // Group-by memory cap: read per execution so serving deployments can
+  // adjust it without re-preparing (getenv allocates nothing).
+  if (has_stages_) {
+    const char* cap = std::getenv("APLUS_GROUPBY_MEM_CAP");
+    controls_.groupby_mem_cap = cap != nullptr ? std::strtoull(cap, nullptr, 10) : 0;
+  } else {
+    controls_.groupby_mem_cap = 0;
+  }
+  controls_.groupby_bytes.store(0, std::memory_order_relaxed);
+  controls_.resource_exhausted.store(false, std::memory_order_relaxed);
   for (int i = 0; i < plan_->num_pipelines(); ++i) {
     static_cast<ProjectSinkOp*>(plan_->sink(i))->ResetBatch();
   }
@@ -240,17 +254,47 @@ QueryOutcome PreparedQuery::Execute(RowConsumer* consumer, int num_threads) {
   for (int i = 0; i < plan_->num_pipelines(); ++i) {
     static_cast<ProjectSinkOp*>(plan_->sink(i))->Flush();
   }
+  if (has_stages_ && controls_.resource_exhausted.load(std::memory_order_relaxed)) {
+    // The group-by arena crossed the cap mid-enumeration: the partial
+    // tables are incomplete, so no merge, no Finish, no rows — a clean
+    // error instead of silently wrong aggregates.
+    controls_.consumer = nullptr;
+    out.status = QueryOutcome::Status::kResourceExhausted;
+    out.error = "group-by memory cap exceeded (APLUS_GROUPBY_MEM_CAP=" +
+                std::to_string(controls_.groupby_mem_cap) + " bytes)";
+    out.count = count;
+    out.seconds = timer.ElapsedSeconds();
+    return out;
+  }
   if (has_stages_) {
-    // Parallel partial-merge: fold every worker chain into pipeline 0,
-    // stage by stage, then run the Finish cascade there — aggregate
-    // tables merge exactly, sort buffers concatenate, and the final rows
-    // stream to the consumer from this thread only.
+    // Parallel partial-merge: fold every worker chain into pipeline 0 —
+    // stages with an order-free fold (grouped aggregation) hash-partition
+    // the k worker tables across the pool — then run the Finish cascade
+    // there; the final rows stream to the consumer from this thread only.
     auto* primary = static_cast<ProjectSinkOp*>(plan_->sink(0));
+    worker_sinks_.clear();
     for (int i = 1; i < plan_->num_pipelines(); ++i) {
-      primary->MergeStagesFrom(static_cast<ProjectSinkOp*>(plan_->sink(i)));
+      worker_sinks_.push_back(static_cast<ProjectSinkOp*>(plan_->sink(i)));
     }
+    // The env-thread path runs ProjectSinkOp plans serially (see
+    // Plan::Execute()), so its worker partials are empty: merge serially.
+    int merge_threads = num_threads == kUseEnvThreads ? 1 : num_threads;
+    primary->MergeAllStages(worker_sinks_.data(), static_cast<int>(worker_sinks_.size()),
+                            merge_threads);
     primary->FinishStages();
     out.rows = controls_.rows_emitted;
+  } else if (count_star_only_) {
+    // COUNT(*) pushdown: the counting sink already produced the answer;
+    // synthesize the single output row (LIMIT 0 suppresses it).
+    if (has_limit_ && limit_ == 0) {
+      out.rows = 0;
+    } else {
+      count_row_.Clear();
+      count_row_.AppendInt(0, static_cast<int64_t>(count));
+      count_row_.AdvanceRow();
+      if (consumer != nullptr) consumer->OnBatch(count_row_);
+      out.rows = 1;
+    }
   } else {
     out.rows = columns_.empty() ? 0 : count;
   }

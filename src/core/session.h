@@ -26,6 +26,9 @@ struct QueryOutcome {
     kBindError,    // unknown/unbound/type-mismatched parameter
     kInvalidated,  // indexes or graph changed since Prepare; re-prepare
     kExecError,    // execution failed
+    // Execution aborted cleanly on a resource cap (e.g. the group-by
+    // arena crossed APLUS_GROUPBY_MEM_CAP); no rows were delivered.
+    kResourceExhausted,
   };
 
   Status status = Status::kOk;
@@ -115,6 +118,11 @@ class PreparedQuery {
   // True when the sink carries post-projection stages (aggregation /
   // ORDER BY / staged LIMIT).
   bool has_stages() const { return has_stages_; }
+  // True when the query is a bare `RETURN COUNT(*)` (no grouping, no
+  // ordering): the plan runs the counting sink with no row
+  // materialization and Execute synthesizes the single output row from
+  // the match count.
+  bool count_star_only() const { return count_star_only_; }
   const std::string& normalized_text() const { return normalized_text_; }
   // Edge count the plan was costed against (Session's plan-quality
   // re-prepare heuristic compares it to the live graph).
@@ -149,8 +157,11 @@ class PreparedQuery {
   std::vector<ProjectColumn> columns_;
   bool has_limit_ = false;
   bool has_stages_ = false;
+  bool count_star_only_ = false;
   uint64_t limit_ = 0;
   std::vector<ParamInfo> params_;
+  RowBatch count_row_;  // the one-row COUNT(*) pushdown result, reused
+  std::vector<ProjectSinkOp*> worker_sinks_;  // MergeAllStages scratch
 
   std::unique_ptr<Plan> plan_;
   ExecControls controls_;  // shared with every ProjectSinkOp replica

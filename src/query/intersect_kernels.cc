@@ -1,0 +1,140 @@
+#include "query/intersect_kernels.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "query/intersect_kernels_impl.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define APLUS_X86_KERNELS 1
+#endif
+
+namespace aplus {
+namespace simd {
+
+namespace {
+
+// Scalar gallop, identical to the operators' historical GallopSearch on
+// a flat array: exponential bracket then binary search, O(log d) in the
+// distance d advanced.
+template <bool kStrict>
+uint32_t AdvanceScalar(const vertex_id_t* nbrs, uint32_t from, uint32_t end, vertex_id_t n) {
+  auto below = [&](uint32_t i) { return kStrict ? nbrs[i] <= n : nbrs[i] < n; };
+  if (from >= end || !below(from)) return from;
+  uint64_t lo = from;
+  uint64_t step = 1;
+  while (lo + step < end && below(static_cast<uint32_t>(lo + step))) {
+    lo += step;
+    step <<= 1;
+  }
+  uint64_t hi = lo + step < end ? lo + step : end;
+  while (lo + 1 < hi) {
+    uint64_t mid = lo + (hi - lo) / 2;
+    if (below(static_cast<uint32_t>(mid))) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return static_cast<uint32_t>(hi);
+}
+
+void DecodeNbrsScalar(const vertex_id_t* base_nbrs, const uint8_t* offsets, uint8_t width,
+                      uint32_t begin, uint32_t count, vertex_id_t* out) {
+  detail::DecodeNbrsScalarRange(base_nbrs, offsets, width, begin, 0, count, out);
+}
+
+void DecodeEntriesScalar(const vertex_id_t* base_nbrs, const edge_id_t* base_edges,
+                         const uint8_t* offsets, uint8_t width, uint32_t begin, uint32_t count,
+                         vertex_id_t* out_nbrs, edge_id_t* out_edges) {
+  detail::DecodeEntriesScalarRange(base_nbrs, base_edges, offsets, width, begin, 0, count,
+                                   out_nbrs, out_edges);
+}
+
+constexpr Kernels kScalarTable = {
+    &AdvanceScalar<false>, &AdvanceScalar<true>,
+    &DecodeNbrsScalar,     &DecodeEntriesScalar,
+    Level::kScalar,
+};
+
+Level ClampToHost(Level level) {
+  Level max = HostMaxLevel();
+  return static_cast<uint8_t>(level) > static_cast<uint8_t>(max) ? max : level;
+}
+
+Level RequestedFromEnv() {
+  const char* env = std::getenv("APLUS_SIMD");
+  if (env == nullptr || *env == '\0' || std::strcmp(env, "auto") == 0) return HostMaxLevel();
+  if (std::strcmp(env, "avx2") == 0) return Level::kAvx2;
+  if (std::strcmp(env, "sse") == 0) return Level::kSse;
+  if (std::strcmp(env, "scalar") == 0) return Level::kScalar;
+  return HostMaxLevel();  // unrecognized: behave like auto
+}
+
+const Kernels& TableFor(Level level) {
+  switch (level) {
+    case Level::kAvx2:
+      return Avx2Kernels();
+    case Level::kSse:
+      return SseKernels();
+    case Level::kScalar:
+      break;
+  }
+  return ScalarKernels();
+}
+
+// The active table. Null until the first Active() call resolves the
+// environment; SetLevel installs directly. Concurrent first resolution
+// is benign (both writers store the same pointer).
+std::atomic<const Kernels*> g_active{nullptr};
+
+}  // namespace
+
+const char* ToString(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kSse:
+      return "sse";
+    case Level::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+Level HostMaxLevel() {
+#if defined(APLUS_X86_KERNELS)
+  if (__builtin_cpu_supports("avx2")) return Level::kAvx2;
+  if (__builtin_cpu_supports("sse4.2")) return Level::kSse;
+#endif
+  return Level::kScalar;
+}
+
+const Kernels& ScalarKernels() { return kScalarTable; }
+
+#if !defined(APLUS_X86_KERNELS)
+// Non-x86 builds compile no SIMD TUs; every level degrades to scalar.
+const Kernels& SseKernels() { return kScalarTable; }
+const Kernels& Avx2Kernels() { return kScalarTable; }
+#endif
+
+const Kernels& Active() {
+  const Kernels* k = g_active.load(std::memory_order_acquire);
+  if (k == nullptr) {
+    k = &TableFor(ClampToHost(RequestedFromEnv()));
+    g_active.store(k, std::memory_order_release);
+  }
+  return *k;
+}
+
+Level ActiveLevel() { return Active().level; }
+
+Level SetLevel(Level level) {
+  const Kernels& table = TableFor(ClampToHost(level));
+  g_active.store(&table, std::memory_order_release);
+  return table.level;
+}
+
+}  // namespace simd
+}  // namespace aplus

@@ -1,0 +1,111 @@
+// AVX2 kernel variant. Compiled with -mavx2 (see query/CMakeLists.txt)
+// so the Block primitives inline into the shared adaptive skeleton and
+// the decode loops use hardware gathers.
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include "query/intersect_kernels.h"
+#include "query/intersect_kernels_impl.h"
+
+namespace aplus {
+namespace simd {
+
+namespace {
+
+struct BlockAvx2 {
+  static constexpr uint32_t kWidth = 8;
+
+  // Index of the first lane in p[0, 8) with p[i] >= n, or 8 when none.
+  // Unsigned compare via the 0x80000000 bias into signed int32 order.
+  static inline uint32_t FirstGe(const vertex_id_t* p, vertex_id_t n) {
+    const __m256i bias = _mm256_set1_epi32(static_cast<int>(0x80000000u));
+    __m256i v = _mm256_xor_si256(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(p)), bias);
+    __m256i needle = _mm256_xor_si256(_mm256_set1_epi32(static_cast<int>(n)), bias);
+    int lt = _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpgt_epi32(needle, v)));
+    return static_cast<uint32_t>(__builtin_ctz(~lt & 0x1ff));
+  }
+};
+
+uint32_t AdvanceGeAvx2(const vertex_id_t* nbrs, uint32_t from, uint32_t end, vertex_id_t n) {
+  return detail::AdvanceGeAdaptive<BlockAvx2>(nbrs, from, end, n);
+}
+
+uint32_t AdvanceGtAvx2(const vertex_id_t* nbrs, uint32_t from, uint32_t end, vertex_id_t n) {
+  return detail::AdvanceGtAdaptive<BlockAvx2>(nbrs, from, end, n);
+}
+
+// Widens 8 fixed-width little-endian offsets starting at `p` into 32-bit
+// lanes. Width 2 loads exactly 16 bytes and width 1 exactly 8, so no
+// over-read past the offsets array; width 4 may be the last full block
+// of the array and reads exactly its 32 bytes.
+inline __m256i LoadOffsets8(const uint8_t* p, uint8_t width) {
+  switch (width) {
+    case 1:
+      return _mm256_cvtepu8_epi32(_mm_loadl_epi64(reinterpret_cast<const __m128i*>(p)));
+    case 2:
+      return _mm256_cvtepu16_epi32(_mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+    default:  // 4
+      return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+}
+
+// Gather indices are signed 32-bit; offsets are list positions (< list
+// length <= num edges of one vertex's list page), far below 2^31.
+void DecodeNbrsAvx2(const vertex_id_t* base_nbrs, const uint8_t* offsets, uint8_t width,
+                    uint32_t begin, uint32_t count, vertex_id_t* out) {
+  if (width != 1 && width != 2 && width != 4) {
+    detail::DecodeNbrsScalarRange(base_nbrs, offsets, width, begin, 0, count, out);
+    return;
+  }
+  const uint8_t* src = offsets + static_cast<size_t>(begin) * width;
+  uint32_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    __m256i idx = LoadOffsets8(src + static_cast<size_t>(i) * width, width);
+    __m256i nbrs = _mm256_i32gather_epi32(reinterpret_cast<const int*>(base_nbrs), idx, 4);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), nbrs);
+  }
+  detail::DecodeNbrsScalarRange(base_nbrs, offsets, width, begin, i, count, out);
+}
+
+void DecodeEntriesAvx2(const vertex_id_t* base_nbrs, const edge_id_t* base_edges,
+                       const uint8_t* offsets, uint8_t width, uint32_t begin, uint32_t count,
+                       vertex_id_t* out_nbrs, edge_id_t* out_edges) {
+  if (width != 1 && width != 2 && width != 4) {
+    detail::DecodeEntriesScalarRange(base_nbrs, base_edges, offsets, width, begin, 0, count,
+                                     out_nbrs, out_edges);
+    return;
+  }
+  const uint8_t* src = offsets + static_cast<size_t>(begin) * width;
+  const long long* edges64 = reinterpret_cast<const long long*>(base_edges);
+  uint32_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    __m256i idx = LoadOffsets8(src + static_cast<size_t>(i) * width, width);
+    __m256i nbrs = _mm256_i32gather_epi32(reinterpret_cast<const int*>(base_nbrs), idx, 4);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out_nbrs + i), nbrs);
+    // 64-bit edge IDs gather four lanes at a time: low and high halves of
+    // the 8 offsets.
+    __m256i lo = _mm256_i32gather_epi64(edges64, _mm256_castsi256_si128(idx), 8);
+    __m256i hi = _mm256_i32gather_epi64(edges64, _mm256_extracti128_si256(idx, 1), 8);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out_edges + i), lo);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out_edges + i + 4), hi);
+  }
+  detail::DecodeEntriesScalarRange(base_nbrs, base_edges, offsets, width, begin, i, count,
+                                   out_nbrs, out_edges);
+}
+
+constexpr Kernels kAvx2Table = {
+    &AdvanceGeAvx2,  &AdvanceGtAvx2,
+    &DecodeNbrsAvx2, &DecodeEntriesAvx2,
+    Level::kAvx2,
+};
+
+}  // namespace
+
+const Kernels& Avx2Kernels() { return kAvx2Table; }
+
+}  // namespace simd
+}  // namespace aplus
+
+#endif  // x86

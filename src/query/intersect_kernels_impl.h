@@ -1,0 +1,133 @@
+#ifndef APLUS_QUERY_INTERSECT_KERNELS_IMPL_H_
+#define APLUS_QUERY_INTERSECT_KERNELS_IMPL_H_
+
+// Shared skeletons of the SIMD kernel variants. Included by the per-ISA
+// translation units (intersect_kernels_sse.cc / _avx2.cc), each compiled
+// with its own -m flags, so the templates instantiate with full
+// intrinsic inlining inside the right ISA context. Nothing here is
+// compiled into the portable TU.
+
+#include <cstdint>
+
+#include "query/intersect_kernels.h"
+#include "util/bit_util.h"
+
+namespace aplus {
+namespace simd {
+namespace detail {
+
+// Entries scanned linearly (in Block::kWidth chunks) before conceding
+// the advance is long and switching to the galloping bracket. Balanced
+// intersections advance a handful of entries per probe and resolve here.
+inline constexpr uint32_t kLinearBlocks = 4;
+// Binary search narrows the bracketed window down to this many entries,
+// then the block compare finishes (replaces the last log2(32) halvings
+// with two 8-lane compares under AVX2).
+inline constexpr uint32_t kBinaryCutoff = 32;
+
+// Length-ratio-adaptive advance: first index in [from, end) with
+// nbrs[i] >= n. `Block` supplies kWidth and FirstGe(p, n) -> index of
+// the first qualifying lane in p[0, kWidth) (kWidth when none).
+template <typename Block>
+uint32_t AdvanceGeAdaptive(const vertex_id_t* nbrs, uint32_t from, uint32_t end, vertex_id_t n) {
+  if (from >= end || nbrs[from] >= n) return from;
+  constexpr uint32_t kW = Block::kWidth;
+  uint32_t i = from + 1;
+  for (uint32_t b = 0; b < kLinearBlocks && i + kW <= end; ++b) {
+    uint32_t r = Block::FirstGe(nbrs + i, n);
+    if (r < kW) return i + r;
+    i += kW;
+  }
+  if (i + kW > end) {
+    while (i < end && nbrs[i] < n) ++i;
+    return i;
+  }
+  // Long advance: gallop from the last position known < n, then binary
+  // search the bracket down to a block-scannable window.
+  uint64_t lo = i - 1;  // nbrs[lo] < n
+  uint64_t step = kW;
+  while (lo + step < end && nbrs[lo + step] < n) {
+    lo += step;
+    step <<= 1;
+  }
+  uint64_t hi = lo + step < end ? lo + step : end;
+  while (hi - lo > kBinaryCutoff) {
+    uint64_t mid = lo + (hi - lo) / 2;
+    if (nbrs[mid] < n) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  uint32_t j = static_cast<uint32_t>(lo) + 1;
+  uint32_t window_end = static_cast<uint32_t>(hi);
+  while (j + kW <= window_end) {
+    uint32_t r = Block::FirstGe(nbrs + j, n);
+    if (r < kW) return j + r;
+    j += kW;
+  }
+  while (j < window_end && nbrs[j] < n) ++j;
+  return j;
+}
+
+// advance_gt via advance_ge: x > n  <=>  x >= n + 1 for unsigned IDs.
+// n == max (kInvalidVertex, never stored in a list) has no successor:
+// every entry is <= n, so the answer is end.
+template <typename Block>
+uint32_t AdvanceGtAdaptive(const vertex_id_t* nbrs, uint32_t from, uint32_t end, vertex_id_t n) {
+  if (from >= end) return from;
+  if (n == static_cast<vertex_id_t>(~0u)) return end;
+  return AdvanceGeAdaptive<Block>(nbrs, from, end, n + 1);
+}
+
+// Scalar decode loops shared as the odd-width / tail path of the SIMD
+// decoders. Width-specialized so the per-entry LoadFixedWidth dispatch
+// is hoisted out of the loop (the compiler folds each case's byte
+// assembly into one load on little-endian targets).
+inline void DecodeNbrsScalarRange(const vertex_id_t* base_nbrs, const uint8_t* offsets,
+                                  uint8_t width, uint32_t begin, uint32_t from, uint32_t count,
+                                  vertex_id_t* out) {
+  const uint8_t* src = offsets + static_cast<size_t>(begin) * width;
+  switch (width) {
+    case 1:
+      for (uint32_t i = from; i < count; ++i) out[i] = base_nbrs[src[i]];
+      break;
+    case 2:
+      for (uint32_t i = from; i < count; ++i) {
+        const uint8_t* p = src + static_cast<size_t>(i) * 2;
+        out[i] = base_nbrs[static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8)];
+      }
+      break;
+    case 4:
+      for (uint32_t i = from; i < count; ++i) {
+        const uint8_t* p = src + static_cast<size_t>(i) * 4;
+        uint32_t o = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+                     (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+        out[i] = base_nbrs[o];
+      }
+      break;
+    default:
+      for (uint32_t i = from; i < count; ++i) {
+        out[i] = base_nbrs[LoadFixedWidth(src + static_cast<size_t>(i) * width, width)];
+      }
+      break;
+  }
+}
+
+inline void DecodeEntriesScalarRange(const vertex_id_t* base_nbrs, const edge_id_t* base_edges,
+                                     const uint8_t* offsets, uint8_t width, uint32_t begin,
+                                     uint32_t from, uint32_t count, vertex_id_t* out_nbrs,
+                                     edge_id_t* out_edges) {
+  const uint8_t* src = offsets + static_cast<size_t>(begin) * width;
+  for (uint32_t i = from; i < count; ++i) {
+    uint64_t o = LoadFixedWidth(src + static_cast<size_t>(i) * width, width);
+    out_nbrs[i] = base_nbrs[o];
+    out_edges[i] = base_edges[o];
+  }
+}
+
+}  // namespace detail
+}  // namespace simd
+}  // namespace aplus
+
+#endif  // APLUS_QUERY_INTERSECT_KERNELS_IMPL_H_

@@ -1,0 +1,69 @@
+// SSE4.2 kernel variant. Compiled with -msse4.2 (see query/CMakeLists.txt)
+// so the Block primitives inline into the shared adaptive skeleton.
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include "query/intersect_kernels.h"
+#include "query/intersect_kernels_impl.h"
+
+namespace aplus {
+namespace simd {
+
+namespace {
+
+struct BlockSse {
+  static constexpr uint32_t kWidth = 4;
+
+  // Index of the first lane in p[0, 4) with p[i] >= n, or 4 when none.
+  // Vertex IDs are unsigned; SSE only compares signed, so both sides are
+  // biased by 0x80000000 (an order-preserving bijection into int32).
+  static inline uint32_t FirstGe(const vertex_id_t* p, vertex_id_t n) {
+    const __m128i bias = _mm_set1_epi32(static_cast<int>(0x80000000u));
+    __m128i v = _mm_xor_si128(_mm_loadu_si128(reinterpret_cast<const __m128i*>(p)), bias);
+    __m128i needle = _mm_xor_si128(_mm_set1_epi32(static_cast<int>(n)), bias);
+    // lt-mask per lane, then the first zero bit is the first lane >= n.
+    int lt = _mm_movemask_ps(_mm_castsi128_ps(_mm_cmplt_epi32(v, needle)));
+    return static_cast<uint32_t>(__builtin_ctz(~lt & 0x1f));
+  }
+};
+
+uint32_t AdvanceGeSse(const vertex_id_t* nbrs, uint32_t from, uint32_t end, vertex_id_t n) {
+  return detail::AdvanceGeAdaptive<BlockSse>(nbrs, from, end, n);
+}
+
+uint32_t AdvanceGtSse(const vertex_id_t* nbrs, uint32_t from, uint32_t end, vertex_id_t n) {
+  return detail::AdvanceGtAdaptive<BlockSse>(nbrs, from, end, n);
+}
+
+// SSE has no gather; the decode loops stay scalar at this level (the
+// width-specialized loops already autovectorize poorly because of the
+// dependent base_nbrs load, so AVX2's hardware gather is the first level
+// where vectorizing the decode pays off).
+void DecodeNbrsSse(const vertex_id_t* base_nbrs, const uint8_t* offsets, uint8_t width,
+                   uint32_t begin, uint32_t count, vertex_id_t* out) {
+  detail::DecodeNbrsScalarRange(base_nbrs, offsets, width, begin, 0, count, out);
+}
+
+void DecodeEntriesSse(const vertex_id_t* base_nbrs, const edge_id_t* base_edges,
+                      const uint8_t* offsets, uint8_t width, uint32_t begin, uint32_t count,
+                      vertex_id_t* out_nbrs, edge_id_t* out_edges) {
+  detail::DecodeEntriesScalarRange(base_nbrs, base_edges, offsets, width, begin, 0, count,
+                                   out_nbrs, out_edges);
+}
+
+constexpr Kernels kSseTable = {
+    &AdvanceGeSse,  &AdvanceGtSse,
+    &DecodeNbrsSse, &DecodeEntriesSse,
+    Level::kSse,
+};
+
+}  // namespace
+
+const Kernels& SseKernels() { return kSseTable; }
+
+}  // namespace simd
+}  // namespace aplus
+
+#endif  // x86

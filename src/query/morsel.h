@@ -52,6 +52,33 @@ class MorselCursor {
   uint64_t divisor_ = kShrinkDivisor;
 };
 
+// Work partitioner one pipeline stage below the scan, used when the
+// leading scan's domain is too small to split (e.g. a $src-pinned scan
+// of one vertex). Every worker replica then runs the full scan and
+// enumerates the first EXTEND's entries in the same order, numbering
+// them with a private sequence counter; ownership of entry ordinals is
+// claimed in fixed blocks from this shared cursor. Blocks are globally
+// disjoint and exhaustive, and each replica's local ordinal sequence is
+// identical (same scan order, same adjacency snapshot under the pinned
+// epoch), so every entry is processed by exactly one worker.
+//
+// The block size trades scheduling granularity against contention: one
+// fetch_add per kBlock entries, and at most kBlock - 1 entries of
+// imbalance per worker at the tail.
+class EntryCursor {
+ public:
+  static constexpr uint64_t kBlock = 8;
+
+  void Reset() { next_.store(0, std::memory_order_relaxed); }
+
+  // Claims the next block; returns its first ordinal (owns kBlock from
+  // there). Monotone: a claim never returns less than any prior claim.
+  uint64_t ClaimBlock() { return next_.fetch_add(kBlock, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> next_{0};
+};
+
 }  // namespace aplus
 
 #endif  // APLUS_QUERY_MORSEL_H_

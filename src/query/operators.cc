@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "query/intersect_kernels.h"
 #include "util/logging.h"
 
 namespace aplus {
@@ -53,9 +54,14 @@ std::pair<uint32_t, uint32_t> GallopEqualRange(const NbrFn& nbr_at, uint32_t fro
   return {first, last};
 }
 
-// Equal range of `n` within the bounded range of a slice (direct reads).
+// Equal range of `n` within the bounded range of a slice. Direct lists
+// expose a flat sorted array, so the dispatched SIMD kernel runs on it;
+// offset lists keep the lambda gallop (per-probe LoadFixedWidth reads).
 std::pair<uint32_t, uint32_t> EqualRangeByNbr(const AdjListSlice& slice, vertex_id_t n,
                                               uint32_t begin, uint32_t end) {
+  if (!slice.is_offset_list()) {
+    return simd::EqualRange(simd::Active(), slice.nbrs, begin, end, n);
+  }
   return GallopEqualRange([&slice](uint32_t i) { return slice.NbrAt(i); }, begin, end, n);
 }
 
@@ -345,12 +351,19 @@ void ExtendOp::Run(MatchState* state) {
     }
     return;
   }
+  // Enumeration loops go through ClaimEntry: a no-op in scan-partitioned
+  // and serial execution, entry-ordinal ownership when this operator is
+  // the deep-morselization split point (see EntryCursor).
   if (list_.has_upper_bound || list_.has_lower_bound) {
     auto [begin, end] = list_.BoundedRange(slice);
-    for (uint32_t i = begin; i < end; ++i) AcceptEntry(state, slice, i);
+    for (uint32_t i = begin; i < end; ++i) {
+      if (ClaimEntry()) AcceptEntry(state, slice, i);
+    }
     return;
   }
-  for (uint32_t i = 0; i < slice.len; ++i) AcceptEntry(state, slice, i);
+  for (uint32_t i = 0; i < slice.len; ++i) {
+    if (ClaimEntry()) AcceptEntry(state, slice, i);
+  }
 }
 
 void ExtendOp::CollectParamSlots(ParamSlots* slots) {
@@ -386,6 +399,7 @@ ExtendIntersectOp::ExtendIntersectOp(const Graph* graph, std::vector<ListDescrip
 }
 
 void ExtendIntersectOp::Run(MatchState* state) {
+  const simd::Kernels& kern = simd::Active();
   size_t z = lists_.size();
   size_t pivot = 0;
   for (size_t l = 0; l < z; ++l) {
@@ -406,8 +420,11 @@ void ExtendIntersectOp::Run(MatchState* state) {
   for (size_t l = 0; l < z; ++l) {
     ProbeList& pl = probes_[l];
     if (l == pivot || !pl.slice.is_offset_list() || !ShouldDecode(pivot_len, pl.len())) continue;
-    pl.decode_buf.clear();
-    for (uint32_t i = pl.begin; i < pl.end; ++i) pl.decode_buf.push_back(pl.slice.NbrAt(i));
+    // Batch-decode via the dispatched kernel (gathers under AVX2); the
+    // buffer keeps its plan-lifetime capacity across executions.
+    if (pl.decode_buf.size() < pl.len()) pl.decode_buf.resize(pl.len());
+    kern.decode_nbrs(pl.slice.nbrs, pl.slice.offsets, pl.slice.offset_width, pl.begin, pl.len(),
+                     pl.decode_buf.data());
     pl.decoded = pl.decode_buf.data();
   }
   const ProbeList& ps = probes_[pivot];
@@ -430,10 +447,21 @@ void ExtendIntersectOp::Run(MatchState* state) {
         continue;
       }
       // Candidates ascend, so resume from the frontier left by the
-      // previous probe instead of restarting at the range start.
+      // previous probe instead of restarting at the range start. Decoded
+      // batches and direct lists are flat sorted arrays — probe them with
+      // the dispatched SIMD kernel; undecoded offset lists gallop through
+      // the per-entry indirection.
       ProbeList& pl = probes_[l];
-      ranges_[l] =
-          GallopEqualRange([&pl](uint32_t j) { return pl.NbrAt(j); }, pl.frontier, pl.end, n);
+      if (pl.decoded != nullptr) {
+        auto [first, last] = simd::EqualRange(kern, pl.decoded, pl.frontier - pl.begin,
+                                              pl.end - pl.begin, n);
+        ranges_[l] = {first + pl.begin, last + pl.begin};
+      } else if (!pl.slice.is_offset_list()) {
+        ranges_[l] = simd::EqualRange(kern, pl.slice.nbrs, pl.frontier, pl.end, n);
+      } else {
+        ranges_[l] =
+            GallopEqualRange([&pl](uint32_t j) { return pl.NbrAt(j); }, pl.frontier, pl.end, n);
+      }
       pl.frontier = ranges_[l].second;
       all_present = ranges_[l].first < ranges_[l].second;
     }
@@ -596,13 +624,11 @@ void MultiExtendOp::Run(MatchState* state) {
       run_decoded_[l] = 0;
       uint32_t run_len = ranges_[l].second - ranges_[l].first;
       if (enumerations >= 4 && run_len >= 8 && slices_[l].is_offset_list()) {
-        run_nbrs_[l].clear();
-        run_edges_[l].clear();
-        for (uint32_t i = ranges_[l].first; i < ranges_[l].second; ++i) {
-          uint64_t base = slices_[l].BaseOffsetAt(i);
-          run_nbrs_[l].push_back(slices_[l].nbrs[base]);
-          run_edges_[l].push_back(slices_[l].edges[base]);
-        }
+        if (run_nbrs_[l].size() < run_len) run_nbrs_[l].resize(run_len);
+        if (run_edges_[l].size() < run_len) run_edges_[l].resize(run_len);
+        simd::Active().decode_entries(slices_[l].nbrs, slices_[l].edges, slices_[l].offsets,
+                                      slices_[l].offset_width, ranges_[l].first, run_len,
+                                      run_nbrs_[l].data(), run_edges_[l].data());
         run_decoded_[l] = 1;
       }
       enumerations *= run_len;

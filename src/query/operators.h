@@ -248,13 +248,57 @@ class ExtendOp : public Operator {
   void CollectParamSlots(ParamSlots* slots) override;
   std::string Describe() const override;
 
+  // --- Deep morselization (Plan::Execute with a tiny scan domain) ---
+
+  // Whether this operator's entry enumeration can be partitioned across
+  // worker replicas via an EntryCursor. Cycle-closing extends probe
+  // instead of enumerating, and non-materialized EP lists enumerate
+  // through a runtime callback path that is not instrumented; both stay
+  // scan-partitioned.
+  bool CanDeepMorselize() const {
+    return !closing_ && list_.source != ListDescriptor::Source::kEp;
+  }
+  // When set, Run() claims entry-ordinal blocks from the shared cursor
+  // and only processes the entries it owns (see EntryCursor). The local
+  // ordinal sequence must be reset via ResetEntryClaims() before each
+  // parallel execution.
+  void set_entry_cursor(EntryCursor* cursor) { entry_cursor_ = cursor; }
+  void ResetEntryClaims() {
+    entry_seq_ = 0;
+    claim_begin_ = 0;
+    claim_end_ = 0;
+  }
+  // Cooperative cancellation (LIMIT), polled once per claimed block so
+  // a long entry loop below a one-vertex scan still stops early.
+  void set_stop_flag(const std::atomic<bool>* stop) { stop_ = stop; }
+
  private:
   bool AcceptEntry(MatchState* state, const AdjListSlice& slice, uint32_t i);
+  // Advances the local ordinal sequence by one entry and reports whether
+  // this replica owns it. Must be called exactly once per enumerated
+  // entry so all replicas agree on the numbering.
+  bool ClaimEntry() {
+    if (entry_cursor_ == nullptr) return true;
+    uint64_t s = entry_seq_++;
+    if (s >= claim_end_) {
+      // Own previous block ended at claim_end_ <= the shared counter, so
+      // the new block starts at or after s: never claims into the past.
+      claim_begin_ = entry_cursor_->ClaimBlock();
+      claim_end_ = claim_begin_ + EntryCursor::kBlock;
+      if (stop_ != nullptr && stop_->load(std::memory_order_relaxed)) return false;
+    }
+    return s >= claim_begin_;
+  }
 
   const Graph* graph_;
   ListDescriptor list_;
   std::vector<QueryComparison> residual_;
   bool closing_;
+  EntryCursor* entry_cursor_ = nullptr;
+  const std::atomic<bool>* stop_ = nullptr;
+  uint64_t entry_seq_ = 0;
+  uint64_t claim_begin_ = 0;
+  uint64_t claim_end_ = 0;
 };
 
 // Per-list probe state of one EXTEND/INTERSECT input, reused across

@@ -48,9 +48,20 @@ uint64_t Plan::Execute() {
 
 uint64_t Plan::ExecuteSerial(ScanOp* scan) {
   if (scan != nullptr) scan->set_morsel_cursor(nullptr);
+  if (ExtendOp* deep = DeepExtend(0)) deep->set_entry_cursor(nullptr);
   state_.Reset(num_query_vertices_, num_query_edges_);
   ops_.front()->Run(&state_);
   return state_.count;
+}
+
+ExtendOp* Plan::DeepExtend(int w) {
+  // Needs at least scan, extend, sink — and the extend must enumerate
+  // through the instrumented loops.
+  if (ops_.size() < 3) return nullptr;
+  std::vector<std::unique_ptr<Operator>>& ops = w == 0 ? ops_ : workers_[w - 1].ops;
+  auto* ext = dynamic_cast<ExtendOp*>(ops[1].get());
+  if (ext == nullptr || !ext->CanDeepMorselize()) return nullptr;
+  return ext;
 }
 
 uint64_t Plan::Execute(int num_threads) {
@@ -71,8 +82,30 @@ uint64_t Plan::Execute(int num_threads) {
   } else {
     EnsureWorkers(k - 1);
     auto [begin, end] = scan->ScanDomain();
-    cursor_.Reset(begin, end, k);
-    scan->set_morsel_cursor(&cursor_);
+    // Tiny scan domain (e.g. a $src-pinned scan of one vertex): scan
+    // morsels would starve all but a few workers, so push the work split
+    // one stage deeper — every replica runs the full scan and the first
+    // EXTEND's entry domain is claimed block-wise through entry_cursor_.
+    bool deep = (end - begin) < kDeepMorselFactor * static_cast<uint64_t>(k) &&
+                DeepExtend(0) != nullptr;
+    if (deep) {
+      entry_cursor_.Reset();
+    } else {
+      cursor_.Reset(begin, end, k);
+    }
+    // Wire both split points explicitly on every pipeline that will run:
+    // the mode can flip between Execute calls (thread count changes, a
+    // $param re-bind unpinning the scan), and replicas persist across
+    // calls with their previous wiring.
+    for (int w = 0; w < k; ++w) {
+      auto* s = w == 0 ? scan
+                       : dynamic_cast<ScanOp*>(workers_[w - 1].ops.front().get());
+      s->set_morsel_cursor(deep ? nullptr : &cursor_);
+      if (ExtendOp* ext = DeepExtend(w)) {
+        ext->set_entry_cursor(deep ? &entry_cursor_ : nullptr);
+        if (deep) ext->ResetEntryClaims();
+      }
+    }
     auto body = [this](int w) {
       MatchState& state = w == 0 ? state_ : workers_[w - 1].state;
       state.Reset(num_query_vertices_, num_query_edges_);
@@ -101,6 +134,11 @@ void Plan::EnsureWorkers(int num_replicas) {
     // calls and replicas are wired up exactly once.
     scan->set_morsel_cursor(&cursor_);
     scan->set_stop_flag(stop_flag_);
+    if (ops_.size() >= 3) {
+      if (auto* ext = dynamic_cast<ExtendOp*>(worker.ops[1].get())) {
+        ext->set_stop_flag(stop_flag_);
+      }
+    }
     workers_.push_back(std::move(worker));
   }
 }
@@ -122,6 +160,12 @@ void Plan::SetStopFlag(const std::atomic<bool>* stop) {
   if (auto* scan = dynamic_cast<ScanOp*>(ops_.front().get())) scan->set_stop_flag(stop);
   for (WorkerPipeline& worker : workers_) {
     if (auto* scan = dynamic_cast<ScanOp*>(worker.ops.front().get())) scan->set_stop_flag(stop);
+  }
+  if (ops_.size() >= 3) {
+    if (auto* ext = dynamic_cast<ExtendOp*>(ops_[1].get())) ext->set_stop_flag(stop);
+    for (WorkerPipeline& worker : workers_) {
+      if (auto* ext = dynamic_cast<ExtendOp*>(worker.ops[1].get())) ext->set_stop_flag(stop);
+    }
   }
 }
 

@@ -59,7 +59,8 @@ class Plan {
   // num_pipelines() changes).
   void CollectParamSlots(ParamSlots* slots);
   // Installs a cooperative stop flag on every pipeline's leading scan
-  // (current and future replicas); nullptr detaches. Used by LIMIT.
+  // and deep-morselizable first extend (current and future replicas);
+  // nullptr detaches. Used by LIMIT.
   void SetStopFlag(const std::atomic<bool>* stop);
 
   // Upper bound on the worker count of Execute(num_threads).
@@ -75,6 +76,16 @@ class Plan {
 
   uint64_t ExecuteSerial(ScanOp* scan);
   void EnsureWorkers(int num_replicas);
+  // The first-extend split point of pipeline `w` (0 = the primary), or
+  // nullptr when the plan's second operator is not a deep-morselizable
+  // ExtendOp (see ExtendOp::CanDeepMorselize).
+  ExtendOp* DeepExtend(int w);
+
+  // Scan domains smaller than kDeepMorselFactor × num_threads leave
+  // workers idle under scan morsels (a one-vertex $src-pinned scan
+  // starves all but one); such plans split the first EXTEND's entry
+  // domain instead.
+  static constexpr uint64_t kDeepMorselFactor = 4;
 
   std::vector<std::unique_ptr<Operator>> ops_;
   int num_query_vertices_;
@@ -83,6 +94,7 @@ class Plan {
   MatchState state_;  // worker 0 / serial state, reused across Execute calls
   std::vector<WorkerPipeline> workers_;
   MorselCursor cursor_;
+  EntryCursor entry_cursor_;
   const std::atomic<bool>* stop_flag_ = nullptr;
 };
 

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace aplus {
 
@@ -150,6 +151,11 @@ Value RowBatch::Cell(size_t col, uint32_t row) const {
   }
 }
 
+void SinkStage::MergeAll(SinkStage* const* workers, int num_workers, int num_threads) {
+  (void)num_threads;
+  for (int w = 0; w < num_workers; ++w) Merge(*workers[w]);
+}
+
 void SinkStage::Deliver(RowBatch* batch) {
   if (batch->empty()) return;
   if (next_ != nullptr) {
@@ -191,6 +197,11 @@ GroupedAggregateStage::GroupedAggregateStage(std::vector<AggSpec> specs,
     out_schema.push_back(std::move(col));
   }
   out_.Init(out_schema, batch_capacity_);
+  // Estimated arena footprint of one group: per key ~8 bytes payload +
+  // 1 null byte, per accumulator ints + doubles + counts, plus the
+  // open-addressing slot at <= 50% load. An estimate is enough — the
+  // mem-cap guards against runaway growth, not byte-exact accounting.
+  bytes_per_group_ = keys_.size() * 9 + accs_.size() * 24 + 2 * sizeof(uint32_t);
   Reset();
 }
 
@@ -201,6 +212,7 @@ std::unique_ptr<SinkStage> GroupedAggregateStage::Clone() const {
 
 void GroupedAggregateStage::Reset() {
   num_groups_ = 0;
+  merged_parts_ = 0;
   for (ColumnArena& arena : keys_) {
     arena.ints.clear();
     arena.doubles.clear();
@@ -296,6 +308,17 @@ void GroupedAggregateStage::AppendKey(ColFn&& col_of, uint32_t row) {
     acc.counts.push_back(0);
   }
   ++num_groups_;
+  if (track_mem_ && controls_->groupby_mem_cap != 0) {
+    uint64_t total =
+        controls_->groupby_bytes.fetch_add(bytes_per_group_, std::memory_order_relaxed) +
+        bytes_per_group_;
+    if (total > controls_->groupby_mem_cap &&
+        !controls_->resource_exhausted.exchange(true, std::memory_order_relaxed)) {
+      // First replica over the cap stops the scans; every OnBatch
+      // (including the other workers') discards input from here on.
+      controls_->stop.store(true, std::memory_order_relaxed);
+    }
+  }
 }
 
 template <typename ColFn>
@@ -366,6 +389,7 @@ void GroupedAggregateStage::AccumulateRow(uint32_t group, const RowBatch& batch,
 }
 
 void GroupedAggregateStage::OnBatch(const RowBatch& batch) {
+  if (controls_->resource_exhausted.load(std::memory_order_relaxed)) return;
   if (key_inputs_.empty()) {
     if (!needs_row_scan_) {
       // Pure COUNT(*): no cell reads, no null checks — one add per batch.
@@ -384,44 +408,97 @@ void GroupedAggregateStage::OnBatch(const RowBatch& batch) {
   }
 }
 
+void GroupedAggregateStage::FoldGroupFrom(uint32_t g, const GroupedAggregateStage& src_stage,
+                                          uint32_t og) {
+  for (size_t j = 0; j < agg_specs_.size(); ++j) {
+    const AggSpec& spec = specs_[agg_specs_[j]];
+    AccArena& acc = accs_[j];
+    const AccArena& src = src_stage.accs_[j];
+    if (src.counts[og] == 0) continue;
+    switch (spec.fn) {
+      case AggFn::kMin:
+      case AggFn::kMax: {
+        bool min = spec.fn == AggFn::kMin;
+        if (acc.counts[g] == 0) {
+          acc.ints[g] = src.ints[og];
+          acc.doubles[g] = src.doubles[og];
+        } else {
+          acc.ints[g] = min ? std::min(acc.ints[g], src.ints[og])
+                            : std::max(acc.ints[g], src.ints[og]);
+          bool src_wins = min ? DoubleLess(src.doubles[og], acc.doubles[g])
+                              : DoubleLess(acc.doubles[g], src.doubles[og]);
+          if (src_wins) acc.doubles[g] = src.doubles[og];
+        }
+        break;
+      }
+      default:
+        acc.ints[g] += src.ints[og];
+        acc.doubles[g] += src.doubles[og];
+        break;
+    }
+    acc.counts[g] += src.counts[og];
+  }
+}
+
 void GroupedAggregateStage::Merge(SinkStage& worker) {
   auto& other = static_cast<GroupedAggregateStage&>(worker);
   auto other_col = [&other](size_t k) -> const ColumnArena& { return other.keys_[k]; };
   for (uint32_t og = 0; og < other.num_groups_; ++og) {
     uint32_t g = key_inputs_.empty() ? 0 : FindOrAddGroup(other_col, og, other.HashGroup(og));
-    for (size_t j = 0; j < agg_specs_.size(); ++j) {
-      const AggSpec& spec = specs_[agg_specs_[j]];
-      AccArena& acc = accs_[j];
-      const AccArena& src = other.accs_[j];
-      if (src.counts[og] == 0) continue;
-      switch (spec.fn) {
-        case AggFn::kMin:
-        case AggFn::kMax: {
-          bool min = spec.fn == AggFn::kMin;
-          if (acc.counts[g] == 0) {
-            acc.ints[g] = src.ints[og];
-            acc.doubles[g] = src.doubles[og];
-          } else {
-            acc.ints[g] = min ? std::min(acc.ints[g], src.ints[og])
-                              : std::max(acc.ints[g], src.ints[og]);
-            bool src_wins = min ? DoubleLess(src.doubles[og], acc.doubles[g])
-                                : DoubleLess(acc.doubles[g], src.doubles[og]);
-            if (src_wins) acc.doubles[g] = src.doubles[og];
-          }
-          break;
-        }
-        default:
-          acc.ints[g] += src.ints[og];
-          acc.doubles[g] += src.doubles[og];
-          break;
-      }
-      acc.counts[g] += src.counts[og];
-    }
+    FoldGroupFrom(g, other, og);
   }
 }
 
-void GroupedAggregateStage::Finish() {
-  for (uint32_t g = 0; g < num_groups_; ++g) {
+void GroupedAggregateStage::MergePartitionFrom(const GroupedAggregateStage& src,
+                                               uint32_t num_parts, uint32_t part) {
+  auto src_col = [&src](size_t k) -> const ColumnArena& { return src.keys_[k]; };
+  for (uint32_t og = 0; og < src.num_groups_; ++og) {
+    uint64_t h = src.HashGroup(og);
+    if (h % num_parts != part) continue;
+    FoldGroupFrom(FindOrAddGroup(src_col, og, h), src, og);
+  }
+}
+
+void GroupedAggregateStage::MergeAll(SinkStage* const* workers, int num_workers,
+                                     int num_threads) {
+  merged_parts_ = 0;
+  size_t total = num_groups_;
+  for (int w = 0; w < num_workers; ++w) {
+    total += static_cast<const GroupedAggregateStage&>(*workers[w]).num_groups_;
+  }
+  // Small folds, global aggregates (one group), and serial merges take
+  // the plain path; the partitioned fan-out only pays off when the k
+  // tables carry real group volume.
+  if (num_threads <= 1 || num_workers == 0 || key_inputs_.empty() ||
+      total < kParallelMergeMinGroups) {
+    SinkStage::MergeAll(workers, num_workers, num_threads);
+    return;
+  }
+  int p = num_threads < 64 ? num_threads : 64;
+  while (static_cast<int>(parts_.size()) < p) {
+    auto part = std::unique_ptr<GroupedAggregateStage>(
+        new GroupedAggregateStage(specs_, input_types_, batch_capacity_, controls_));
+    // Partitions re-materialize groups the source tables already charged
+    // against the group-by memory cap: charging them again would double
+    // count.
+    part->track_mem_ = false;
+    parts_.push_back(std::move(part));
+  }
+  for (int i = 0; i < p; ++i) parts_[i]->Reset();
+  auto body = [this, workers, num_workers, p](int part) {
+    GroupedAggregateStage& dst = *parts_[part];
+    dst.MergePartitionFrom(*this, static_cast<uint32_t>(p), static_cast<uint32_t>(part));
+    for (int w = 0; w < num_workers; ++w) {
+      dst.MergePartitionFrom(static_cast<const GroupedAggregateStage&>(*workers[w]),
+                             static_cast<uint32_t>(p), static_cast<uint32_t>(part));
+    }
+  };
+  ThreadPool::Global().ParallelRun(p, body);
+  merged_parts_ = p;
+}
+
+void GroupedAggregateStage::EmitGroupsFrom(const GroupedAggregateStage& src) {
+  for (uint32_t g = 0; g < src.num_groups_; ++g) {
     // A drained downstream LIMIT discards everything else: stop
     // materializing output rows nobody consumes (e.g. GROUP BY hub-heavy
     // keys with LIMIT 5 but no ORDER BY).
@@ -431,10 +508,10 @@ void GroupedAggregateStage::Finish() {
     for (size_t s = 0; s < specs_.size(); ++s) {
       const AggSpec& spec = specs_[s];
       if (spec.fn == AggFn::kNone) {
-        AppendCell(&out_, s, keys_[key_i++], g);
+        AppendCell(&out_, s, src.keys_[key_i++], g);
         continue;
       }
-      const AccArena& acc = accs_[agg_i++];
+      const AccArena& acc = src.accs_[agg_i++];
       switch (spec.fn) {
         case AggFn::kCount:
           out_.AppendInt(s, acc.counts[g]);
@@ -463,6 +540,16 @@ void GroupedAggregateStage::Finish() {
     }
     out_.AdvanceRow();
     if (out_.full()) Deliver(&out_);
+  }
+}
+
+void GroupedAggregateStage::Finish() {
+  if (merged_parts_ > 0) {
+    // The last merge was partitioned: the partitions hold the complete
+    // fold (this stage's own table was one of the sources).
+    for (int i = 0; i < merged_parts_; ++i) EmitGroupsFrom(*parts_[i]);
+  } else {
+    EmitGroupsFrom(*this);
   }
   Deliver(&out_);
 }
@@ -773,6 +860,18 @@ void ProjectSinkOp::ResetBatch() {
 void ProjectSinkOp::MergeStagesFrom(ProjectSinkOp* worker) {
   APLUS_DCHECK(worker->stages_.size() == stages_.size());
   for (size_t i = 0; i < stages_.size(); ++i) stages_[i]->Merge(*worker->stages_[i]);
+}
+
+void ProjectSinkOp::MergeAllStages(ProjectSinkOp* const* workers, int num_workers,
+                                   int num_threads) {
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    stage_scratch_.clear();
+    for (int w = 0; w < num_workers; ++w) {
+      APLUS_DCHECK(workers[w]->stages_.size() == stages_.size());
+      stage_scratch_.push_back(workers[w]->stages_[i].get());
+    }
+    stages_[i]->MergeAll(stage_scratch_.data(), num_workers, num_threads);
+  }
 }
 
 void ProjectSinkOp::FinishStages() {

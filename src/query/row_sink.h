@@ -108,6 +108,15 @@ struct ExecControls {
   // Rows delivered to (or counted for) the final consumer by a stage
   // chain. Only written single-threaded, during the Finish cascade.
   uint64_t rows_emitted = 0;
+  // Group-by memory cap (APLUS_GROUPBY_MEM_CAP, bytes; 0 = unlimited):
+  // every aggregate stage replica charges its estimated per-group
+  // footprint against the shared byte counter as groups materialize.
+  // Crossing the cap flips resource_exhausted and raises the stop flag,
+  // turning a hub-heavy GROUP BY into a clean resource-exhausted error
+  // instead of unbounded arena growth.
+  uint64_t groupby_mem_cap = 0;
+  std::atomic<uint64_t> groupby_bytes{0};
+  std::atomic<bool> resource_exhausted{false};
 };
 
 // A typed columnar plan-lifetime buffer shared by the sink stages
@@ -148,6 +157,12 @@ class SinkStage : public RowConsumer {
   // Folds a worker replica's partial state (the same position of its
   // chain) into this stage. Coordinating thread only.
   virtual void Merge(SinkStage& worker) = 0;
+  // Folds every worker replica's partial state at once. The default is
+  // the serial Merge fold; stages with an order-free merge (grouped
+  // aggregation) override it to partition the work across `num_threads`
+  // pool workers. Coordinating thread only; returns with the fold
+  // complete.
+  virtual void MergeAll(SinkStage* const* workers, int num_workers, int num_threads);
   // Emits this stage's result downstream (OnBatch on next_, or the final
   // consumer at the chain tail). Coordinating thread only; upstream
   // stages finish first.
@@ -193,6 +208,14 @@ class GroupedAggregateStage : public SinkStage {
   std::unique_ptr<SinkStage> Clone() const override;
   void Reset() override;
   void Merge(SinkStage& worker) override;
+  // Hash-partitioned parallel merge: when the fold is large enough,
+  // group ordinal ownership is split by HashGroup(g) % P across P
+  // plan-lifetime partition stages, each merging its share of every
+  // source table (this stage + all workers) on a pool worker. Group
+  // hashes are deterministic across replicas (key cells hash by payload
+  // bits / shared dictionary pointers), so partitions are disjoint and
+  // exhaustive. Finish then emits partition by partition.
+  void MergeAll(SinkStage* const* workers, int num_workers, int num_threads) override;
   void Finish() override;
   std::string Describe() const override;
 
@@ -229,6 +252,18 @@ class GroupedAggregateStage : public SinkStage {
   void GrowSlots();
   void AccumulateRow(uint32_t group, const RowBatch& batch, uint32_t row);
   void EnsureGlobalGroup();
+  // Folds source group `og` of `src` into local group `g` (the per-spec
+  // accumulator combine shared by Merge and MergePartitionFrom).
+  void FoldGroupFrom(uint32_t g, const GroupedAggregateStage& src, uint32_t og);
+  // Merges the groups of `src` whose hash lands in partition `part` of
+  // `num_parts` (the parallel MergeAll worker body).
+  void MergePartitionFrom(const GroupedAggregateStage& src, uint32_t num_parts, uint32_t part);
+  // Emits `src`'s groups through this stage's output batch.
+  void EmitGroupsFrom(const GroupedAggregateStage& src);
+
+  // Below this many total groups the partitioned merge's fan-out costs
+  // more than the serial fold it replaces.
+  static constexpr size_t kParallelMergeMinGroups = 1024;
 
   std::vector<AggSpec> specs_;
   std::vector<ValueType> input_types_;
@@ -245,6 +280,16 @@ class GroupedAggregateStage : public SinkStage {
   size_t num_groups_ = 0;
   uint32_t batch_capacity_;
   RowBatch out_;
+  // Estimated bytes one group adds across keys_/accs_/slots_, charged
+  // against ExecControls::groupby_bytes when track_mem_ (partition
+  // stages re-materialize already-charged groups and do not track).
+  uint64_t bytes_per_group_ = 0;
+  bool track_mem_ = true;
+  // Plan-lifetime partition stages of the parallel MergeAll; > 0 in
+  // merged_parts_ means the last merge was partitioned and Finish reads
+  // the partitions instead of this stage's own table.
+  std::vector<std::unique_ptr<GroupedAggregateStage>> parts_;
+  int merged_parts_ = 0;
 };
 
 // One ORDER BY key over the stage's input schema.
@@ -348,6 +393,9 @@ class ProjectSinkOp : public Operator {
   // Folds `worker`'s stage chain into this pipeline's chain,
   // stage-by-stage. Both chains must come from clones of one sink.
   void MergeStagesFrom(ProjectSinkOp* worker);
+  // Folds every worker chain at once, letting each stage parallelize its
+  // own fold across `num_threads` pool workers (SinkStage::MergeAll).
+  void MergeAllStages(ProjectSinkOp* const* workers, int num_workers, int num_threads);
   // Runs the Finish cascade: every stage emits downstream, the tail
   // delivers to ExecControls::consumer and counts rows_emitted.
   void FinishStages();
@@ -369,6 +417,7 @@ class ProjectSinkOp : public Operator {
   ExecControls* controls_;
   std::vector<std::unique_ptr<SinkStage>> stages_;
   RowBatch batch_;
+  std::vector<SinkStage*> stage_scratch_;  // MergeAllStages worker list, reused
 };
 
 }  // namespace aplus

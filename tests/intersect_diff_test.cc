@@ -6,17 +6,168 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "baseline/flat_adj_engine.h"
 #include "datagen/label_assigner.h"
 #include "datagen/power_law_generator.h"
 #include "index/index_store.h"
+#include "query/intersect_kernels.h"
 #include "query/plan.h"
+#include "util/bit_util.h"
 #include "util/rng.h"
 
 namespace aplus {
 namespace {
+
+// Every SIMD level this host can execute (always includes scalar).
+// Levels above HostMaxLevel() are skipped, not clamped: exercising the
+// AVX2 table on a non-AVX2 host would fault.
+std::vector<simd::Level> SupportedLevels() {
+  std::vector<simd::Level> levels = {simd::Level::kScalar};
+  if (simd::HostMaxLevel() >= simd::Level::kSse) levels.push_back(simd::Level::kSse);
+  if (simd::HostMaxLevel() >= simd::Level::kAvx2) levels.push_back(simd::Level::kAvx2);
+  return levels;
+}
+
+const simd::Kernels& TableFor(simd::Level level) {
+  switch (level) {
+    case simd::Level::kSse:
+      return simd::SseKernels();
+    case simd::Level::kAvx2:
+      return simd::Avx2Kernels();
+    default:
+      return simd::ScalarKernels();
+  }
+}
+
+// Restores the previously active dispatch level when a forced-level
+// sweep leaves scope (other tests in the binary run after us).
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(simd::Level level) : prev_(simd::ActiveLevel()) {
+    simd::SetLevel(level);
+  }
+  ~ScopedSimdLevel() { simd::SetLevel(prev_); }
+
+ private:
+  simd::Level prev_;
+};
+
+// Adversarial run lengths: empty, single, around every SIMD block width
+// (4- and 8-lane), around the binary-search cutoff, and around larger
+// powers of two.
+const uint32_t kAdversarialLens[] = {0,  1,  2,  3,   7,   8,   9,   15,  16, 17,
+                                     31, 32, 33, 63,  64,  65,  127, 128, 129, 255,
+                                     256, 257, 511, 512, 513, 1023, 1024, 1025};
+
+// advance_ge/advance_gt of every level vs std::lower_bound/upper_bound,
+// over duplicate-heavy sorted runs, all adversarial lengths, probes on /
+// between / outside the stored values, and non-zero `from` offsets.
+TEST(IntersectKernelUnitTest, AdvanceMatchesStdBoundsAtEveryLevel) {
+  Rng rng(71);
+  for (uint32_t len : kAdversarialLens) {
+    std::vector<vertex_id_t> run(len);
+    vertex_id_t v = static_cast<vertex_id_t>(rng.NextBounded(4));
+    for (uint32_t i = 0; i < len; ++i) {
+      run[i] = v;
+      v += static_cast<vertex_id_t>(rng.NextBounded(3));  // step 0 => duplicates
+    }
+    std::vector<vertex_id_t> probes = {0, 1, ~0u, ~0u - 1};
+    for (uint32_t i = 0; i < len; i += 1 + len / 17) {
+      probes.push_back(run[i]);
+      probes.push_back(run[i] + 1);
+      if (run[i] > 0) probes.push_back(run[i] - 1);
+    }
+    if (len > 0) probes.push_back(run[len - 1] + 5);
+    std::vector<uint32_t> froms = {0};
+    if (len > 2) froms.push_back(len / 3);
+    if (len > 0) froms.push_back(len);  // from == end: must return from
+    for (simd::Level level : SupportedLevels()) {
+      const simd::Kernels& kern = TableFor(level);
+      ASSERT_EQ(kern.level, level);
+      for (uint32_t from : froms) {
+        for (vertex_id_t n : probes) {
+          uint32_t want_ge = static_cast<uint32_t>(
+              std::lower_bound(run.begin() + from, run.end(), n) - run.begin());
+          uint32_t want_gt = static_cast<uint32_t>(
+              std::upper_bound(run.begin() + from, run.end(), n) - run.begin());
+          EXPECT_EQ(kern.advance_ge(run.data(), from, len, n), want_ge)
+              << "level=" << ToString(level) << " len=" << len << " from=" << from
+              << " n=" << n;
+          EXPECT_EQ(kern.advance_gt(run.data(), from, len, n), want_gt)
+              << "level=" << ToString(level) << " len=" << len << " from=" << from
+              << " n=" << n;
+        }
+      }
+    }
+  }
+}
+
+// Batch decoders of every level vs the scalar reference: all offset
+// widths (1..4 incl. the unspecialized 3-byte path), adversarial counts,
+// non-zero begin entries, and 64-bit edge IDs with high bits set (the
+// AVX2 gather splits them into two 4-lane gathers).
+TEST(IntersectKernelUnitTest, DecodersMatchScalarAtEveryLevel) {
+  Rng rng(73);
+  constexpr uint32_t kBase = 240;  // < 256 so width-1 offsets stay valid
+  std::vector<vertex_id_t> base_nbrs(kBase);
+  std::vector<edge_id_t> base_edges(kBase);
+  for (uint32_t i = 0; i < kBase; ++i) {
+    base_nbrs[i] = static_cast<vertex_id_t>(rng.Next());
+    base_edges[i] = (static_cast<edge_id_t>(rng.Next()) << 32) | rng.Next();
+  }
+  const simd::Kernels& ref = simd::ScalarKernels();
+  for (uint8_t width : {1, 2, 3, 4}) {
+    for (uint32_t count : kAdversarialLens) {
+      if (count > 513) continue;  // decode cost is linear; cap the sweep
+      for (uint32_t begin : {0u, 1u, 7u}) {
+        std::vector<uint8_t> offsets((begin + count) * width);
+        for (uint32_t i = 0; i < begin + count; ++i) {
+          StoreFixedWidth(offsets.data() + static_cast<size_t>(i) * width, width,
+                          rng.NextBounded(kBase));
+        }
+        std::vector<vertex_id_t> want_n(count), got_n(count);
+        std::vector<edge_id_t> want_e(count), got_e(count);
+        ref.decode_nbrs(base_nbrs.data(), offsets.data(), width, begin, count,
+                        want_n.data());
+        ref.decode_entries(base_nbrs.data(), base_edges.data(), offsets.data(), width,
+                           begin, count, want_n.data(), want_e.data());
+        for (simd::Level level : SupportedLevels()) {
+          const simd::Kernels& kern = TableFor(level);
+          std::fill(got_n.begin(), got_n.end(), 0u);
+          std::fill(got_e.begin(), got_e.end(), 0u);
+          kern.decode_nbrs(base_nbrs.data(), offsets.data(), width, begin, count,
+                           got_n.data());
+          EXPECT_EQ(got_n, want_n) << "decode_nbrs level=" << ToString(level)
+                                   << " width=" << int(width) << " count=" << count
+                                   << " begin=" << begin;
+          std::fill(got_n.begin(), got_n.end(), 0u);
+          kern.decode_entries(base_nbrs.data(), base_edges.data(), offsets.data(), width,
+                              begin, count, got_n.data(), got_e.data());
+          EXPECT_EQ(got_n, want_n) << "decode_entries level=" << ToString(level)
+                                   << " width=" << int(width) << " count=" << count;
+          EXPECT_EQ(got_e, want_e) << "decode_entries level=" << ToString(level)
+                                   << " width=" << int(width) << " count=" << count;
+        }
+      }
+    }
+  }
+}
+
+// The APLUS_SIMD knob contract: SetLevel clamps to the host maximum and
+// Active() serves the installed table.
+TEST(IntersectKernelUnitTest, SetLevelClampsAndInstalls) {
+  simd::Level prev = simd::ActiveLevel();
+  simd::Level got = simd::SetLevel(simd::Level::kAvx2);
+  EXPECT_EQ(got, simd::HostMaxLevel());
+  EXPECT_EQ(simd::ActiveLevel(), got);
+  EXPECT_EQ(simd::Active().level, got);
+  EXPECT_EQ(simd::SetLevel(simd::Level::kScalar), simd::Level::kScalar);
+  EXPECT_EQ(simd::Active().level, simd::Level::kScalar);
+  simd::SetLevel(prev);
+}
 
 class IntersectDiffTest : public ::testing::TestWithParam<uint64_t> {
  protected:
@@ -239,6 +390,110 @@ TEST_P(IntersectDiffTest, MultiExtendMatchesBaseline) {
     auto plan = builder.Scan(a).MultiExtend({l1, l2}).Build();
     uint64_t expected = engine_->CountMatches(query);
     EXPECT_EQ(plan->Execute(), expected) << "tuple=" << tuple;
+  }
+}
+
+// The full operator differential, repeated with each supported kernel
+// level forced (the plan tests above run at whatever APLUS_SIMD picked):
+// bound-source intersections, the triangle, the closing probe, and
+// MULTI-EXTEND must agree with the baseline under scalar, SSE, and AVX2
+// dispatch alike.
+TEST_P(IntersectDiffTest, AllKernelLevelsMatchBaseline) {
+  for (simd::Level level : SupportedLevels()) {
+    ScopedSimdLevel scoped(level);
+    ASSERT_EQ(simd::ActiveLevel(), level);
+    uint64_t total = 0;
+    for (size_t z : {2, 4}) {
+      for (bool offset : {false, true}) {
+        for (uint64_t tuple = 0; tuple < 6; ++tuple) {
+          std::vector<vertex_id_t> sources = Sample(z, tuple + z * 100);
+          QueryGraph query;
+          std::vector<int> src_vars;
+          for (size_t l = 0; l < z; ++l) {
+            src_vars.push_back(
+                query.AddVertex("a" + std::to_string(l), kInvalidLabel, sources[l]));
+          }
+          int c = query.AddVertex("c");
+          std::vector<ListDescriptor> lists;
+          for (size_t l = 0; l < z; ++l) {
+            label_t elabel = l % 2 == 0 ? el0_ : el1_;
+            query.AddEdge(src_vars[l], c, elabel, "e" + std::to_string(l));
+            lists.push_back(FwdList(src_vars[l], elabel, c, static_cast<int>(l), offset));
+          }
+          PlanBuilder builder(&graph_, &query);
+          for (int v : src_vars) builder.Scan(v);
+          auto plan = builder.ExtendIntersect(lists, c).Build();
+          uint64_t expected = engine_->CountMatches(query);
+          EXPECT_EQ(plan->Execute(), expected)
+              << "level=" << ToString(level) << " z=" << z << " offset=" << offset
+              << " tuple=" << tuple;
+          total += expected;
+        }
+      }
+    }
+    {
+      QueryGraph query;
+      int a = query.AddVertex("a");
+      int b = query.AddVertex("b");
+      int c = query.AddVertex("c");
+      query.AddEdge(a, b, el0_, "e0");
+      query.AddEdge(a, c, el0_, "e1");
+      query.AddEdge(b, c, el1_, "e2");
+      PlanBuilder builder(&graph_, &query);
+      std::vector<ListDescriptor> lists = {FwdList(a, el0_, c, 1), FwdList(b, el1_, c, 2)};
+      auto plan = builder.Scan(a)
+                      .Extend(FwdList(a, el0_, b, 0))
+                      .ExtendIntersect(lists, c)
+                      .Build();
+      EXPECT_EQ(plan->Execute(), engine_->CountMatches(query))
+          << "triangle level=" << ToString(level);
+    }
+    {
+      QueryGraph query;
+      int a = query.AddVertex("a");
+      int b = query.AddVertex("b");
+      query.AddEdge(a, b, el0_, "e0");
+      query.AddEdge(b, a, el1_, "e1");
+      PlanBuilder builder(&graph_, &query);
+      auto plan = builder.Scan(a)
+                      .Extend(FwdList(a, el0_, b, 0))
+                      .Extend(FwdList(b, el1_, a, 1), {}, /*closing=*/true)
+                      .Build();
+      EXPECT_EQ(plan->Execute(), engine_->CountMatches(query))
+          << "closing probe level=" << ToString(level);
+    }
+    for (uint64_t tuple = 0; tuple < 6; ++tuple) {
+      std::vector<vertex_id_t> sources = Sample(1, tuple + 500);
+      QueryGraph query;
+      int a = query.AddVertex("a", kInvalidLabel, sources[0]);
+      int b = query.AddVertex("b");
+      int d = query.AddVertex("d");
+      query.AddEdge(a, b, el0_, "e0");
+      query.AddEdge(a, d, el1_, "e1");
+      QueryComparison cmp;
+      cmp.lhs = QueryPropRef{b, false, grp_key_, false};
+      cmp.op = CmpOp::kEq;
+      cmp.rhs_is_const = false;
+      cmp.rhs_ref = QueryPropRef{d, false, grp_key_, false};
+      query.AddPredicate(cmp);
+      ListDescriptor l1;
+      l1.source = ListDescriptor::Source::kVp;
+      l1.vp = vp_grp_;
+      l1.bound_var = a;
+      l1.cats = {el0_};
+      l1.target_vertex_var = b;
+      l1.target_edge_var = 0;
+      ListDescriptor l2 = l1;
+      l2.cats = {el1_};
+      l2.target_vertex_var = d;
+      l2.target_edge_var = 1;
+      PlanBuilder builder(&graph_, &query);
+      auto plan = builder.Scan(a).MultiExtend({l1, l2}).Build();
+      EXPECT_EQ(plan->Execute(), engine_->CountMatches(query))
+          << "multi-extend level=" << ToString(level) << " tuple=" << tuple;
+    }
+    EXPECT_GT(total, 0u) << "level=" << ToString(level)
+                         << ": differential never hit a non-empty intersection";
   }
 }
 

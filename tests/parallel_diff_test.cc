@@ -13,6 +13,7 @@
 #include "datagen/power_law_generator.h"
 #include "index/index_store.h"
 #include "query/executor.h"
+#include "query/intersect_kernels.h"
 #include "query/plan.h"
 #include "util/rng.h"
 
@@ -238,6 +239,169 @@ TEST_P(ParallelDiffTest, NestedParallelExecuteInCallback) {
   EXPECT_EQ(outer_seen.load(), outer_expected);
   EXPECT_EQ(nested_failures.load(), 0u);
   EXPECT_GT(outer_expected, 0u);
+}
+
+// --- Deep morselization (tiny scan domains split one stage down) ---
+//
+// A single-vertex scan domain triggers the deep path in Execute(k):
+// every replica runs the full scan and the first EXTEND's entry domain
+// is claimed block-wise through the shared entry cursor. The tests pit
+// it against serial execution, under repeated runs, mode flips, every
+// worker width, and every SIMD dispatch level.
+
+// Deep split feeding a plain EXTEND chain: hub sources maximize the
+// first extend's entry domain so several blocks are actually contended.
+TEST_P(ParallelDiffTest, DeepMorselTwoHopMatchesSerial) {
+  // Pick the highest-out-degree vertex: the deepest entry domain.
+  const PrimaryIndex* primary = store_->primary(Direction::kFwd);
+  vertex_id_t hub = 0;
+  uint32_t best = 0;
+  for (vertex_id_t v = 0; v < graph_.num_vertices(); ++v) {
+    uint32_t len = primary->GetFullList(v).len;
+    if (len > best) {
+      best = len;
+      hub = v;
+    }
+  }
+  ASSERT_GT(best, 0u);
+  QueryGraph query;
+  int a = query.AddVertex("a", kInvalidLabel, hub);
+  int b = query.AddVertex("b");
+  int c = query.AddVertex("c");
+  query.AddEdge(a, b, el0_, "e0");
+  query.AddEdge(b, c, el1_, "e1");
+  PlanBuilder builder(&graph_, &query);
+  auto plan =
+      builder.Scan(a).Extend(FwdList(a, el0_, b, 0)).Extend(FwdList(b, el1_, c, 1)).Build();
+  ExpectParallelMatchesSerial(plan.get(), "deep two-hop");
+}
+
+// Deep split feeding EXTEND/INTERSECT: the pinned triangle.
+TEST_P(ParallelDiffTest, DeepMorselTriangleMatchesSerial) {
+  for (uint64_t salt = 0; salt < 8; ++salt) {
+    vertex_id_t src = static_cast<vertex_id_t>((GetParam() * 131 + salt * 37) %
+                                               graph_.num_vertices());
+    QueryGraph query;
+    int a = query.AddVertex("a", kInvalidLabel, src);
+    int b = query.AddVertex("b");
+    int c = query.AddVertex("c");
+    query.AddEdge(a, b, el0_, "e0");
+    query.AddEdge(a, c, el0_, "e1");
+    query.AddEdge(b, c, el1_, "e2");
+    PlanBuilder builder(&graph_, &query);
+    std::vector<ListDescriptor> lists = {FwdList(a, el0_, c, 1), FwdList(b, el1_, c, 2)};
+    auto plan =
+        builder.Scan(a).Extend(FwdList(a, el0_, b, 0)).ExtendIntersect(lists, c).Build();
+    uint64_t serial = plan->Execute(1);
+    for (int k : {2, 4, 8}) {
+      EXPECT_EQ(plan->Execute(k), serial) << "deep triangle src=" << src << " k=" << k;
+    }
+  }
+}
+
+// The mode must flip cleanly between executions of one plan: serial,
+// deep-parallel, and back, repeatedly — replicas persist across calls
+// with their previous cursor wiring.
+TEST_P(ParallelDiffTest, DeepMorselModeFlipsAcrossExecutions) {
+  QueryGraph query;
+  int a = query.AddVertex("a", kInvalidLabel,
+                          static_cast<vertex_id_t>(GetParam() % graph_.num_vertices()));
+  int b = query.AddVertex("b");
+  int c = query.AddVertex("c");
+  query.AddEdge(a, b, el0_, "e0");
+  query.AddEdge(b, c, el1_, "e1");
+  PlanBuilder builder(&graph_, &query);
+  auto plan =
+      builder.Scan(a).Extend(FwdList(a, el0_, b, 0)).Extend(FwdList(b, el1_, c, 1)).Build();
+  uint64_t serial = plan->Execute(1);
+  for (int round = 0; round < 3; ++round) {
+    for (int k : {8, 1, 2, 4, 1}) {
+      EXPECT_EQ(plan->Execute(k), serial) << "round=" << round << " k=" << k;
+    }
+  }
+}
+
+// A closing EXTEND below the scan cannot deep-morselize (its probes are
+// membership checks, not enumerations): the plan must fall back to scan
+// morsels and stay exact even though only one worker gets the morsel.
+TEST_P(ParallelDiffTest, ClosingExtendNeverDeepMorselizes) {
+  QueryGraph query;
+  int a = query.AddVertex("a", kInvalidLabel,
+                          static_cast<vertex_id_t>(GetParam() % graph_.num_vertices()));
+  int b = query.AddVertex("b");
+  query.AddEdge(a, b, el0_, "e0");
+  query.AddEdge(b, a, el1_, "e1");
+  PlanBuilder builder(&graph_, &query);
+  auto plan = builder.Scan(a)
+                  .Extend(FwdList(a, el0_, b, 0))
+                  .Extend(FwdList(b, el1_, a, 1), {}, /*closing=*/true)
+                  .Build();
+  uint64_t serial = plan->Execute(1);
+  for (int k : {2, 4, 8}) {
+    EXPECT_EQ(plan->Execute(k), serial) << "closing deep k=" << k;
+  }
+}
+
+// Deep-parallel callbacks still fire exactly once per match.
+TEST_P(ParallelDiffTest, DeepMorselCallbackInvokedOncePerMatch) {
+  QueryGraph query;
+  int a = query.AddVertex("a", kInvalidLabel,
+                          static_cast<vertex_id_t>((GetParam() * 7) % graph_.num_vertices()));
+  int b = query.AddVertex("b");
+  int c = query.AddVertex("c");
+  query.AddEdge(a, b, el0_, "e0");
+  query.AddEdge(b, c, el1_, "e1");
+  std::atomic<uint64_t> seen{0};
+  PlanBuilder builder(&graph_, &query);
+  auto plan = builder.Scan(a)
+                  .Extend(FwdList(a, el0_, b, 0))
+                  .Extend(FwdList(b, el1_, c, 1))
+                  .Build([&seen](const MatchState&) {
+                    seen.fetch_add(1, std::memory_order_relaxed);
+                  });
+  uint64_t serial = plan->Execute(1);
+  EXPECT_EQ(seen.load(), serial);
+  for (int k : {2, 4, 8}) {
+    seen.store(0);
+    EXPECT_EQ(plan->Execute(k), serial) << "deep callback k=" << k;
+    EXPECT_EQ(seen.load(), serial) << "deep callback k=" << k;
+  }
+}
+
+// The parallel differential repeated at every supported SIMD dispatch
+// level: kernel selection and morsel scheduling must compose.
+TEST_P(ParallelDiffTest, AllKernelLevelsMatchSerial) {
+  std::vector<simd::Level> levels = {simd::Level::kScalar};
+  if (simd::HostMaxLevel() >= simd::Level::kSse) levels.push_back(simd::Level::kSse);
+  if (simd::HostMaxLevel() >= simd::Level::kAvx2) levels.push_back(simd::Level::kAvx2);
+  QueryGraph query;
+  int a = query.AddVertex("a");
+  int b = query.AddVertex("b");
+  int c = query.AddVertex("c");
+  query.AddEdge(a, b, el0_, "e0");
+  query.AddEdge(a, c, el0_, "e1");
+  query.AddEdge(b, c, el1_, "e2");
+  PlanBuilder builder(&graph_, &query);
+  std::vector<ListDescriptor> lists = {FwdList(a, el0_, c, 1), FwdList(b, el1_, c, 2)};
+  auto plan =
+      builder.Scan(a).Extend(FwdList(a, el0_, b, 0)).ExtendIntersect(lists, c).Build();
+  simd::Level prev = simd::ActiveLevel();
+  uint64_t expected = 0;
+  for (size_t i = 0; i < levels.size(); ++i) {
+    simd::SetLevel(levels[i]);
+    uint64_t serial = plan->Execute(1);
+    if (i == 0) {
+      expected = serial;
+    } else {
+      EXPECT_EQ(serial, expected) << "level=" << ToString(levels[i]);
+    }
+    for (int k : {2, 4, 8}) {
+      EXPECT_EQ(plan->Execute(k), expected)
+          << "level=" << ToString(levels[i]) << " k=" << k;
+    }
+  }
+  simd::SetLevel(prev);
+  EXPECT_GT(expected, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParallelDiffTest, ::testing::Values(11u, 29u, 47u));

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <cstdlib>
 #include <map>
 #include <mutex>
 #include <string>
@@ -207,9 +208,11 @@ TEST_F(ServingApiTest, LimitStopsEarlySerialAndParallel) {
 }
 
 TEST_F(ServingApiTest, CountStarIsTheDegenerateAggregate) {
-  // RETURN COUNT(*) runs through the grouped-aggregate stage with no
-  // group keys: one output row carrying the match count. A bare MATCH
-  // (no RETURN) stays the stage-less counting projection (rows == 0).
+  // A bare RETURN COUNT(*) (no grouping, no ordering) is pushed down
+  // onto the counting sink: the plan materializes no rows at all
+  // ("ProjectSink (count)", not a GROUP AGGREGATE stage) and Execute
+  // synthesizes the single output row from the match count. A bare
+  // MATCH (no RETURN) stays the same counting projection with rows == 0.
   Session session(db_.get());
   RowCollector rc;
   QueryOutcome out =
@@ -219,7 +222,15 @@ TEST_F(ServingApiTest, CountStarIsTheDegenerateAggregate) {
   ASSERT_EQ(rc.rows.size(), 1u);
   EXPECT_EQ(static_cast<uint64_t>(rc.rows[0][0].AsInt64()), out.count);
   EXPECT_FALSE(out.plan.empty());
-  EXPECT_NE(out.plan.find("GROUP AGGREGATE"), std::string::npos) << out.plan;
+  EXPECT_NE(out.plan.find("ProjectSink (count)"), std::string::npos) << out.plan;
+  EXPECT_EQ(out.plan.find("GROUP AGGREGATE"), std::string::npos) << out.plan;
+  PreparedQuery* prepared =
+      session.Prepare("MATCH (a)-[r1:E]->(b)-[r2:E]->(c) RETURN COUNT(*)");
+  ASSERT_TRUE(prepared->ok()) << prepared->error();
+  EXPECT_TRUE(prepared->count_star_only());
+  EXPECT_FALSE(prepared->has_stages());
+  ASSERT_EQ(prepared->columns().size(), 1u);
+  EXPECT_EQ(prepared->columns()[0].type, ValueType::kInt64);
   QueryGraph q;
   int a = q.AddVertex("a");
   int b = q.AddVertex("b");
@@ -242,6 +253,41 @@ TEST_F(ServingApiTest, CountStarIsTheDegenerateAggregate) {
   QueryOutcome zero = session.Execute("MATCH (a)-[r:E]->(b) RETURN COUNT(*) LIMIT 0");
   ASSERT_TRUE(zero.ok()) << zero.error;
   EXPECT_EQ(zero.rows, 0u);
+}
+
+TEST_F(ServingApiTest, GroupByMemoryCapReturnsResourceExhausted) {
+  // APLUS_GROUPBY_MEM_CAP bounds the grouped-aggregate arena: crossing
+  // it aborts the execution cleanly with kResourceExhausted — no rows
+  // delivered, no crash — and the knob is re-read on every Execute.
+  Session session(db_.get());
+  const std::string text = "MATCH (a)-[r:E]->(b) RETURN a, COUNT(*)";
+  ::setenv("APLUS_GROUPBY_MEM_CAP", "256", 1);
+  RowCollector rc;
+  QueryOutcome out = session.Execute(text, &rc);
+  ::unsetenv("APLUS_GROUPBY_MEM_CAP");
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status, QueryOutcome::Status::kResourceExhausted);
+  EXPECT_STREQ(ToString(out.status), "RESOURCE_EXHAUSTED");
+  EXPECT_NE(out.error.find("APLUS_GROUPBY_MEM_CAP"), std::string::npos) << out.error;
+  EXPECT_EQ(out.rows, 0u);
+  EXPECT_TRUE(rc.rows.empty());
+  // With the knob unset the same cached plan runs to completion.
+  RowCollector rc2;
+  QueryOutcome ok = session.Execute(text, &rc2);
+  ASSERT_TRUE(ok.ok()) << ok.error;
+  EXPECT_GT(ok.rows, 0u);
+  EXPECT_EQ(ok.rows, rc2.rows.size());
+  // A generous cap never triggers, serial or parallel.
+  ::setenv("APLUS_GROUPBY_MEM_CAP", "104857600", 1);
+  for (int threads : {1, 4}) {
+    RowCollector rc3;
+    PreparedQuery* prepared = session.Prepare(text);
+    ASSERT_TRUE(prepared->ok()) << prepared->error();
+    QueryOutcome big = prepared->Execute(&rc3, threads);
+    ASSERT_TRUE(big.ok()) << big.error;
+    EXPECT_EQ(rc3.rows.size(), rc2.rows.size()) << "threads=" << threads;
+  }
+  ::unsetenv("APLUS_GROUPBY_MEM_CAP");
 }
 
 TEST_F(ServingApiTest, GroupedAggregateOrderByLimitEndToEnd) {

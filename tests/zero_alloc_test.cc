@@ -400,6 +400,58 @@ TEST_F(ZeroAllocTest, PreparedAggregateSortSteadyStateDoesNotAllocate) {
       << "staged aggregate/sort Bind+Execute steady state allocated";
 }
 
+TEST_F(ZeroAllocTest, CountStarPushdownSteadyStateDoesNotAllocate) {
+  // A bare RETURN COUNT(*) runs the counting sink with no row
+  // materialization at all ("ProjectSink (count)" in the plan, no
+  // aggregate stage): steady-state Bind+Execute must be allocation-free,
+  // including the synthesized single-row result batch (Init'd once at
+  // prepare, Clear/Append reuse its capacity).
+  Graph graph;
+  PowerLawParams params;
+  params.num_vertices = 800;
+  params.avg_degree = 6.0;
+  params.seed = 29;
+  GeneratePowerLawGraph(params, &graph);
+  Database db(std::move(graph));
+  db.BuildPrimaryIndexes();
+  std::unique_ptr<PreparedQuery> prepared = db.Prepare(
+      "MATCH (a)-[r1:E]->(b)-[r2:E]->(c) WHERE a.ID = $src RETURN COUNT(*)");
+  ASSERT_TRUE(prepared->ok()) << prepared->error();
+  ASSERT_TRUE(prepared->count_star_only());
+  EXPECT_NE(prepared->plan_text().find("ProjectSink (count)"), std::string::npos)
+      << prepared->plan_text();
+  EXPECT_EQ(prepared->plan_text().find("GROUP AGGREGATE"), std::string::npos)
+      << prepared->plan_text();
+
+  struct CountingConsumer : RowConsumer {
+    uint64_t rows = 0;
+    int64_t last = -1;
+    void OnBatch(const RowBatch& batch) override {
+      rows += batch.num_rows();
+      if (batch.num_rows() > 0) last = batch.Cell(0, batch.num_rows() - 1).AsInt64();
+    }
+  };
+  CountingConsumer consumer;
+  const vertex_id_t sources[] = {1, 17, 63, 255};
+  auto round = [&] {
+    for (vertex_id_t src : sources) {
+      ASSERT_TRUE(prepared->Bind("src", Value::Int64(src))) << prepared->bind_error();
+      QueryOutcome out = prepared->Execute(&consumer, 1);
+      ASSERT_TRUE(out.ok()) << out.error;
+      EXPECT_EQ(out.rows, 1u) << "src=" << src;
+      EXPECT_EQ(consumer.last, static_cast<int64_t>(out.count)) << "src=" << src;
+    }
+  };
+  round();
+  round();
+  uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  round();
+  round();
+  EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed) - before, 0u)
+      << "COUNT(*) pushdown Bind+Execute steady state allocated";
+  EXPECT_GT(consumer.rows, 0u);
+}
+
 TEST_F(ZeroAllocTest, MultiExtendSteadyStateDoesNotAllocate) {
   for (size_t z : {2, 3}) {
     for (bool offset : {false, true}) {
