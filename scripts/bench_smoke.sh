@@ -95,6 +95,11 @@ for bench in "${BENCHES[@]}"; do
     run_one "${bench}" env APLUS_SCALE="${SCALE}" \
       APLUS_SERVING_REQS="${APLUS_SERVING_REQS:-300}" \
       APLUS_SERVING_REPS="${APLUS_SERVING_REPS:-1}" || FAILED=1
+  elif [[ "${bench}" == "bench_cancel" ]]; then
+    # Time-to-stop tails: a handful of samples guards the stop path
+    # end-to-end; the perf-gate job runs the full sample count.
+    run_one "${bench}" env \
+      APLUS_CANCEL_REPS="${APLUS_CANCEL_REPS:-5}" || FAILED=1
   elif [[ "${bench}" == "bench_intersect" ]]; then
     # One timed rep and fewer tuples: smoke guards "it runs and reports",
     # the perf-gate job runs it at full defaults.

@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "query/query_graph.h"
-#include "util/timer.h"
+#include "util/deadline.h"
 
 namespace aplus {
 
@@ -34,8 +34,10 @@ class BaselineMatcher {
   uint64_t Count() {
     MatchState state;
     state.Reset(query_->num_vertices(), query_->num_edges());
-    timer_.Restart();
-    timed_out_ = false;
+    token_.Reset();
+    if (timeout_seconds_ > 0.0) {
+      token_.ArmDeadlineNanos(static_cast<int64_t>(timeout_seconds_ * 1e9));
+    }
     steps_until_check_ = kCheckInterval;
     Recurse(0, &state);
     return state.count;
@@ -52,7 +54,7 @@ class BaselineMatcher {
     return count;
   }
 
-  bool timed_out() const { return timed_out_; }
+  bool timed_out() const { return token_.reason() == StopReason::kTimeout; }
 
  private:
   // Greedy connected order: bound vertices first, then vertices adjacent
@@ -117,13 +119,16 @@ class BaselineMatcher {
     return true;
   }
 
+  // The same cooperative token the serving engine polls (util/deadline.h):
+  // cheap stop_requested() reads between coarse clock checks.
   bool CheckDeadline() {
-    if (timeout_seconds_ <= 0.0 || timed_out_) return timed_out_;
+    if (token_.stop_requested()) return true;
+    if (timeout_seconds_ <= 0.0) return false;
     if (--steps_until_check_ == 0) {
       steps_until_check_ = kCheckInterval;
-      if (timer_.ElapsedSeconds() > timeout_seconds_) timed_out_ = true;
+      return token_.PollClock();
     }
-    return timed_out_;
+    return false;
   }
 
   void Recurse(size_t depth, MatchState* state) {
@@ -207,8 +212,7 @@ class BaselineMatcher {
   const Graph* graph_;
   const QueryGraph* query_;
   double timeout_seconds_;
-  WallTimer timer_;
-  bool timed_out_ = false;
+  ExecToken token_;
   uint32_t steps_until_check_ = kCheckInterval;
   std::vector<int> order_;
   std::function<void(const MatchState&)> on_match_;

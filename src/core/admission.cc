@@ -1,0 +1,82 @@
+#include "core/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace aplus {
+
+void AdmissionController::Configure(const AdmissionConfig& config) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    config_ = config;
+  }
+  cv_.notify_all();
+}
+
+bool AdmissionController::enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return config_.max_concurrent > 0;
+}
+
+AdmissionController::Result AdmissionController::Admit() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (config_.max_concurrent <= 0) {
+    ++running_;
+    return Result::kAdmitted;
+  }
+  if (running_ < config_.max_concurrent && waiters_.empty()) {
+    ++running_;
+    return Result::kAdmitted;
+  }
+  if (static_cast<int>(waiters_.size()) >= config_.max_queue ||
+      config_.queue_timeout_ms <= 0) {
+    return Result::kRejected;
+  }
+  const uint64_t ticket = next_ticket_++;
+  waiters_.push_back(ticket);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(config_.queue_timeout_ms);
+  while (true) {
+    // FIFO: only the front waiter may take a freed slot.
+    if (!waiters_.empty() && waiters_.front() == ticket &&
+        (config_.max_concurrent <= 0 || running_ < config_.max_concurrent)) {
+      waiters_.pop_front();
+      ++running_;
+      cv_.notify_all();  // the next waiter may now be at the front
+      return Result::kAdmitted;
+    }
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      // Re-check once: the slot may have freed in the same instant.
+      if (!waiters_.empty() && waiters_.front() == ticket &&
+          running_ < config_.max_concurrent) {
+        waiters_.pop_front();
+        ++running_;
+        cv_.notify_all();
+        return Result::kAdmitted;
+      }
+      waiters_.erase(std::find(waiters_.begin(), waiters_.end(), ticket));
+      cv_.notify_all();
+      return Result::kTimedOut;
+    }
+  }
+}
+
+int AdmissionController::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+int AdmissionController::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(waiters_.size());
+}
+
+void AdmissionController::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --running_;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace aplus

@@ -1,0 +1,92 @@
+#pragma once
+
+// Admission control for query execution: a bounded slot gate that caps the
+// number of concurrently running Execute() calls and holds a bounded FIFO
+// queue of waiters. This is the seam a server front-end (aplusd) multiplexes
+// client requests onto — a query that cannot be admitted fails fast with
+// OVERLOADED instead of piling more threads onto a saturated pool.
+//
+// Disabled (max_concurrent == 0) admission is a single branch; no locks.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+namespace aplus {
+
+struct AdmissionConfig {
+  // Maximum Execute() calls running at once; 0 disables admission control.
+  int max_concurrent = 0;
+  // Maximum waiters queued behind the running set; a full queue rejects
+  // immediately.
+  int max_queue = 0;
+  // How long a waiter may sit in the queue before giving up; <= 0 means a
+  // full running set with an empty queue allowance rejects immediately.
+  int64_t queue_timeout_ms = 0;
+};
+
+class AdmissionController {
+ public:
+  enum class Result {
+    kAdmitted,   // slot acquired; caller must Release() when done
+    kRejected,   // queue full (or zero-capacity queue and all slots busy)
+    kTimedOut    // waited queue_timeout_ms without a slot freeing
+  };
+
+  AdmissionController() = default;
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  // Replaces the configuration. Safe to call while queries run; already
+  // admitted queries keep their slots, waiters re-evaluate on wake.
+  void Configure(const AdmissionConfig& config);
+
+  bool enabled() const;
+
+  // Blocks until a slot is free (FIFO order among waiters), the queue
+  // times out, or the queue is full. kAdmitted must be paired with
+  // Release().
+  Result Admit();
+  void Release();
+
+  // Introspection for tests and server stats.
+  int running() const;
+  int queued() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  AdmissionConfig config_;
+  int running_ = 0;
+  uint64_t next_ticket_ = 0;
+  std::deque<uint64_t> waiters_;  // FIFO of tickets still waiting
+};
+
+// RAII slot holder: releases on destruction iff admitted.
+class AdmissionSlot {
+ public:
+  explicit AdmissionSlot(AdmissionController* controller) : controller_(controller) {
+    if (controller_ != nullptr && controller_->enabled()) {
+      result_ = controller_->Admit();
+      holds_slot_ = result_ == AdmissionController::Result::kAdmitted;
+    }
+  }
+  ~AdmissionSlot() {
+    if (holds_slot_) controller_->Release();
+  }
+  AdmissionSlot(const AdmissionSlot&) = delete;
+  AdmissionSlot& operator=(const AdmissionSlot&) = delete;
+
+  AdmissionController::Result result() const { return result_; }
+  bool admitted() const {
+    return result_ == AdmissionController::Result::kAdmitted;
+  }
+
+ private:
+  AdmissionController* controller_;
+  AdmissionController::Result result_ = AdmissionController::Result::kAdmitted;
+  bool holds_slot_ = false;
+};
+
+}  // namespace aplus

@@ -1,14 +1,38 @@
 #include "core/database.h"
 
+#include <cstdlib>
+
 #include "optimizer/plan_printer.h"
 #include "util/epoch.h"
 #include "util/logging.h"
 
 namespace aplus {
 
+namespace {
+
+int IntFromEnvOr(const char* name, int fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  long v = std::strtol(env, nullptr, 10);
+  if (v < 0) return fallback;
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
 Database::Database(Graph graph) : graph_(std::move(graph)) {
   store_ = std::make_unique<IndexStore>(&graph_);
   maintainer_ = std::make_unique<Maintainer>(&graph_, store_.get());
+  // Optional admission control (disabled unless APLUS_MAX_CONCURRENT is
+  // set): queue depth defaults to the slot count, queue wait to 100 ms.
+  const int max_concurrent = IntFromEnvOr("APLUS_MAX_CONCURRENT", 0);
+  if (max_concurrent > 0) {
+    AdmissionConfig config;
+    config.max_concurrent = max_concurrent;
+    config.max_queue = IntFromEnvOr("APLUS_ADMISSION_QUEUE", max_concurrent);
+    config.queue_timeout_ms = IntFromEnvOr("APLUS_ADMISSION_TIMEOUT_MS", 100);
+    admission_.Configure(config);
+  }
 }
 
 double Database::BuildPrimaryIndexes(const IndexConfig& config) {
@@ -111,6 +135,7 @@ void Database::EndConcurrentIngest() {
   // to drain so the retired runs can be freed.
   maintainer_->ExitConcurrentMode();
   EpochManager::Global().DrainAndReclaimAll();
+  graph_.EndIngestReservation();
   ingest_active_.store(false, std::memory_order_release);
 }
 
@@ -269,7 +294,7 @@ std::unique_ptr<PreparedQuery> Database::Prepare(const std::string& text,
   prepared->plan_text_ = RenderPlanTree(
       prepared->query_, graph_.catalog(), optimizer->last_steps(),
       static_cast<ProjectSinkOp*>(plan->sink(0))->ChainLines());
-  plan->SetStopFlag(&prepared->controls_.stop);
+  plan->SetExecContext(&prepared->controls_.token, &prepared->controls_.budget);
   prepared->plan_ = std::move(plan);
   prepared->RefreshSlots();
   prepared->store_version_ = store_->version();

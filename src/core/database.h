@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 
+#include "core/admission.h"
 #include "core/session.h"
 #include "index/index_store.h"
 #include "index/maintenance.h"
@@ -91,6 +92,13 @@ class Database {
   // isolation is NOT provided. DDL, secondary indexes and string
   // property writes are unsupported while the phase is active. Both
   // transitions require quiescence (no queries in flight).
+  //
+  // Capacity overrun is a typed error, not an abort: once max_vertices /
+  // max_edges are exhausted, Graph::AddVertex / AddEdge return
+  // kInvalidVertex / kInvalidEdge and the caller must NOT invoke the
+  // maintainer for the failed insert. EndConcurrentIngest still flushes
+  // cleanly afterwards — the indexes are exact over the edges that did
+  // insert.
   void BeginConcurrentIngest(const ConcurrentIngestOptions& options);
   // Stops the merger, flushes every delta and drains the epoch queue;
   // the indexes are exact w.r.t. the graph afterwards.
@@ -123,6 +131,12 @@ class Database {
 
   size_t IndexMemoryBytes() const { return store_->TotalMemoryBytes(); }
 
+  // Admission gate shared by every session's PreparedQuery::Execute.
+  // Configured from APLUS_MAX_CONCURRENT (plus APLUS_ADMISSION_QUEUE /
+  // APLUS_ADMISSION_TIMEOUT_MS) at construction, or programmatically via
+  // admission().Configure(). Disabled by default.
+  AdmissionController& admission() { return admission_; }
+
  private:
   // Rebuilds the cached optimizer when the index set or the graph
   // changed since it was created.
@@ -132,6 +146,7 @@ class Database {
   std::unique_ptr<IndexStore> store_;
   std::unique_ptr<Maintainer> maintainer_;
   std::unique_ptr<DpOptimizer> optimizer_;
+  AdmissionController admission_;
   std::atomic<bool> ingest_active_{false};
   uint64_t optimizer_store_version_ = ~0ULL;
   uint64_t optimizer_num_edges_ = 0;

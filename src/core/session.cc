@@ -4,11 +4,26 @@
 #include <cstdlib>
 #include <limits>
 
+#include "core/admission.h"
 #include "core/database.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
 namespace aplus {
+
+namespace {
+
+// Non-negative int64 from an env knob; `fallback` when unset/unparsable.
+int64_t Int64FromEnv(const char* name, int64_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  long long v = std::strtoll(env, &end, 10);
+  if (end == env || v < 0) return fallback;
+  return static_cast<int64_t>(v);
+}
+
+}  // namespace
 
 const char* ToString(QueryOutcome::Status status) {
   switch (status) {
@@ -26,6 +41,12 @@ const char* ToString(QueryOutcome::Status status) {
       return "EXEC_ERROR";
     case QueryOutcome::Status::kResourceExhausted:
       return "RESOURCE_EXHAUSTED";
+    case QueryOutcome::Status::kTimeout:
+      return "TIMEOUT";
+    case QueryOutcome::Status::kCancelled:
+      return "CANCELLED";
+    case QueryOutcome::Status::kOverloaded:
+      return "OVERLOADED";
   }
   return "?";
 }
@@ -204,6 +225,19 @@ QueryOutcome PreparedQuery::Execute(RowConsumer* consumer, int num_threads) {
       return out;
     }
   }
+  // Admission gate: when configured (APLUS_MAX_CONCURRENT), concurrent
+  // Execute calls beyond the slot count wait in a bounded FIFO queue; a
+  // full queue or a queue timeout fails fast with kOverloaded. The RAII
+  // slot releases when this frame returns, success or failure.
+  AdmissionSlot admission_slot(&db_->admission());
+  if (!admission_slot.admitted()) {
+    out.status = QueryOutcome::Status::kOverloaded;
+    out.error = admission_slot.result() == AdmissionController::Result::kTimedOut
+                    ? "admission queue timed out waiting for an execute slot "
+                      "(APLUS_MAX_CONCURRENT)"
+                    : "execute slots and admission queue full (APLUS_MAX_CONCURRENT)";
+    return out;
+  }
   // Outside concurrent ingest, queries require clean indexes (the
   // pre-serving Run invariant): deletions buffer page updates without
   // bumping the store version, so `current()` alone cannot catch them;
@@ -228,18 +262,36 @@ QueryOutcome PreparedQuery::Execute(RowConsumer* consumer, int num_threads) {
     budget = static_cast<int64_t>(limit_ < kMaxBudget ? limit_ : kMaxBudget);
   }
   controls_.rows_remaining.store(budget, std::memory_order_relaxed);
-  controls_.stop.store(false, std::memory_order_relaxed);
   controls_.rows_emitted = 0;
-  // Group-by memory cap: read per execution so serving deployments can
-  // adjust it without re-preparing (getenv allocates nothing).
-  if (has_stages_) {
-    const char* cap = std::getenv("APLUS_GROUPBY_MEM_CAP");
-    controls_.groupby_mem_cap = cap != nullptr ? std::strtoull(cap, nullptr, 10) : 0;
-  } else {
-    controls_.groupby_mem_cap = 0;
+  // Stop token: clear last execution's state, then arm the deadline.
+  // The env knobs are read per execution so serving deployments can
+  // adjust them without re-preparing (getenv allocates nothing). A
+  // Cancel() issued while no execute was running targets this one
+  // (session.h contract), so it survives the reset.
+  const bool pre_cancelled = controls_.token.reason() == StopReason::kCancelled;
+  controls_.token.Reset();
+  if (pre_cancelled) controls_.token.Cancel();
+  const int64_t timeout_ms = timeout_millis_ >= 0
+                                 ? timeout_millis_
+                                 : Int64FromEnv("APLUS_QUERY_TIMEOUT_MS", 0);
+  if (timeout_ms > 0) controls_.token.ArmDeadlineMillis(timeout_ms);
+  // Memory budget: explicit set_mem_cap_bytes wins, then APLUS_MEM_CAP,
+  // then the deprecated group-by-era alias. The source name is kept for
+  // the kResourceExhausted error message.
+  uint64_t mem_cap = 0;
+  const char* mem_cap_source = "APLUS_MEM_CAP";
+  if (mem_cap_bytes_ >= 0) {
+    mem_cap = static_cast<uint64_t>(mem_cap_bytes_);
+    mem_cap_source = "set_mem_cap_bytes";
+  } else if (std::getenv("APLUS_MEM_CAP") != nullptr) {
+    mem_cap = static_cast<uint64_t>(Int64FromEnv("APLUS_MEM_CAP", 0));
+  } else if (std::getenv("APLUS_GROUPBY_MEM_CAP") != nullptr) {
+    mem_cap = static_cast<uint64_t>(Int64FromEnv("APLUS_GROUPBY_MEM_CAP", 0));
+    mem_cap_source = "APLUS_GROUPBY_MEM_CAP";
   }
-  controls_.groupby_bytes.store(0, std::memory_order_relaxed);
-  controls_.resource_exhausted.store(false, std::memory_order_relaxed);
+  controls_.budget.Reset(mem_cap);
+  MemoryBudget::SetProcessCeiling(
+      static_cast<uint64_t>(Int64FromEnv("APLUS_MEM_CAP_TOTAL", 0)));
   for (int i = 0; i < plan_->num_pipelines(); ++i) {
     static_cast<ProjectSinkOp*>(plan_->sink(i))->ResetBatch();
   }
@@ -254,16 +306,32 @@ QueryOutcome PreparedQuery::Execute(RowConsumer* consumer, int num_threads) {
   for (int i = 0; i < plan_->num_pipelines(); ++i) {
     static_cast<ProjectSinkOp*>(plan_->sink(i))->Flush();
   }
-  if (has_stages_ && controls_.resource_exhausted.load(std::memory_order_relaxed)) {
-    // The group-by arena crossed the cap mid-enumeration: the partial
-    // tables are incomplete, so no merge, no Finish, no rows — a clean
-    // error instead of silently wrong aggregates.
+  // Abnormal stop (anything but a satisfied LIMIT): surface the typed
+  // status with partial-progress counters. Staged partial tables are
+  // incomplete, so no merge, no Finish, no rows — a clean error instead
+  // of silently wrong aggregates; stage-less projections have already
+  // streamed a partial row prefix to the consumer.
+  const StopReason stop_reason = controls_.token.reason();
+  if (stop_reason != StopReason::kNone && stop_reason != StopReason::kLimit) {
     controls_.consumer = nullptr;
-    out.status = QueryOutcome::Status::kResourceExhausted;
-    out.error = "group-by memory cap exceeded (APLUS_GROUPBY_MEM_CAP=" +
-                std::to_string(controls_.groupby_mem_cap) + " bytes)";
+    if (stop_reason == StopReason::kResourceExhausted) {
+      out.status = QueryOutcome::Status::kResourceExhausted;
+      out.error = "memory budget exceeded (" + std::string(mem_cap_source) + "=" +
+                  std::to_string(mem_cap) + " bytes)";
+    } else if (stop_reason == StopReason::kTimeout) {
+      out.status = QueryOutcome::Status::kTimeout;
+      out.error = "query deadline exceeded (" + std::to_string(timeout_ms) + " ms)";
+    } else {
+      out.status = QueryOutcome::Status::kCancelled;
+      out.error = "query cancelled";
+    }
     out.count = count;
+    out.rows = (!has_stages_ && !count_star_only_ && !columns_.empty()) ? count : 0;
     out.seconds = timer.ElapsedSeconds();
+    // Consume the stop reason: a cancel that fired during this execute
+    // must not bleed into the next one (a Cancel racing this reset may
+    // land on either execution — see util/deadline.h).
+    controls_.token.Reset();
     return out;
   }
   if (has_stages_) {
@@ -283,6 +351,24 @@ QueryOutcome PreparedQuery::Execute(RowConsumer* consumer, int num_threads) {
                             merge_threads);
     primary->FinishStages();
     out.rows = controls_.rows_emitted;
+    // The deadline (or a cancel) can land mid-cascade — the sort / group
+    // emission polls the token too. The delivered prefix is incomplete:
+    // report the typed status with the partial row counter.
+    const StopReason finish_reason = controls_.token.reason();
+    if (finish_reason == StopReason::kTimeout || finish_reason == StopReason::kCancelled) {
+      controls_.consumer = nullptr;
+      out.status = finish_reason == StopReason::kTimeout
+                       ? QueryOutcome::Status::kTimeout
+                       : QueryOutcome::Status::kCancelled;
+      out.error = finish_reason == StopReason::kTimeout
+                      ? "query deadline exceeded (" + std::to_string(timeout_ms) +
+                            " ms, during result emission)"
+                      : "query cancelled (during result emission)";
+      out.count = count;
+      out.seconds = timer.ElapsedSeconds();
+      controls_.token.Reset();  // consume; see the abnormal-stop block
+      return out;
+    }
   } else if (count_star_only_) {
     // COUNT(*) pushdown: the counting sink already produced the answer;
     // synthesize the single output row (LIMIT 0 suppresses it).
@@ -329,6 +415,9 @@ PreparedQuery* Session::Prepare(const std::string& text, const PrepareOptions& o
     last_failed_ = std::move(prepared);
     return last_failed_.get();
   }
+  // Session-wide default deadline, stamped at prepare time; a later
+  // set_deadline_millis on the prepared query overrides it.
+  if (default_deadline_millis_ >= 0) raw->set_deadline_millis(default_deadline_millis_);
   if (cache_.size() >= kMaxCachedQueries) {
     auto victim = cache_.begin();
     for (auto entry = cache_.begin(); entry != cache_.end(); ++entry) {

@@ -26,9 +26,21 @@ struct QueryOutcome {
     kBindError,    // unknown/unbound/type-mismatched parameter
     kInvalidated,  // indexes or graph changed since Prepare; re-prepare
     kExecError,    // execution failed
-    // Execution aborted cleanly on a resource cap (e.g. the group-by
-    // arena crossed APLUS_GROUPBY_MEM_CAP); no rows were delivered.
+    // Execution aborted cleanly on a resource cap (the per-query memory
+    // budget or the process ceiling); staged queries deliver no rows.
     kResourceExhausted,
+    // Execution stopped at the deadline (set_deadline_millis / Session
+    // default / APLUS_QUERY_TIMEOUT_MS). `count` carries the partial
+    // match progress; staged queries deliver no rows, stage-less
+    // projections may have streamed a partial prefix.
+    kTimeout,
+    // Execution stopped by PreparedQuery::Cancel() from another thread.
+    // Partial-progress semantics match kTimeout.
+    kCancelled,
+    // Admission control rejected the execute: the concurrent-execute
+    // slots were full and the wait queue was full or timed out
+    // (APLUS_MAX_CONCURRENT). Nothing ran; retry later.
+    kOverloaded,
   };
 
   Status status = Status::kOk;
@@ -103,6 +115,24 @@ class PreparedQuery {
   // the worker count.
   QueryOutcome Execute(RowConsumer* consumer = nullptr, int num_threads = kUseEnvThreads);
 
+  // Wall-clock deadline for each Execute, in milliseconds: every worker
+  // polls it cooperatively and the execute returns kTimeout with partial
+  // counters once it passes. 0 disables; a negative value (the default)
+  // defers to the Session default, then APLUS_QUERY_TIMEOUT_MS.
+  void set_deadline_millis(int64_t millis) { timeout_millis_ = millis; }
+  int64_t deadline_millis() const { return timeout_millis_; }
+
+  // Requests cooperative cancellation of the in-flight Execute (or the
+  // next one, if none is running — effective until that Execute ends).
+  // Safe to call from any thread; the only PreparedQuery member that is.
+  void Cancel() { controls_.token.Cancel(); }
+
+  // Per-query memory budget, in bytes, charged by the group/sort/project
+  // arenas and plan scratch; crossing it returns kResourceExhausted.
+  // 0 removes the cap; a negative value (the default) defers to
+  // APLUS_MEM_CAP, then the deprecated APLUS_GROUPBY_MEM_CAP alias.
+  void set_mem_cap_bytes(int64_t bytes) { mem_cap_bytes_ = bytes; }
+
   // True while the plan is still valid against the database's index
   // store version and graph edge count; false means Execute will return
   // kInvalidated and the query must be re-prepared.
@@ -168,6 +198,8 @@ class PreparedQuery {
   std::string plan_text_;
   uint64_t store_version_ = 0;
   uint64_t num_edges_ = 0;
+  int64_t timeout_millis_ = -1;  // < 0: inherit session default / env
+  int64_t mem_cap_bytes_ = -1;   // < 0: inherit env
 
   ParamSlots slots_;
   int slots_pipelines_ = 0;
@@ -206,6 +238,11 @@ class Session {
   uint64_t cache_misses() const { return cache_misses_; }
   size_t cache_size() const { return cache_.size(); }
 
+  // Default per-execute deadline stamped onto queries prepared after
+  // this call (explicit set_deadline_millis overrides it per query).
+  // Negative (the default) leaves queries on APLUS_QUERY_TIMEOUT_MS.
+  void set_default_deadline_millis(int64_t millis) { default_deadline_millis_ = millis; }
+
  private:
   struct CacheEntry {
     std::unique_ptr<PreparedQuery> prepared;
@@ -215,6 +252,7 @@ class Session {
   Database* db_;
   std::unordered_map<std::string, CacheEntry> cache_;
   std::unique_ptr<PreparedQuery> last_failed_;  // error holder, not cached
+  int64_t default_deadline_millis_ = -1;
   uint64_t tick_ = 0;
   uint64_t cache_hits_ = 0;
   uint64_t cache_misses_ = 0;

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "util/epoch.h"
+#include "util/fault.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -410,7 +411,10 @@ void PrimaryIndex::InsertEdge(edge_id_t e) {
   PageSlot& slot = pages_[page_idx];
   PageDelta* delta = slot.delta.load(std::memory_order_relaxed);
   if (delta != nullptr &&
-      delta->num_inserts.load(std::memory_order_relaxed) >= PageDelta::kCapacity) {
+      (delta->num_inserts.load(std::memory_order_relaxed) >= PageDelta::kCapacity ||
+       fault::ShouldFail(fault::kDeltaFull))) {
+    // The fault point fakes a full delta buffer, forcing the inline
+    // merge path that normally only fires under sustained skew.
     MergePageLocked(page_idx);
     delta = nullptr;
   }

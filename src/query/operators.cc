@@ -4,6 +4,7 @@
 
 #include "query/intersect_kernels.h"
 #include "util/logging.h"
+#include "util/memory_tracker.h"
 
 namespace aplus {
 
@@ -235,7 +236,12 @@ std::string ListDescriptor::Describe(const Catalog& catalog, const QueryGraph& q
 
 void ScanOp::ScanRange(MatchState* state, uint64_t begin, uint64_t end) {
   for (uint64_t v = begin; v < end; ++v) {
-    if (stop_ != nullptr && stop_->load(std::memory_order_relaxed)) break;
+    if (token_ != nullptr) {
+      if (token_->stop_requested()) break;
+      // Serial scans have no per-morsel clock check: sample the deadline
+      // every 1024 source vertices instead.
+      if (((v - begin) & 1023u) == 1023u && token_->PollClock()) break;
+    }
     if (label_ != kInvalidLabel && graph_->vertex_label(static_cast<vertex_id_t>(v)) != label_) {
       continue;
     }
@@ -252,7 +258,7 @@ void ScanOp::Run(MatchState* state) {
     uint64_t begin = 0;
     uint64_t end = 0;
     while (morsel_cursor_->Next(&begin, &end)) {
-      if (stop_ != nullptr && stop_->load(std::memory_order_relaxed)) return;
+      if (token_ != nullptr && token_->PollClock()) return;
       ScanRange(state, begin, end);
     }
     return;
@@ -357,11 +363,15 @@ void ExtendOp::Run(MatchState* state) {
   if (list_.has_upper_bound || list_.has_lower_bound) {
     auto [begin, end] = list_.BoundedRange(slice);
     for (uint32_t i = begin; i < end; ++i) {
+      if ((i & 63u) == 0 && token_ != nullptr && CheckStop()) break;
       if (ClaimEntry()) AcceptEntry(state, slice, i);
     }
     return;
   }
   for (uint32_t i = 0; i < slice.len; ++i) {
+    // Once a stop is requested the enumeration is abandoned outright
+    // (claim numbering no longer matters: every replica is stopping).
+    if ((i & 63u) == 0 && token_ != nullptr && CheckStop()) break;
     if (ClaimEntry()) AcceptEntry(state, slice, i);
   }
 }
@@ -421,8 +431,17 @@ void ExtendIntersectOp::Run(MatchState* state) {
     ProbeList& pl = probes_[l];
     if (l == pivot || !pl.slice.is_offset_list() || !ShouldDecode(pivot_len, pl.len())) continue;
     // Batch-decode via the dispatched kernel (gathers under AVX2); the
-    // buffer keeps its plan-lifetime capacity across executions.
-    if (pl.decode_buf.size() < pl.len()) pl.decode_buf.resize(pl.len());
+    // buffer keeps its plan-lifetime capacity across executions. Growth
+    // is plan scratch and charges the query's budget.
+    if (pl.decode_buf.size() < pl.len()) {
+      const uint64_t grow =
+          static_cast<uint64_t>(pl.len() - pl.decode_buf.size()) * sizeof(vertex_id_t);
+      if (budget_ != nullptr && !budget_->Charge(grow)) {
+        if (token_ != nullptr) token_->RequestStop(StopReason::kResourceExhausted);
+        return;
+      }
+      pl.decode_buf.resize(pl.len());
+    }
     kern.decode_nbrs(pl.slice.nbrs, pl.slice.offsets, pl.slice.offset_width, pl.begin, pl.len(),
                      pl.decode_buf.data());
     pl.decoded = pl.decode_buf.data();
@@ -431,6 +450,12 @@ void ExtendIntersectOp::Run(MatchState* state) {
 
   uint32_t i = ps.begin;
   while (i < ps.end) {
+    if (token_ != nullptr) {
+      // Flag check per pivot group; clock check every 256 groups.
+      if ((poll_tick_++ & 255u) == 0 ? token_->PollClock() : token_->stop_requested()) {
+        return;
+      }
+    }
     vertex_id_t n = ps.NbrAt(i);
     uint32_t group_end = i + 1;
     while (group_end < ps.end && ps.NbrAt(group_end) == n) ++group_end;
@@ -471,7 +496,15 @@ void ExtendIntersectOp::Run(MatchState* state) {
       for (size_t l = 0; l < z; ++l) idx_[l] = ranges_[l].first;
       // Depth-first product with edge-distinctness checks.
       size_t depth = 0;
+      uint32_t dfs_tick = 0;
       while (true) {
+        // Hub-heavy edge products can dwarf the pivot-group cadence:
+        // honor a stop mid-product, unbinding before bailing out.
+        if ((++dfs_tick & 255u) == 0 && token_ != nullptr && token_->stop_requested()) {
+          for (size_t l = 0; l < z; ++l) state->e[lists_[l].target_edge_var] = kInvalidEdge;
+          state->v[target_var_] = kInvalidVertex;
+          return;
+        }
         if (depth == z) {
           if (EvalResiduals(*graph_, residual_, *state)) Emit(state);
           // Backtrack.
@@ -551,6 +584,9 @@ void MultiExtendOp::EmitCombinations(MatchState* state, size_t depth) {
   const vertex_id_t* run_nbrs = run_decoded_[depth] != 0 ? run_nbrs_[depth].data() : nullptr;
   const edge_id_t* run_edges = run_nbrs != nullptr ? run_edges_[depth].data() : nullptr;
   for (uint32_t i = first; i < last; ++i) {
+    // The combination product across runs can be enormous; honor a stop
+    // between combinations (callers unbind on unwind).
+    if ((i & 63u) == 0 && token_ != nullptr && token_->stop_requested()) return;
     vertex_id_t n = run_nbrs != nullptr ? run_nbrs[i - first] : slice.NbrAt(i);
     edge_id_t e = run_nbrs != nullptr ? run_edges[i - first] : slice.EdgeAt(i);
     if (state->VertexAlreadyBound(n) || state->EdgeAlreadyBound(e)) continue;
@@ -582,6 +618,12 @@ void MultiExtendOp::Run(MatchState* state) {
     cur_key_[l] = KeyAt(l, begin);
   }
   while (true) {
+    if (token_ != nullptr) {
+      // Flag check per merge step; clock check every 256 steps.
+      if ((poll_tick_++ & 255u) == 0 ? token_->PollClock() : token_->stop_requested()) {
+        return;
+      }
+    }
     int64_t max_key = cur_key_[0];
     for (size_t l = 1; l < z; ++l) {
       if (cur_key_[l] > max_key) max_key = cur_key_[l];
@@ -624,7 +666,16 @@ void MultiExtendOp::Run(MatchState* state) {
       run_decoded_[l] = 0;
       uint32_t run_len = ranges_[l].second - ranges_[l].first;
       if (enumerations >= 4 && run_len >= 8 && slices_[l].is_offset_list()) {
-        if (run_nbrs_[l].size() < run_len) run_nbrs_[l].resize(run_len);
+        // Run-buffer growth is plan scratch and charges the budget.
+        if (run_nbrs_[l].size() < run_len) {
+          const uint64_t grow = static_cast<uint64_t>(run_len - run_nbrs_[l].size()) *
+                                (sizeof(vertex_id_t) + sizeof(edge_id_t));
+          if (budget_ != nullptr && !budget_->Charge(grow)) {
+            if (token_ != nullptr) token_->RequestStop(StopReason::kResourceExhausted);
+            return;
+          }
+          run_nbrs_[l].resize(run_len);
+        }
         if (run_edges_[l].size() < run_len) run_edges_[l].resize(run_len);
         simd::Active().decode_entries(slices_[l].nbrs, slices_[l].edges, slices_[l].offsets,
                                       slices_[l].offset_width, ranges_[l].first, run_len,

@@ -13,8 +13,11 @@
 #include "index/vp_index.h"
 #include "query/morsel.h"
 #include "query/query_graph.h"
+#include "util/deadline.h"
 
 namespace aplus {
+
+class MemoryBudget;
 
 // Which A+ index an extension reads its adjacency list from, and how the
 // list is selected: the bound variable (a query vertex for primary/VP
@@ -153,6 +156,14 @@ class Operator {
   virtual std::unique_ptr<Operator> Clone() const = 0;
   // Appends this operator's patchable parameter slots (see ParamSlots).
   virtual void CollectParamSlots(ParamSlots* slots) { (void)slots; }
+  // Installs the execution-wide stop token (deadline / cancel / LIMIT /
+  // exhaustion) and memory budget. Operators that poll or charge
+  // override this; the default ignores both. Called on the primary
+  // pipeline and every worker replica before execution.
+  virtual void SetExecContext(ExecToken* token, MemoryBudget* budget) {
+    (void)token;
+    (void)budget;
+  }
   virtual std::string Describe() const = 0;
 
  protected:
@@ -210,11 +221,14 @@ class ScanOp : public Operator {
   // instead of scanning the whole domain; Plan::Execute sets it for
   // parallel execution and clears it for serial execution.
   void set_morsel_cursor(MorselCursor* cursor) { morsel_cursor_ = cursor; }
-  // Cooperative cancellation (LIMIT): when set, the scan re-checks the
-  // flag per source vertex and per morsel, and stops driving the
-  // pipeline once it flips. The sink that set it has already produced
-  // exactly the requested rows; this just cuts the remaining scan short.
-  void set_stop_flag(const std::atomic<bool>* stop) { stop_ = stop; }
+  // Cooperative stop (LIMIT / deadline / cancel / exhaustion): the scan
+  // re-checks the token per source vertex, checks the wall clock per
+  // morsel (and periodically within a serial range), and stops driving
+  // the pipeline once a stop is requested.
+  void SetExecContext(ExecToken* token, MemoryBudget* budget) override {
+    (void)budget;
+    token_ = token;
+  }
 
  private:
   void ScanRange(MatchState* state, uint64_t begin, uint64_t end);
@@ -225,7 +239,7 @@ class ScanOp : public Operator {
   vertex_id_t bound_;
   std::vector<QueryComparison> preds_;
   MorselCursor* morsel_cursor_ = nullptr;
-  const std::atomic<bool>* stop_ = nullptr;
+  ExecToken* token_ = nullptr;
 };
 
 // Single-list EXTEND (the z = 1 case of E/I): extends the partial match
@@ -268,12 +282,22 @@ class ExtendOp : public Operator {
     claim_begin_ = 0;
     claim_end_ = 0;
   }
-  // Cooperative cancellation (LIMIT), polled once per claimed block so
-  // a long entry loop below a one-vertex scan still stops early.
-  void set_stop_flag(const std::atomic<bool>* stop) { stop_ = stop; }
+  // Cooperative stop, polled (with a clock check) once per claimed block
+  // so a long entry loop below a one-vertex scan still stops early.
+  void SetExecContext(ExecToken* token, MemoryBudget* budget) override {
+    (void)budget;
+    token_ = token;
+  }
 
  private:
   bool AcceptEntry(MatchState* state, const AdjListSlice& slice, uint32_t i);
+  // Flag check on most calls, a clock check every 64th: a serial chain
+  // plan has no other PollClock site hot enough to notice a deadline
+  // (the scan samples per 1024 source vertices, which a small or pinned
+  // scan domain never reaches).
+  bool CheckStop() {
+    return (poll_tick_++ & 63u) == 0 ? token_->PollClock() : token_->stop_requested();
+  }
   // Advances the local ordinal sequence by one entry and reports whether
   // this replica owns it. Must be called exactly once per enumerated
   // entry so all replicas agree on the numbering.
@@ -285,7 +309,7 @@ class ExtendOp : public Operator {
       // the new block starts at or after s: never claims into the past.
       claim_begin_ = entry_cursor_->ClaimBlock();
       claim_end_ = claim_begin_ + EntryCursor::kBlock;
-      if (stop_ != nullptr && stop_->load(std::memory_order_relaxed)) return false;
+      if (token_ != nullptr && token_->PollClock()) return false;
     }
     return s >= claim_begin_;
   }
@@ -295,7 +319,8 @@ class ExtendOp : public Operator {
   std::vector<QueryComparison> residual_;
   bool closing_;
   EntryCursor* entry_cursor_ = nullptr;
-  const std::atomic<bool>* stop_ = nullptr;
+  ExecToken* token_ = nullptr;
+  uint32_t poll_tick_ = 0;  // clock-sampling cadence of the entry loops
   uint64_t entry_seq_ = 0;
   uint64_t claim_begin_ = 0;
   uint64_t claim_end_ = 0;
@@ -338,6 +363,13 @@ class ExtendIntersectOp : public Operator {
     return std::make_unique<ExtendIntersectOp>(graph_, lists_, target_var_, residual_);
   }
   void CollectParamSlots(ParamSlots* slots) override;
+  // Polled per pivot-candidate group (with a periodic clock check) and
+  // within the edge-combination product loop; decode-buffer growth is
+  // charged against the budget.
+  void SetExecContext(ExecToken* token, MemoryBudget* budget) override {
+    token_ = token;
+    budget_ = budget;
+  }
   std::string Describe() const override;
 
  private:
@@ -352,6 +384,9 @@ class ExtendIntersectOp : public Operator {
   std::vector<ProbeList> probes_;
   std::vector<std::pair<uint32_t, uint32_t>> ranges_;
   std::vector<uint32_t> idx_;
+  ExecToken* token_ = nullptr;
+  MemoryBudget* budget_ = nullptr;
+  uint32_t poll_tick_ = 0;  // coarsens the clock checks
 };
 
 // MULTI-EXTEND (Section IV-A): intersects z lists sorted on a property
@@ -369,6 +404,12 @@ class MultiExtendOp : public Operator {
     return std::make_unique<MultiExtendOp>(graph_, lists_, residual_);
   }
   void CollectParamSlots(ParamSlots* slots) override;
+  // Polled in the z-way merge loop and inside the per-combination
+  // emission; run-decode buffer growth is charged against the budget.
+  void SetExecContext(ExecToken* token, MemoryBudget* budget) override {
+    token_ = token;
+    budget_ = budget;
+  }
   std::string Describe() const override;
 
  private:
@@ -403,6 +444,9 @@ class MultiExtendOp : public Operator {
   std::vector<std::vector<vertex_id_t>> run_nbrs_;
   std::vector<std::vector<edge_id_t>> run_edges_;
   std::vector<uint8_t> run_decoded_;
+  ExecToken* token_ = nullptr;
+  MemoryBudget* budget_ = nullptr;
+  uint32_t poll_tick_ = 0;  // coarsens the clock checks
 };
 
 // FILTER: applies residual predicates (Section IV-A).

@@ -133,12 +133,7 @@ void Plan::EnsureWorkers(int num_replicas) {
     // cursor_ is a member, so the pointer stays valid across Execute
     // calls and replicas are wired up exactly once.
     scan->set_morsel_cursor(&cursor_);
-    scan->set_stop_flag(stop_flag_);
-    if (ops_.size() >= 3) {
-      if (auto* ext = dynamic_cast<ExtendOp*>(worker.ops[1].get())) {
-        ext->set_stop_flag(stop_flag_);
-      }
-    }
+    for (const auto& op : worker.ops) op->SetExecContext(token_, budget_);
     workers_.push_back(std::move(worker));
   }
 }
@@ -155,17 +150,12 @@ void Plan::CollectParamSlots(ParamSlots* slots) {
   }
 }
 
-void Plan::SetStopFlag(const std::atomic<bool>* stop) {
-  stop_flag_ = stop;
-  if (auto* scan = dynamic_cast<ScanOp*>(ops_.front().get())) scan->set_stop_flag(stop);
+void Plan::SetExecContext(ExecToken* token, MemoryBudget* budget) {
+  token_ = token;
+  budget_ = budget;
+  for (const auto& op : ops_) op->SetExecContext(token, budget);
   for (WorkerPipeline& worker : workers_) {
-    if (auto* scan = dynamic_cast<ScanOp*>(worker.ops.front().get())) scan->set_stop_flag(stop);
-  }
-  if (ops_.size() >= 3) {
-    if (auto* ext = dynamic_cast<ExtendOp*>(ops_[1].get())) ext->set_stop_flag(stop);
-    for (WorkerPipeline& worker : workers_) {
-      if (auto* ext = dynamic_cast<ExtendOp*>(worker.ops[1].get())) ext->set_stop_flag(stop);
-    }
+    for (const auto& op : worker.ops) op->SetExecContext(token, budget);
   }
 }
 

@@ -58,10 +58,11 @@ class Plan {
   // valid until more replicas are created (collect again when
   // num_pipelines() changes).
   void CollectParamSlots(ParamSlots* slots);
-  // Installs a cooperative stop flag on every pipeline's leading scan
-  // and deep-morselizable first extend (current and future replicas);
-  // nullptr detaches. Used by LIMIT.
-  void SetStopFlag(const std::atomic<bool>* stop);
+  // Installs the cooperative stop token and memory budget on every
+  // operator of every pipeline (current and future replicas); nullptrs
+  // detach. LIMIT, deadlines, cancellation, and resource exhaustion all
+  // stop execution through the token.
+  void SetExecContext(ExecToken* token, MemoryBudget* budget);
 
   // Upper bound on the worker count of Execute(num_threads).
   static constexpr int kMaxThreads = 256;
@@ -95,7 +96,8 @@ class Plan {
   std::vector<WorkerPipeline> workers_;
   MorselCursor cursor_;
   EntryCursor entry_cursor_;
-  const std::atomic<bool>* stop_flag_ = nullptr;
+  ExecToken* token_ = nullptr;
+  MemoryBudget* budget_ = nullptr;
 };
 
 // Convenience builder used by benches and tests to assemble pipelines.

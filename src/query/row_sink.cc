@@ -308,16 +308,10 @@ void GroupedAggregateStage::AppendKey(ColFn&& col_of, uint32_t row) {
     acc.counts.push_back(0);
   }
   ++num_groups_;
-  if (track_mem_ && controls_->groupby_mem_cap != 0) {
-    uint64_t total =
-        controls_->groupby_bytes.fetch_add(bytes_per_group_, std::memory_order_relaxed) +
-        bytes_per_group_;
-    if (total > controls_->groupby_mem_cap &&
-        !controls_->resource_exhausted.exchange(true, std::memory_order_relaxed)) {
-      // First replica over the cap stops the scans; every OnBatch
-      // (including the other workers') discards input from here on.
-      controls_->stop.store(true, std::memory_order_relaxed);
-    }
+  if (track_mem_) {
+    // First replica over the budget stops the scans; every OnBatch
+    // (including the other workers') discards input from here on.
+    controls_->ChargeOrStop(bytes_per_group_);
   }
 }
 
@@ -389,7 +383,9 @@ void GroupedAggregateStage::AccumulateRow(uint32_t group, const RowBatch& batch,
 }
 
 void GroupedAggregateStage::OnBatch(const RowBatch& batch) {
-  if (controls_->resource_exhausted.load(std::memory_order_relaxed)) return;
+  // A requested stop (budget exhaustion, deadline, cancel) discards
+  // further input: the execution is already failing or winding down.
+  if (controls_->token.stop_requested()) return;
   if (key_inputs_.empty()) {
     if (!needs_row_scan_) {
       // Pure COUNT(*): no cell reads, no null checks — one add per batch.
@@ -503,6 +499,9 @@ void GroupedAggregateStage::EmitGroupsFrom(const GroupedAggregateStage& src) {
     // materializing output rows nobody consumes (e.g. GROUP BY hub-heavy
     // keys with LIMIT 5 but no ORDER BY).
     if (next_ != nullptr && next_->Done()) break;
+    // Staged plans never raise kLimit, so a stop here is a deadline /
+    // cancel / exhaustion landing mid-Finish: abandon the cascade.
+    if ((g & 255u) == 0 && controls_->token.PollClock()) return;
     size_t key_i = 0;
     size_t agg_i = 0;
     for (size_t s = 0; s < specs_.size(); ++s) {
@@ -580,6 +579,9 @@ SortStage::SortStage(std::vector<ProjectColumn> schema, std::vector<SortKeySpec>
     for (const SortKeySpec& key : keys_) is_key |= key.col == static_cast<int>(c);
     if (!is_key) tiebreak_cols_.push_back(static_cast<int>(c));
   }
+  // One buffered row costs ~9 bytes per column (8-byte payload + null
+  // flag) plus the 4-byte order_ permutation slot.
+  bytes_per_row_ = static_cast<uint64_t>(schema_.size()) * 9 + 4;
   out_.Init(schema_, batch_capacity < 1 ? 1 : batch_capacity);
 }
 
@@ -600,6 +602,13 @@ void SortStage::Reset() {
 }
 
 void SortStage::OnBatch(const RowBatch& batch) {
+  if (controls_->token.stop_requested()) return;
+  // Sort buffers the whole input stream: charge it against the budget
+  // before growing. A failed charge raises kResourceExhausted and the
+  // batch is discarded (the execution is failing).
+  if (!controls_->ChargeOrStop(static_cast<uint64_t>(batch.num_rows()) * bytes_per_row_)) {
+    return;
+  }
   for (size_t c = 0; c < cols_.size(); ++c) {
     ColumnArena& dst = cols_[c];
     const RowBatch::Column& src = batch.column(c);
@@ -682,6 +691,9 @@ bool SortStage::RowLess(uint32_t a, uint32_t b) const {
 void SortStage::Finish() {
   // A pre-drained downstream LIMIT makes the whole sort moot.
   if (next_ != nullptr && next_->Done()) return;
+  // Deadline / cancel landing before the sort: skip it entirely (the
+  // sort itself is uninterruptible, so check the clock first).
+  if (controls_->token.PollClock()) return;
   size_t n = num_buffered_;
   size_t emit = limit_ < n ? static_cast<size_t>(limit_) : n;
   if (emit == 0) return;  // ORDER BY ... LIMIT 0: nothing to order
@@ -698,6 +710,7 @@ void SortStage::Finish() {
   }
   for (size_t i = 0; i < emit; ++i) {
     if (next_ != nullptr && next_->Done()) break;
+    if ((i & 255u) == 0 && controls_->token.PollClock()) return;
     uint32_t row = order_[i];
     for (size_t c = 0; c < cols_.size(); ++c) AppendCell(&out_, c, cols_[c], row);
     out_.AdvanceRow();
@@ -788,10 +801,10 @@ void ProjectSinkOp::Run(MatchState* state) {
     // stop the match enumeration early.
     int64_t prev = controls_->rows_remaining.fetch_sub(1, std::memory_order_relaxed);
     if (prev <= 0) {
-      controls_->stop.store(true, std::memory_order_relaxed);
+      controls_->token.RequestStop(StopReason::kLimit);
       return;
     }
-    if (prev == 1) controls_->stop.store(true, std::memory_order_relaxed);
+    if (prev == 1) controls_->token.RequestStop(StopReason::kLimit);
   }
   state->count++;
   if (cols_.empty() && stages_.empty()) return;  // counting: the degenerate projection
@@ -854,6 +867,11 @@ void ProjectSinkOp::Flush() {
 
 void ProjectSinkOp::ResetBatch() {
   batch_.Clear();
+  // Charge this replica's projection batch arena for the execution (the
+  // buffers are plan-lifetime, but they are this query's working set).
+  if (!cols_.empty()) {
+    controls_->ChargeOrStop(static_cast<uint64_t>(batch_capacity_) * cols_.size() * 9);
+  }
   for (auto& stage : stages_) stage->Reset();
 }
 

@@ -9,6 +9,8 @@
 
 #include "query/operators.h"
 #include "storage/graph.h"
+#include "util/deadline.h"
+#include "util/memory_tracker.h"
 
 namespace aplus {
 
@@ -97,26 +99,31 @@ class RowConsumer {
 // Execution-wide controls shared by every ProjectSinkOp replica (and
 // every sink-stage chain) of one prepared query: the per-execution
 // consumer, the LIMIT row budget of the stage-less fast path, the
-// cooperative stop flag the leading scans poll, and the final output row
-// counter. Owned by the PreparedQuery (stable address), reset before
-// each execution.
+// cooperative stop token (LIMIT / deadline / cancel / resource
+// exhaustion) every operator polls, the per-query memory budget every
+// transient arena charges, and the final output row counter. Owned by
+// the PreparedQuery (stable address), reset before each execution.
 struct ExecControls {
   RowConsumer* consumer = nullptr;
   bool limit_active = false;
   std::atomic<int64_t> rows_remaining{0};  // claimed via fetch_sub when limit_active
-  std::atomic<bool> stop{false};
+  // Unified stop token: LIMIT satisfaction, deadline expiry, Cancel(),
+  // and budget exhaustion all land here; token.reason() disambiguates.
+  ExecToken token;
+  // Per-query governor for group/sort/project arenas and plan scratch.
+  // A failed Charge() requests kResourceExhausted on the token.
+  MemoryBudget budget;
   // Rows delivered to (or counted for) the final consumer by a stage
   // chain. Only written single-threaded, during the Finish cascade.
   uint64_t rows_emitted = 0;
-  // Group-by memory cap (APLUS_GROUPBY_MEM_CAP, bytes; 0 = unlimited):
-  // every aggregate stage replica charges its estimated per-group
-  // footprint against the shared byte counter as groups materialize.
-  // Crossing the cap flips resource_exhausted and raises the stop flag,
-  // turning a hub-heavy GROUP BY into a clean resource-exhausted error
-  // instead of unbounded arena growth.
-  uint64_t groupby_mem_cap = 0;
-  std::atomic<uint64_t> groupby_bytes{0};
-  std::atomic<bool> resource_exhausted{false};
+
+  // Charges `bytes` to the budget; on failure requests a stop with
+  // kResourceExhausted and returns false.
+  bool ChargeOrStop(uint64_t bytes) {
+    if (budget.Charge(bytes)) return true;
+    token.RequestStop(StopReason::kResourceExhausted);
+    return false;
+  }
 };
 
 // A typed columnar plan-lifetime buffer shared by the sink stages
@@ -281,8 +288,8 @@ class GroupedAggregateStage : public SinkStage {
   uint32_t batch_capacity_;
   RowBatch out_;
   // Estimated bytes one group adds across keys_/accs_/slots_, charged
-  // against ExecControls::groupby_bytes when track_mem_ (partition
-  // stages re-materialize already-charged groups and do not track).
+  // against ExecControls::budget when track_mem_ (partition stages
+  // re-materialize already-charged groups and do not track).
   uint64_t bytes_per_group_ = 0;
   bool track_mem_ = true;
   // Plan-lifetime partition stages of the parallel MergeAll; > 0 in
@@ -337,6 +344,9 @@ class SortStage : public SinkStage {
   size_t num_buffered_ = 0;
   std::vector<uint32_t> order_;  // sort permutation scratch
   RowBatch out_;
+  // Estimated bytes one buffered row adds across cols_ + order_, charged
+  // against ExecControls::budget as the buffer grows.
+  uint64_t bytes_per_row_ = 0;
 };
 
 // Caps the output at `limit` rows. Stage form of LIMIT, used whenever

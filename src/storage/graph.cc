@@ -1,13 +1,17 @@
 #include "storage/graph.h"
 
+#include "util/fault.h"
 #include "util/logging.h"
 
 namespace aplus {
 
 vertex_id_t Graph::AddVertex(label_t label) {
   vertex_id_t id = static_cast<vertex_id_t>(vertex_labels_.size());
-  APLUS_CHECK(!ingest_reserved_ || vertex_labels_.size() < vertex_labels_.capacity())
-      << "vertex insert beyond the capacity reserved for concurrent ingest";
+  if (ingest_reserved_ && vertex_labels_.size() >= ingest_max_vertices_) {
+    // Reallocating while lock-free readers walk the arrays would be a
+    // use-after-free; overruns surface as a typed error instead.
+    return kInvalidVertex;
+  }
   vertex_labels_.push_back(label);
   vertex_props_.Resize(vertex_labels_.size());
   // Publish only once the label and property slots are in place.
@@ -19,8 +23,11 @@ edge_id_t Graph::AddEdge(vertex_id_t src, vertex_id_t dst, label_t label) {
   APLUS_DCHECK(src < num_vertices()) << "unknown source vertex";
   APLUS_DCHECK(dst < num_vertices()) << "unknown destination vertex";
   edge_id_t id = edge_srcs_.size();
-  APLUS_CHECK(!ingest_reserved_ || edge_srcs_.size() < edge_srcs_.capacity())
-      << "edge insert beyond the capacity reserved for concurrent ingest";
+  if (ingest_reserved_ &&
+      (edge_srcs_.size() >= ingest_max_edges_ ||
+       fault::ShouldFail(fault::kIngestAddEdge))) {
+    return kInvalidEdge;
+  }
   edge_srcs_.push_back(src);
   edge_dsts_.push_back(dst);
   edge_labels_.push_back(label);
@@ -40,7 +47,11 @@ void Graph::ReserveForIngest(uint64_t max_vertices, uint64_t max_edges) {
   vertex_props_.Reserve(max_vertices);
   edge_props_.Reserve(max_edges);
   ingest_reserved_ = true;
+  ingest_max_vertices_ = max_vertices;
+  ingest_max_edges_ = max_edges;
 }
+
+void Graph::EndIngestReservation() { ingest_reserved_ = false; }
 
 prop_key_t Graph::AddVertexProperty(const std::string& name, ValueType type,
                                     uint32_t domain_size) {

@@ -43,6 +43,8 @@ class Graph {
         vertex_props_(std::move(other.vertex_props_)),
         edge_props_(std::move(other.edge_props_)) {
     ingest_reserved_ = other.ingest_reserved_;
+    ingest_max_vertices_ = other.ingest_max_vertices_;
+    ingest_max_edges_ = other.ingest_max_edges_;
     published_vertices_.store(other.published_vertices_.load(std::memory_order_relaxed),
                               std::memory_order_relaxed);
     published_edges_.store(other.published_edges_.load(std::memory_order_relaxed),
@@ -59,6 +61,8 @@ class Graph {
     vertex_props_ = std::move(other.vertex_props_);
     edge_props_ = std::move(other.edge_props_);
     ingest_reserved_ = other.ingest_reserved_;
+    ingest_max_vertices_ = other.ingest_max_vertices_;
+    ingest_max_edges_ = other.ingest_max_edges_;
     published_vertices_.store(other.published_vertices_.load(std::memory_order_relaxed),
                               std::memory_order_relaxed);
     published_edges_.store(other.published_edges_.load(std::memory_order_relaxed),
@@ -71,6 +75,10 @@ class Graph {
   Catalog& catalog() { return catalog_; }
   const Catalog& catalog() const { return catalog_; }
 
+  // During a concurrent ingest phase (ReserveForIngest active), inserts
+  // beyond the reserved capacity return kInvalidVertex / kInvalidEdge —
+  // the graph is unchanged and the caller must not report the edge to
+  // the maintainer. Outside a phase, storage grows freely.
   vertex_id_t AddVertex(label_t label);
   edge_id_t AddEdge(vertex_id_t src, vertex_id_t dst, label_t label);
 
@@ -79,8 +87,12 @@ class Graph {
 
   // Pre-allocates vertex/edge storage (including every property column)
   // so a concurrent ingest phase appends without reallocating under
-  // lock-free readers. Must be called while quiesced.
+  // lock-free readers. Must be called while quiesced. The max counts
+  // become hard insert caps until EndIngestReservation.
   void ReserveForIngest(uint64_t max_vertices, uint64_t max_edges);
+  // Lifts the insert caps once the phase quiesced (reallocation is safe
+  // again with no readers in flight).
+  void EndIngestReservation();
 
   label_t vertex_label(vertex_id_t v) const { return vertex_labels_[v]; }
   label_t edge_label(edge_id_t e) const { return edge_labels_[e]; }
@@ -122,6 +134,8 @@ class Graph {
   std::atomic<uint64_t> published_vertices_{0};
   std::atomic<uint64_t> published_edges_{0};
   bool ingest_reserved_ = false;
+  uint64_t ingest_max_vertices_ = 0;  // hard insert caps while reserved
+  uint64_t ingest_max_edges_ = 0;
   std::vector<label_t> vertex_labels_;
   std::vector<vertex_id_t> edge_srcs_;
   std::vector<vertex_id_t> edge_dsts_;

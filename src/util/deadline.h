@@ -1,0 +1,94 @@
+#pragma once
+
+// Cooperative stop token for query execution: one place that unifies the
+// LIMIT early-exit, wall-clock deadlines, user cancellation, and resource
+// exhaustion. Operators poll `stop_requested()` (a relaxed atomic load) on
+// their hot loops and call `PollClock()` on coarser boundaries (morsel
+// claims, pivot groups) to check the deadline without a syscall per tuple.
+//
+// Thread model: one ExecToken is shared by every worker replica of a plan.
+// Any thread may request a stop; the first reason to land wins and is the
+// one reported. `Reset()` must only be called while no workers are running
+// (between executions). A `Cancel()` racing with the start of the next
+// `Execute()` may land on either execution — callers that need a precise
+// target should sequence Cancel against Execute themselves.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace aplus {
+
+enum class StopReason : uint8_t {
+  kNone = 0,
+  kLimit = 1,             // LIMIT satisfied: success, stop early.
+  kTimeout = 2,           // Deadline passed.
+  kCancelled = 3,         // User called Cancel().
+  kResourceExhausted = 4  // MemoryBudget charge failed.
+};
+
+class ExecToken {
+ public:
+  static int64_t NowNanos() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  // Clears stop state and disarms the deadline. Not thread-safe against
+  // concurrent RequestStop; call only between executions.
+  void Reset() {
+    stop_.store(false, std::memory_order_relaxed);
+    reason_.store(static_cast<uint8_t>(StopReason::kNone),
+                  std::memory_order_relaxed);
+    deadline_ns_.store(0, std::memory_order_relaxed);
+  }
+
+  // Arms a deadline `timeout_ns` from now; <= 0 disarms.
+  void ArmDeadlineNanos(int64_t timeout_ns) {
+    deadline_ns_.store(timeout_ns > 0 ? NowNanos() + timeout_ns : 0,
+                       std::memory_order_relaxed);
+  }
+  void ArmDeadlineMillis(int64_t timeout_ms) {
+    ArmDeadlineNanos(timeout_ms > 0 ? timeout_ms * 1000000 : 0);
+  }
+
+  // Requests a stop with the given reason. The first caller wins; later
+  // reasons are dropped. Returns whether this call installed the reason.
+  // Safe from any thread, including concurrent with running workers.
+  bool RequestStop(StopReason reason) {
+    uint8_t expected = static_cast<uint8_t>(StopReason::kNone);
+    const bool won = reason_.compare_exchange_strong(
+        expected, static_cast<uint8_t>(reason), std::memory_order_acq_rel,
+        std::memory_order_acquire);
+    if (won) stop_.store(true, std::memory_order_release);
+    return won;
+  }
+
+  // Thread-safe user cancellation; effective until the next Reset().
+  void Cancel() { RequestStop(StopReason::kCancelled); }
+
+  bool stop_requested() const { return stop_.load(std::memory_order_relaxed); }
+
+  StopReason reason() const {
+    return static_cast<StopReason>(reason_.load(std::memory_order_acquire));
+  }
+
+  // Checks the wall clock against the armed deadline. Call on coarse
+  // boundaries only (it reads steady_clock). Returns stop_requested().
+  bool PollClock() {
+    if (stop_.load(std::memory_order_relaxed)) return true;
+    const int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+    if (deadline != 0 && NowNanos() >= deadline) {
+      RequestStop(StopReason::kTimeout);
+    }
+    return stop_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::atomic<uint8_t> reason_{static_cast<uint8_t>(StopReason::kNone)};
+  std::atomic<int64_t> deadline_ns_{0};  // steady-clock nanos; 0 = unarmed.
+};
+
+}  // namespace aplus

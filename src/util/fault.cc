@@ -1,0 +1,163 @@
+#include "util/fault.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace aplus {
+namespace fault {
+
+namespace internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace internal
+
+namespace {
+
+struct Point {
+  std::string name;
+  // Exactly one of these modes applies:
+  //   nth > 0   -> fire once, on the nth evaluation
+  //   prob      -> fire each evaluation with this probability
+  uint64_t nth = 0;
+  double prob = 1.0;
+  std::atomic<uint64_t> hits{0};
+
+  Point(std::string n, uint64_t nth_hit, double p)
+      : name(std::move(n)), nth(nth_hit), prob(p) {}
+};
+
+// The registry is written only under g_mu (SetSpec/Clear) while
+// g_enabled is false from the readers' perspective; readers only walk it
+// after observing g_enabled == true, which is stored last.
+std::mutex g_mu;
+std::vector<Point*>* g_points = nullptr;
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+void ClearLocked() {
+  internal::g_enabled.store(false, std::memory_order_release);
+  if (g_points != nullptr) {
+    for (Point* p : *g_points) delete p;
+    delete g_points;
+    g_points = nullptr;
+  }
+}
+
+// Parses "point", "point:0.25", or "point:@7". Returns nullptr on error.
+Point* ParseOne(const std::string& item) {
+  const size_t colon = item.find(':');
+  std::string name = item.substr(0, colon);
+  if (name.empty()) return nullptr;
+  uint64_t nth = 0;
+  double prob = 1.0;
+  if (colon != std::string::npos) {
+    std::string arg = item.substr(colon + 1);
+    if (arg.empty()) return nullptr;
+    if (arg[0] == '@') {
+      char* end = nullptr;
+      nth = std::strtoull(arg.c_str() + 1, &end, 10);
+      if (end == nullptr || *end != '\0' || nth == 0) return nullptr;
+    } else {
+      char* end = nullptr;
+      prob = std::strtod(arg.c_str(), &end);
+      if (end == nullptr || *end != '\0' || prob < 0.0 || prob > 1.0) {
+        return nullptr;
+      }
+    }
+  }
+  return new Point(std::move(name), nth, prob);
+}
+
+bool SetSpecLocked(const char* spec) {
+  ClearLocked();
+  if (spec == nullptr || *spec == '\0') return true;
+  auto* points = new std::vector<Point*>();
+  const char* s = spec;
+  bool ok = true;
+  while (*s != '\0') {
+    const char* comma = std::strchr(s, ',');
+    std::string item = comma != nullptr ? std::string(s, comma - s)
+                                        : std::string(s);
+    Point* p = ParseOne(item);
+    if (p == nullptr) {
+      ok = false;
+      break;
+    }
+    points->push_back(p);
+    if (comma == nullptr) break;
+    s = comma + 1;
+  }
+  if (!ok || points->empty()) {
+    for (Point* p : *points) delete p;
+    delete points;
+    return ok;  // empty-but-valid spec leaves faults disabled
+  }
+  g_points = points;
+  internal::g_enabled.store(true, std::memory_order_release);
+  return true;
+}
+
+// Parses APLUS_FAULT once at process startup.
+struct EnvInit {
+  EnvInit() {
+    const char* env = std::getenv("APLUS_FAULT");
+    if (env != nullptr && *env != '\0') {
+      std::lock_guard<std::mutex> lock(g_mu);
+      SetSpecLocked(env);
+    }
+  }
+};
+EnvInit g_env_init;
+
+}  // namespace
+
+namespace internal {
+
+bool ShouldFailSlow(const char* point) {
+  // g_enabled was observed true; the registry is immutable until the next
+  // SetSpec/Clear, which callers must not race with active execution.
+  std::vector<Point*>* points = g_points;
+  if (points == nullptr) return false;
+  for (Point* p : *points) {
+    if (p->name != point) continue;
+    const uint64_t hit = p->hits.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (p->nth > 0) return hit == p->nth;
+    if (p->prob >= 1.0) return true;
+    if (p->prob <= 0.0) return false;
+    // Deterministic per-hit coin flip: reproducible for a fixed spec.
+    const uint64_t h = SplitMix64(hit ^ 0xa1b2c3d4e5f60718ULL);
+    return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0) < p->prob;
+  }
+  return false;
+}
+
+}  // namespace internal
+
+bool SetSpec(const char* spec) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return SetSpecLocked(spec);
+}
+
+void Clear() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  ClearLocked();
+}
+
+uint64_t Hits(const char* point) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (g_points == nullptr) return 0;
+  for (Point* p : *g_points) {
+    if (p->name == point) return p->hits.load(std::memory_order_relaxed);
+  }
+  return 0;
+}
+
+}  // namespace fault
+}  // namespace aplus

@@ -1,6 +1,7 @@
 #ifndef APLUS_UTIL_MEMORY_TRACKER_H_
 #define APLUS_UTIL_MEMORY_TRACKER_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -31,6 +32,44 @@ class MemoryTracker {
  private:
   std::vector<std::string> names_;
   std::vector<size_t> bytes_;
+};
+
+// Per-query memory governor. All transient execution arenas (group-by
+// tables, sort buffers, projection batches, extend scratch) charge their
+// growth here; a failed charge means the query must stop with
+// RESOURCE_EXHAUSTED instead of growing without bound. Charges also count
+// against an optional process-wide ceiling shared by all queries.
+//
+// Thread model: one MemoryBudget is shared by all worker replicas of a
+// plan; Charge/Release are lock-free and safe from any worker. Reset()
+// must only run between executions.
+class MemoryBudget {
+ public:
+  ~MemoryBudget() { Reset(0); }
+
+  // Returns the previous charges to the process pool and installs a new
+  // per-query cap (0 = uncapped). Call at the start of each execution.
+  void Reset(uint64_t cap_bytes);
+
+  // Charges `bytes` against the per-query cap and the process ceiling.
+  // Returns false (after undoing the charge) if either would be exceeded
+  // or the `alloc` fault point fires; the caller must treat that as
+  // resource exhaustion. Never throws, never allocates.
+  bool Charge(uint64_t bytes);
+
+  // Returns bytes previously charged (clamped to the outstanding amount).
+  void Release(uint64_t bytes);
+
+  uint64_t used() const { return used_.load(std::memory_order_relaxed); }
+  uint64_t cap() const { return cap_; }
+
+  // Process-wide ceiling shared by every MemoryBudget (0 = unlimited).
+  static void SetProcessCeiling(uint64_t bytes);
+  static uint64_t ProcessUsed();
+
+ private:
+  std::atomic<uint64_t> used_{0};
+  uint64_t cap_ = 0;  // 0 = uncapped; written only by Reset().
 };
 
 }  // namespace aplus

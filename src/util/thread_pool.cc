@@ -1,5 +1,6 @@
 #include "util/thread_pool.h"
 
+#include "util/fault.h"
 #include "util/logging.h"
 
 namespace aplus {
@@ -38,9 +39,11 @@ void ThreadPool::Run(int num_workers, JobFn fn, void* ctx) {
     fn(ctx, 0);
     return;
   }
-  if (tls_in_parallel_job) {
+  if (tls_in_parallel_job || fault::ShouldFail(fault::kPoolDispatch)) {
     // Nested parallel region (e.g. a SinkOp callback executing a
-    // sub-plan): run every worker id inline on this thread.
+    // sub-plan): run every worker id inline on this thread. The fault
+    // point exercises the same degraded path from the top level —
+    // results must match the truly parallel run.
     for (int id = 0; id < num_workers; ++id) fn(ctx, id);
     return;
   }
