@@ -17,6 +17,7 @@
 #include "core/database.h"
 #include "datagen/label_assigner.h"
 #include "datagen/power_law_generator.h"
+#include "util/memory_tracker.h"
 #include "util/timer.h"
 #include "workloads.h"
 
@@ -95,6 +96,17 @@ int main() {
       if (end != env && parsed > 0.0) time_limit_seconds = parsed;
     }
     const double kTimeLimitSeconds = time_limit_seconds;
+    // Baselines honour the same per-query memory cap the serving engine
+    // reads (APLUS_MEM_CAP, bytes; 0/unset = uncapped): the matcher's
+    // candidate scratch is charged and "MEM" is reported on exhaustion,
+    // so the whole binary respects the cap, not just the A+ rows.
+    uint64_t mem_cap_bytes = 0;
+    if (const char* env = std::getenv("APLUS_MEM_CAP")) {
+      char* end = nullptr;
+      long long parsed = std::strtoll(env, &end, 10);
+      if (end != env && parsed > 0) mem_cap_bytes = static_cast<uint64_t>(parsed);
+    }
+    MemoryBudget baseline_budget;
     // TigerGraph-like: flat adjacency; distinct-frontier mode for SQ13.
     {
       std::vector<std::string> row = {"TG-like"};
@@ -115,9 +127,14 @@ int main() {
           row.push_back(TablePrinter::Seconds(timer.ElapsedSeconds()) + "*");
         } else {
           bool timed_out = false;
-          matches = tigergraph_like.CountMatches(*queries[i], kTimeLimitSeconds, &timed_out);
-          row.push_back(timed_out ? "TL" : TablePrinter::Seconds(timer.ElapsedSeconds()));
-          if (!timed_out && matches != reference_counts[i]) {
+          bool exhausted = false;
+          baseline_budget.Reset(mem_cap_bytes);
+          matches = tigergraph_like.CountMatches(*queries[i], kTimeLimitSeconds, &timed_out,
+                                                 &baseline_budget, &exhausted);
+          row.push_back(exhausted ? "MEM"
+                        : timed_out ? "TL"
+                                    : TablePrinter::Seconds(timer.ElapsedSeconds()));
+          if (!timed_out && !exhausted && matches != reference_counts[i]) {
             std::printf("WARNING: TG-like count mismatch on %s\n", query_names[i].c_str());
           }
         }
@@ -131,10 +148,14 @@ int main() {
       for (size_t i = 0; i < queries.size(); ++i) {
         WallTimer timer;
         bool timed_out = false;
-        uint64_t matches =
-            neo4j_like.CountMatches(*queries[i], kTimeLimitSeconds, &timed_out);
-        row.push_back(timed_out ? "TL" : TablePrinter::Seconds(timer.ElapsedSeconds()));
-        if (!timed_out && matches != reference_counts[i]) {
+        bool exhausted = false;
+        baseline_budget.Reset(mem_cap_bytes);
+        uint64_t matches = neo4j_like.CountMatches(*queries[i], kTimeLimitSeconds, &timed_out,
+                                                   &baseline_budget, &exhausted);
+        row.push_back(exhausted ? "MEM"
+                      : timed_out ? "TL"
+                                  : TablePrinter::Seconds(timer.ElapsedSeconds()));
+        if (!timed_out && !exhausted && matches != reference_counts[i]) {
           std::printf("WARNING: N4-like count mismatch on %s\n", query_names[i].c_str());
         }
       }

@@ -89,6 +89,12 @@ for bench in "${BENCHES[@]}"; do
     run_one "${bench}" env APLUS_SCALE="${SCALE}" \
       APLUS_MIXED_REQS="${APLUS_MIXED_REQS:-200}" \
       APLUS_MIXED_RATE="${APLUS_MIXED_RATE:-5000}" || FAILED=1
+  elif [[ "${bench}" == "bench_server" ]]; then
+    # Wire-protocol loadgen: real sockets on an in-process server. A
+    # small request budget keeps the six arms + overload pass at a few
+    # seconds; the perf-gate job runs the full stream.
+    run_one "${bench}" env APLUS_SCALE="${SCALE}" \
+      APLUS_SERVER_REQS="${APLUS_SERVER_REQS:-200}" || FAILED=1
   elif [[ "${bench}" == "bench_serving" ]]; then
     # Fewer requests and one timed rep at smoke scale; the perf-gate job
     # runs the full request stream.

@@ -17,10 +17,13 @@ FlatAdjEngine::FlatAdjEngine(const Graph* graph) : graph_(graph) {
 }
 
 uint64_t FlatAdjEngine::CountMatches(const QueryGraph& query, double timeout_seconds,
-                             bool* timed_out) const {
+                             bool* timed_out, MemoryBudget* budget,
+                             bool* exhausted) const {
   BaselineMatcher<FlatAdjEngine> matcher(this, graph_, &query, timeout_seconds);
+  matcher.set_budget(budget);
   uint64_t count = matcher.Count();
   if (timed_out != nullptr) *timed_out = matcher.timed_out();
+  if (exhausted != nullptr) *exhausted = matcher.exhausted();
   return count;
 }
 

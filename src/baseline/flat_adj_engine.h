@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "query/query_graph.h"
+#include "util/memory_tracker.h"
 #include "storage/graph.h"
 
 namespace aplus {
@@ -31,9 +32,12 @@ class FlatAdjEngine {
 
   // Runs `query` with binary-join backtracking. `timeout_seconds` <= 0
   // means unbounded; on deadline the search stops and *timed_out (if
-  // non-null) is set.
+  // non-null) is set. `budget` (optional) charges the matcher's
+  // candidate scratch so the baseline respects APLUS_MEM_CAP; when a
+  // charge fails the search stops and *exhausted (if non-null) is set.
   uint64_t CountMatches(const QueryGraph& query, double timeout_seconds = 0.0,
-                        bool* timed_out = nullptr) const;
+                        bool* timed_out = nullptr, MemoryBudget* budget = nullptr,
+                        bool* exhausted = nullptr) const;
 
   // Distinct-frontier path expansion: for a query that is a simple
   // directed path with per-edge labels, counts the number of distinct

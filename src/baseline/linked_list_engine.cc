@@ -27,10 +27,13 @@ LinkedListEngine::LinkedListEngine(const Graph* graph)
 }
 
 uint64_t LinkedListEngine::CountMatches(const QueryGraph& query, double timeout_seconds,
-                             bool* timed_out) const {
+                             bool* timed_out, MemoryBudget* budget,
+                             bool* exhausted) const {
   BaselineMatcher<LinkedListEngine> matcher(this, graph_, &query, timeout_seconds);
+  matcher.set_budget(budget);
   uint64_t count = matcher.Count();
   if (timed_out != nullptr) *timed_out = matcher.timed_out();
+  if (exhausted != nullptr) *exhausted = matcher.exhausted();
   return count;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "query/query_graph.h"
+#include "util/memory_tracker.h"
 #include "storage/graph.h"
 
 namespace aplus {
@@ -51,9 +52,12 @@ class LinkedListEngine {
 
   // Runs `query` with binary-join backtracking. `timeout_seconds` <= 0
   // means unbounded; on deadline the search stops and *timed_out (if
-  // non-null) is set.
+  // non-null) is set. `budget` (optional) charges the matcher's
+  // candidate scratch so the baseline respects APLUS_MEM_CAP; when a
+  // charge fails the search stops and *exhausted (if non-null) is set.
   uint64_t CountMatches(const QueryGraph& query, double timeout_seconds = 0.0,
-                        bool* timed_out = nullptr) const;
+                        bool* timed_out = nullptr, MemoryBudget* budget = nullptr,
+                        bool* exhausted = nullptr) const;
 
   size_t MemoryBytes() const;
   const Graph* graph() const { return graph_; }

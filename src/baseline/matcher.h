@@ -7,6 +7,7 @@
 
 #include "query/query_graph.h"
 #include "util/deadline.h"
+#include "util/memory_tracker.h"
 
 namespace aplus {
 
@@ -55,6 +56,13 @@ class BaselineMatcher {
   }
 
   bool timed_out() const { return token_.reason() == StopReason::kTimeout; }
+  bool exhausted() const { return token_.reason() == StopReason::kResourceExhausted; }
+
+  // Optional memory budget: per-level candidate scratch is charged
+  // against it and released as the recursion unwinds, so the baselines
+  // respect the same APLUS_MEM_CAP governance as the serving engine.
+  // A failed charge stops the search with kResourceExhausted.
+  void set_budget(MemoryBudget* budget) { budget_ = budget; }
 
  private:
   // Greedy connected order: bound vertices first, then vertices adjacent
@@ -131,6 +139,20 @@ class BaselineMatcher {
     return false;
   }
 
+  // Charges per-level scratch against the optional budget; a failed
+  // charge (over cap, process ceiling, or fault injection) stops the
+  // whole search with kResourceExhausted.
+  bool ChargeScratch(uint64_t bytes) {
+    if (budget_ == nullptr || bytes == 0) return true;
+    if (budget_->Charge(bytes)) return true;
+    token_.RequestStop(StopReason::kResourceExhausted);
+    return false;
+  }
+
+  void ReleaseScratch(uint64_t bytes) {
+    if (budget_ != nullptr && bytes != 0) budget_->Release(bytes);
+  }
+
   void Recurse(size_t depth, MatchState* state) {
     if (CheckDeadline()) return;
     if (depth == order_.size()) {
@@ -147,6 +169,8 @@ class BaselineMatcher {
       if (other < 0) continue;
       if (state->v[other] != kInvalidVertex) conn.push_back(e);
     }
+    const uint64_t conn_bytes = conn.capacity() * sizeof(int);
+    if (!ChargeScratch(conn_bytes)) return;
 
     auto try_bind = [&](vertex_id_t v) {
       if (!VertexOk(var, v, *state)) return;
@@ -155,31 +179,36 @@ class BaselineMatcher {
       state->v[var] = kInvalidVertex;
     };
 
+    uint64_t cand_bytes = 0;
     if (query_->vertex(var).bound != kInvalidVertex) {
       try_bind(query_->vertex(var).bound);
-      return;
-    }
-    if (conn.empty()) {
+    } else if (conn.empty()) {
       for (vertex_id_t v = 0; v < graph_->num_vertices(); ++v) try_bind(v);
-      return;
+    } else {
+      // Expand along the first connecting edge; remaining edges verified
+      // by BindConnEdges list walks (binary-join behaviour). Candidate
+      // neighbours are deduplicated so parallel edges do not
+      // double-count (BindConnEdges enumerates the edge bindings).
+      const QueryEdge& first = query_->edge(conn.front());
+      int pivot = first.from == var ? first.to : first.from;
+      Direction dir = first.from == pivot ? Direction::kFwd : Direction::kBwd;
+      std::vector<vertex_id_t> candidates;
+      engine_->ForEachEdge(state->v[pivot], dir,
+                           [&](vertex_id_t nbr, edge_id_t eid, label_t elabel) {
+                             (void)eid;
+                             if (first.label != kInvalidLabel && elabel != first.label) return;
+                             candidates.push_back(nbr);
+                           });
+      cand_bytes = candidates.capacity() * sizeof(vertex_id_t);
+      if (ChargeScratch(cand_bytes)) {
+        std::sort(candidates.begin(), candidates.end());
+        candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
+        for (vertex_id_t nbr : candidates) try_bind(nbr);
+      } else {
+        cand_bytes = 0;  // Charge() already undid the failed charge.
+      }
     }
-    // Expand along the first connecting edge; remaining edges verified by
-    // BindConnEdges list walks (binary-join behaviour). Candidate
-    // neighbours are deduplicated so parallel edges do not double-count
-    // (BindConnEdges enumerates the edge bindings).
-    const QueryEdge& first = query_->edge(conn.front());
-    int pivot = first.from == var ? first.to : first.from;
-    Direction dir = first.from == pivot ? Direction::kFwd : Direction::kBwd;
-    std::vector<vertex_id_t> candidates;
-    engine_->ForEachEdge(state->v[pivot], dir,
-                         [&](vertex_id_t nbr, edge_id_t eid, label_t elabel) {
-                           (void)eid;
-                           if (first.label != kInvalidLabel && elabel != first.label) return;
-                           candidates.push_back(nbr);
-                         });
-    std::sort(candidates.begin(), candidates.end());
-    candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
-    for (vertex_id_t nbr : candidates) try_bind(nbr);
+    ReleaseScratch(conn_bytes + cand_bytes);
   }
 
   // Binds data edges for every connecting query edge (cross-checking
@@ -212,6 +241,7 @@ class BaselineMatcher {
   const Graph* graph_;
   const QueryGraph* query_;
   double timeout_seconds_;
+  MemoryBudget* budget_ = nullptr;
   ExecToken token_;
   uint32_t steps_until_check_ = kCheckInterval;
   std::vector<int> order_;

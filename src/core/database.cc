@@ -18,6 +18,15 @@ int IntFromEnvOr(const char* name, int fallback) {
   return static_cast<int>(v);
 }
 
+int64_t Int64FromEnvOr(const char* name, int64_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  long long v = std::strtoll(env, &end, 10);
+  if (end == env || v < 0) return fallback;
+  return static_cast<int64_t>(v);
+}
+
 }  // namespace
 
 Database::Database(Graph graph) : graph_(std::move(graph)) {
@@ -177,6 +186,7 @@ std::unique_ptr<PreparedQuery> Database::Prepare(const std::string& text,
   };
   const bool has_agg = parsed.has_aggregate;
   const bool has_order = !parsed.order_by.empty();
+  const bool distinct = parsed.distinct;  // never true with has_agg (parser rejects)
   // Bare `RETURN COUNT(*)` (no grouping, no ordering): the answer is the
   // match count the counting sink already maintains, so the plan gets a
   // stage-less, column-less ProjectSinkOp (no row materialization at
@@ -193,7 +203,7 @@ std::unique_ptr<PreparedQuery> Database::Prepare(const std::string& text,
     prepared->columns_.push_back(std::move(out_col));
     prepared->count_star_only_ = true;
     prepared->count_row_.Init(prepared->columns_, 1);
-  } else if (!has_agg && !has_order) {
+  } else if (!has_agg && !has_order && !distinct) {
     // Plain projection (or a bare-MATCH count): the input columns are the
     // output columns, no stages, LIMIT stays on the atomic-budget fast
     // path.
@@ -260,6 +270,13 @@ std::unique_ptr<PreparedQuery> Database::Prepare(const std::string& text,
         out_schema.push_back(std::move(out_col));
       }
     }
+    if (distinct) {
+      // Dedup precedes ordering/limit: Project -> DISTINCT -> [Sort] ->
+      // [Limit]. The stage is the all-group-keys degenerate aggregation,
+      // so worker partials merge exactly under parallelism.
+      stages.push_back(std::make_unique<DistinctStage>(out_schema, options.batch_rows,
+                                                       &prepared->controls_));
+    }
     if (has_order) {
       // The sort owns any LIMIT (top-k partial_sort emits exactly the
       // capped rows); a trailing LimitStage would only re-copy them.
@@ -302,6 +319,47 @@ std::unique_ptr<PreparedQuery> Database::Prepare(const std::string& text,
   return prepared;
 }
 
+std::unique_ptr<PreparedQuery> Database::ClonePrepared(const PreparedQuery& src) {
+  APLUS_CHECK(src.ok()) << "cannot clone a failed prepare: " << src.error();
+  APLUS_CHECK(src.plan_ != nullptr);
+  std::unique_ptr<PreparedQuery> clone(new PreparedQuery(this));
+  clone->normalized_text_ = src.normalized_text_;
+  clone->query_ = src.query_;
+  clone->columns_ = src.columns_;
+  clone->has_limit_ = src.has_limit_;
+  clone->has_stages_ = src.has_stages_;
+  clone->count_star_only_ = src.count_star_only_;
+  clone->limit_ = src.limit_;
+  clone->plan_text_ = src.plan_text_;
+  clone->store_version_ = src.store_version_;
+  clone->num_edges_ = src.num_edges_;
+  clone->timeout_millis_ = src.timeout_millis_;
+  clone->mem_cap_bytes_ = src.mem_cap_bytes_;
+  for (const PreparedQuery::ParamInfo& param : src.params_) {
+    PreparedQuery::ParamInfo info;
+    info.name = param.name;
+    info.expected = param.expected;
+    info.key = param.key;
+    info.pin_var = param.pin_var;
+    clone->params_.push_back(std::move(info));  // unbound: each owner binds its own
+  }
+  if (clone->count_star_only_) clone->count_row_.Init(clone->columns_, 1);
+  std::vector<std::unique_ptr<Operator>> ops;
+  ops.reserve(src.plan_->primary_ops().size());
+  for (const auto& op : src.plan_->primary_ops()) ops.push_back(op->Clone());
+  // The cloned sink (and its stage chain) still charges/streams through
+  // `src`'s ExecControls; re-point it before the clone ever runs.
+  auto* sink = dynamic_cast<ProjectSinkOp*>(ops.back().get());
+  APLUS_CHECK(sink != nullptr) << "prepared plan must end in a ProjectSinkOp";
+  sink->RebindControls(&clone->controls_);
+  auto plan = std::make_unique<Plan>(std::move(ops), src.plan_->num_query_vertices(),
+                                     src.plan_->num_query_edges());
+  plan->SetExecContext(&clone->controls_.token, &clone->controls_.budget);
+  clone->plan_ = std::move(plan);
+  clone->RefreshSlots();
+  return clone;
+}
+
 QueryOutcome Database::Execute(const QueryGraph& query) {
   QueryOutcome out;
   if (!concurrent_ingest_active() && store_->HasPendingUpdates()) store_->FlushAll();
@@ -312,9 +370,36 @@ QueryOutcome Database::Execute(const QueryGraph& query) {
     out.error = "no plan found (disconnected or unsupported query)";
     return out;
   }
+  // Governance parity with the serving path: the programmatic
+  // (QueryGraph) one-shot honors APLUS_QUERY_TIMEOUT_MS, APLUS_MEM_CAP
+  // and APLUS_MEM_CAP_TOTAL too, so a whole binary — table benches
+  // included — respects the caps, not just Session traffic.
+  ExecToken token;
+  MemoryBudget budget;
+  const int64_t timeout_ms = Int64FromEnvOr("APLUS_QUERY_TIMEOUT_MS", 0);
+  if (timeout_ms > 0) token.ArmDeadlineMillis(timeout_ms);
+  const uint64_t mem_cap = static_cast<uint64_t>(Int64FromEnvOr("APLUS_MEM_CAP", 0));
+  budget.Reset(mem_cap);
+  MemoryBudget::SetProcessCeiling(
+      static_cast<uint64_t>(Int64FromEnvOr("APLUS_MEM_CAP_TOTAL", 0)));
+  plan->SetExecContext(&token, &budget);
   QueryResult result = RunPlan(plan.get());
   out.count = result.count;
   out.seconds = result.seconds;
+  switch (token.reason()) {
+    case StopReason::kTimeout:
+      out.status = QueryOutcome::Status::kTimeout;
+      out.error = "query deadline exceeded (APLUS_QUERY_TIMEOUT_MS=" +
+                  std::to_string(timeout_ms) + " ms)";
+      break;
+    case StopReason::kResourceExhausted:
+      out.status = QueryOutcome::Status::kResourceExhausted;
+      out.error =
+          "memory budget exceeded (APLUS_MEM_CAP=" + std::to_string(mem_cap) + " bytes)";
+      break;
+    default:
+      break;
+  }
   out.plan = RenderPlanTree(query, graph_.catalog(), optimizer->last_steps());
   return out;
 }

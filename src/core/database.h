@@ -117,6 +117,16 @@ class Database {
   std::unique_ptr<PreparedQuery> Prepare(const std::string& text,
                                          const PrepareOptions& options = {});
 
+  // Deep-clones a successfully prepared query without re-parsing or
+  // re-optimizing: every physical operator (and sink stage) of `src`'s
+  // primary pipeline is cloned into a fresh Plan wired to a fresh
+  // PreparedQuery with its own ExecControls, empty scratch, and all
+  // parameters unbound. `src` is read-only here and must not be
+  // executing concurrently. This is the cross-session shared plan
+  // cache's checkout path (src/server/shared_plan_cache.h): parse +
+  // optimize once per distinct query text, clone per connection.
+  std::unique_ptr<PreparedQuery> ClonePrepared(const PreparedQuery& src);
+
   // Optimizes and runs a programmatic pattern (counting); flushes
   // pending index updates first.
   QueryOutcome Execute(const QueryGraph& query);

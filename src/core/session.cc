@@ -206,6 +206,14 @@ bool PreparedQuery::Bind(const std::string& name, const Value& value) {
   return true;
 }
 
+void PreparedQuery::ClearBindings() {
+  for (ParamInfo& param : params_) {
+    param.bound = false;
+    param.value = Value();
+  }
+  bind_error_.clear();
+}
+
 QueryOutcome PreparedQuery::Execute(RowConsumer* consumer, int num_threads) {
   QueryOutcome out;
   if (!ok()) {

@@ -95,6 +95,7 @@ class PreparedQuery {
   // Prepare status: a parse/plan failure is carried here and re-reported
   // by Execute (failed prepares are cheap error holders, never cached).
   bool ok() const { return status_ == QueryOutcome::Status::kOk; }
+  QueryOutcome::Status status() const { return status_; }
   const std::string& error() const { return error_; }
 
   size_t num_params() const { return params_.size(); }
@@ -108,6 +109,12 @@ class PreparedQuery {
   // re-bound.
   bool Bind(const std::string& name, const Value& value);
   const std::string& bind_error() const { return bind_error_; }
+
+  // Unbinds every parameter (pooled-instance hygiene: a shared-cache
+  // instance returned by one connection must not execute with its
+  // previous owner's values — see src/server/shared_plan_cache.h).
+  // Execute reports kBindError until the parameters are re-bound.
+  void ClearBindings();
 
   // Runs the plan. Rows stream to `consumer` (may be null: rows are
   // counted, then dropped). `num_threads` as in RunPlan: kUseEnvThreads

@@ -367,12 +367,21 @@ class Parser {
   // item (, item)*; bare items double as group keys when aggregates are
   // present (implicit GROUP BY).
   bool ParseReturn() {
+    // RETURN DISTINCT <items>: dedup of the projected rows. Aggregates
+    // already emit one row per group, so combining the two is redundant
+    // at best and ambiguous at worst (DISTINCT inside vs over the
+    // aggregation) — rejected rather than silently picking one.
+    if (AcceptKeyword("DISTINCT")) result_.distinct = true;
     do {
       ReturnItem item;
       if (!ParseReturnItem(&item, "RETURN")) return false;
       if (item.agg != AggFn::kNone) result_.has_aggregate = true;
       result_.returns.push_back(std::move(item));
     } while (Accept(","));
+    if (result_.distinct && result_.has_aggregate) {
+      result_.error = "RETURN DISTINCT cannot be combined with aggregates";
+      return false;
+    }
     return true;
   }
 

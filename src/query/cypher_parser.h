@@ -72,6 +72,7 @@ struct ParsedCypher {
   std::vector<ReturnItem> returns;  // empty = bare MATCH (pure counting)
   std::vector<OrderByItem> order_by;
   bool has_aggregate = false;  // any returns[i].agg != kNone
+  bool distinct = false;       // RETURN DISTINCT (rejected with aggregates)
   bool has_limit = false;
   uint64_t limit = 0;
   std::vector<CypherParam> params;

@@ -67,6 +67,16 @@ class Plan {
   // Upper bound on the worker count of Execute(num_threads).
   static constexpr int kMaxThreads = 256;
 
+  // --- Plan-clone support (server/shared_plan_cache.cc) ---
+  //
+  // The primary pipeline's operators and the query dimensions, for
+  // re-materializing an equivalent Plan (Operator::Clone per op) without
+  // re-running the optimizer. Callers must not mutate the operators and
+  // must not clone while this plan is executing.
+  const std::vector<std::unique_ptr<Operator>>& primary_ops() const { return ops_; }
+  int num_query_vertices() const { return num_query_vertices_; }
+  int num_query_edges() const { return num_query_edges_; }
+
  private:
   // One parallel worker's pipeline replica; workers_[w] serves worker
   // w + 1 (worker 0 reuses the original ops_ / state_).

@@ -564,6 +564,61 @@ std::string GroupedAggregateStage::Describe() const {
   return "GROUP AGGREGATE keys=" + keys + "] aggs=" + aggs + "]";
 }
 
+void GroupedAggregateStage::RebindControls(ExecControls* controls) {
+  SinkStage::RebindControls(controls);
+  // Partition stages (parallel MergeAll scratch) charge through the same
+  // controls; a freshly cloned stage has none, but rebinding a warmed
+  // instance must not leave them pointing at the old owner.
+  for (auto& part : parts_) part->RebindControls(controls);
+}
+
+// --- DistinctStage ---
+
+namespace {
+
+std::vector<AggSpec> DistinctSpecs(const std::vector<ProjectColumn>& schema) {
+  std::vector<AggSpec> specs;
+  specs.reserve(schema.size());
+  for (size_t i = 0; i < schema.size(); ++i) {
+    AggSpec spec;
+    spec.fn = AggFn::kNone;  // every column a group key, zero aggregates
+    spec.input = static_cast<int>(i);
+    spec.out_type = schema[i].type;
+    spec.name = schema[i].name;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+std::vector<ValueType> DistinctInputTypes(const std::vector<ProjectColumn>& schema) {
+  std::vector<ValueType> types;
+  types.reserve(schema.size());
+  for (const ProjectColumn& col : schema) types.push_back(col.type);
+  return types;
+}
+
+}  // namespace
+
+DistinctStage::DistinctStage(const std::vector<ProjectColumn>& schema, uint32_t batch_capacity,
+                             ExecControls* controls)
+    : GroupedAggregateStage(DistinctSpecs(schema), DistinctInputTypes(schema), batch_capacity,
+                            controls),
+      schema_(schema),
+      capacity_(batch_capacity) {}
+
+std::unique_ptr<SinkStage> DistinctStage::Clone() const {
+  return std::make_unique<DistinctStage>(schema_, capacity_, controls_);
+}
+
+std::string DistinctStage::Describe() const {
+  std::string cols = "[";
+  for (const ProjectColumn& col : schema_) {
+    if (cols.size() > 1) cols += ", ";
+    cols += col.name;
+  }
+  return "DISTINCT " + cols + "]";
+}
+
 // --- SortStage ---
 
 SortStage::SortStage(std::vector<ProjectColumn> schema, std::vector<SortKeySpec> keys,
@@ -782,6 +837,11 @@ void ProjectSinkOp::WireStages() {
   for (size_t i = 0; i < stages_.size(); ++i) {
     stages_[i]->set_next(i + 1 < stages_.size() ? stages_[i + 1].get() : nullptr);
   }
+}
+
+void ProjectSinkOp::RebindControls(ExecControls* controls) {
+  controls_ = controls;
+  for (auto& stage : stages_) stage->RebindControls(controls);
 }
 
 std::unique_ptr<Operator> ProjectSinkOp::Clone() const {

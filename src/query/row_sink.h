@@ -179,6 +179,11 @@ class SinkStage : public RowConsumer {
   // nobody consumes.
   virtual bool Done() const { return false; }
   virtual std::string Describe() const = 0;
+  // Re-points the stage at another prepared query's controls. Used when a
+  // cloned sink-stage chain moves to a fresh PreparedQuery (the shared
+  // plan cache clones plans across connections); never called while an
+  // execution is in flight.
+  virtual void RebindControls(ExecControls* controls) { controls_ = controls; }
 
  protected:
   // Emits `batch` downstream and clears it. The chain tail counts the
@@ -225,6 +230,7 @@ class GroupedAggregateStage : public SinkStage {
   void MergeAll(SinkStage* const* workers, int num_workers, int num_threads) override;
   void Finish() override;
   std::string Describe() const override;
+  void RebindControls(ExecControls* controls) override;
 
   size_t num_groups() const { return num_groups_; }
 
@@ -297,6 +303,26 @@ class GroupedAggregateStage : public SinkStage {
   // the partitions instead of this stage's own table.
   std::vector<std::unique_ptr<GroupedAggregateStage>> parts_;
   int merged_parts_ = 0;
+};
+
+// RETURN DISTINCT over a plain projection: the degenerate grouped
+// aggregation — every output column is a group key and there are zero
+// aggregates — so deduplication inherits the open-addressing group
+// table, the memory-budget charging, and the exact hash-partitioned
+// parallel merge for free. Output order is the group-discovery order of
+// the merged table (deterministic serially; follow with ORDER BY for a
+// stable parallel order, as with any aggregation).
+class DistinctStage : public GroupedAggregateStage {
+ public:
+  DistinctStage(const std::vector<ProjectColumn>& schema, uint32_t batch_capacity,
+                ExecControls* controls);
+
+  std::unique_ptr<SinkStage> Clone() const override;
+  std::string Describe() const override;
+
+ private:
+  std::vector<ProjectColumn> schema_;  // kept for Clone
+  uint32_t capacity_;
 };
 
 // One ORDER BY key over the stage's input schema.
@@ -409,6 +435,10 @@ class ProjectSinkOp : public Operator {
   // Runs the Finish cascade: every stage emits downstream, the tail
   // delivers to ExecControls::consumer and counts rows_emitted.
   void FinishStages();
+
+  // Re-points this sink and its whole stage chain at `controls` (plan
+  // cloning across PreparedQuery instances; see SinkStage).
+  void RebindControls(ExecControls* controls);
 
   bool counting_only() const { return cols_.empty() && stages_.empty(); }
   int num_stages() const { return static_cast<int>(stages_.size()); }

@@ -272,11 +272,19 @@ class AggregateDiffTest : public ::testing::TestWithParam<uint32_t> {
   // aggregates, order, limit).
   void CheckQuery(const std::string& text, const QueryGraph& oracle_query,
                   const std::vector<RefItem>& items, const std::vector<RefOrder>& order,
-                  int64_t limit = -1) {
+                  int64_t limit = -1, bool distinct = false) {
     std::vector<Row> want = OracleRows(oracle_query, items);
     bool has_agg = false;
     for (const RefItem& item : items) has_agg |= item.fn != AggFn::kNone;
     if (has_agg) want = RefAggregate(want, items);
+    if (distinct) {
+      // Reference dedup: canonical sort, then drop equal neighbours.
+      std::sort(want.begin(), want.end(),
+                [&](const Row& a, const Row& b) { return RefRowLess(a, b, {}); });
+      want.erase(std::unique(want.begin(), want.end(),
+                             [&](const Row& a, const Row& b) { return RowsEqual(a, b); }),
+                 want.end());
+    }
     std::sort(want.begin(), want.end(),
               [&](const Row& a, const Row& b) { return RefRowLess(a, b, order); });
     if (limit >= 0 && static_cast<size_t>(limit) < want.size()) {
@@ -418,6 +426,25 @@ TEST_P(AggregateDiffTest, LimitZeroAndOversized) {
              {VertexProp(0, grp_key_), CountStar()}, {{0, false}}, 0);
   CheckQuery("MATCH (a)-[r:E]->(b) RETURN a.grp, COUNT(*) ORDER BY a.grp LIMIT 100000",
              OneHop(), {VertexProp(0, grp_key_), CountStar()}, {{0, false}}, 100000);
+}
+
+TEST_P(AggregateDiffTest, DistinctMidVertexOneHop) {
+  CheckQuery("MATCH (a)-[r:E]->(b) RETURN DISTINCT b", OneHop(), {VertexId(1)}, {},
+             /*limit=*/-1, /*distinct=*/true);
+}
+
+TEST_P(AggregateDiffTest, DistinctPropertyWithNulls) {
+  // grp has ~17% nulls; DISTINCT must keep exactly one null row.
+  CheckQuery("MATCH (a)-[r:E]->(b) RETURN DISTINCT a.grp", OneHop(),
+             {VertexProp(0, grp_key_)}, {}, /*limit=*/-1, /*distinct=*/true);
+}
+
+TEST_P(AggregateDiffTest, DistinctPairOrderByLimit) {
+  CheckQuery(
+      "MATCH (a)-[r1:E]->(b)-[r2:E]->(c) "
+      "RETURN DISTINCT a.grp, c.grp ORDER BY a.grp, c.grp LIMIT 12",
+      TwoHop(), {VertexProp(0, grp_key_), VertexProp(2, grp_key_)},
+      {{0, false}, {1, false}}, 12, /*distinct=*/true);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AggregateDiffTest, ::testing::Values(11u, 37u, 101u));

@@ -111,5 +111,41 @@ TEST_F(BaselineTest, MemoryAccounting) {
   EXPECT_GT(flat_.MemoryBytes(), 0u);
 }
 
+TEST_F(BaselineTest, BudgetExhaustionStopsSearch) {
+  QueryGraph query;
+  int a = query.AddVertex("a");
+  int b = query.AddVertex("b");
+  int c = query.AddVertex("c");
+  query.AddEdge(a, b);
+  query.AddEdge(b, c);
+
+  // A generous cap leaves the result intact and balances its charges.
+  MemoryBudget roomy;
+  roomy.Reset(64ull << 20);
+  bool timed_out = false;
+  bool exhausted = false;
+  uint64_t unbudgeted = ll_.CountMatches(query);
+  EXPECT_EQ(ll_.CountMatches(query, 0.0, &timed_out, &roomy, &exhausted), unbudgeted);
+  EXPECT_FALSE(timed_out);
+  EXPECT_FALSE(exhausted);
+  EXPECT_EQ(roomy.used(), 0u) << "matcher must release all scratch charges";
+
+  // A cap smaller than any candidate list stops the search with
+  // kResourceExhausted rather than timing out or crashing.
+  MemoryBudget tiny;
+  tiny.Reset(1);
+  exhausted = false;
+  ll_.CountMatches(query, 0.0, &timed_out, &tiny, &exhausted);
+  EXPECT_TRUE(exhausted);
+  EXPECT_FALSE(timed_out);
+  EXPECT_EQ(tiny.used(), 0u);
+
+  MemoryBudget tiny_flat;
+  tiny_flat.Reset(1);
+  exhausted = false;
+  flat_.CountMatches(query, 0.0, &timed_out, &tiny_flat, &exhausted);
+  EXPECT_TRUE(exhausted);
+}
+
 }  // namespace
 }  // namespace aplus

@@ -185,6 +185,39 @@ TEST_F(CypherParserTest, ReturnErrors) {
   EXPECT_FALSE(ParseCypher("MATCH (a)-[r]->(b) RETURN", ex_.graph.catalog()).ok());
 }
 
+TEST_F(CypherParserTest, ReturnDistinct) {
+  ParsedCypher parsed =
+      ParseCypher("MATCH (a)-[r]->(b) RETURN DISTINCT b", ex_.graph.catalog());
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_TRUE(parsed.distinct);
+  ASSERT_EQ(parsed.returns.size(), 1u);
+
+  // DISTINCT is an optional prefix, not a reserved projection name:
+  // without it the flag stays clear.
+  ParsedCypher plain = ParseCypher("MATCH (a)-[r]->(b) RETURN b", ex_.graph.catalog());
+  ASSERT_TRUE(plain.ok()) << plain.error;
+  EXPECT_FALSE(plain.distinct);
+
+  // DISTINCT composes with ORDER BY and LIMIT.
+  ParsedCypher ordered = ParseCypher(
+      "MATCH (a)-[r]->(b) RETURN DISTINCT b ORDER BY b LIMIT 5", ex_.graph.catalog());
+  ASSERT_TRUE(ordered.ok()) << ordered.error;
+  EXPECT_TRUE(ordered.distinct);
+  EXPECT_TRUE(ordered.has_limit);
+  EXPECT_EQ(ordered.limit, 5u);
+
+  // DISTINCT + aggregates is rejected with a typed parse error, for
+  // COUNT(*) and for value aggregates alike.
+  ParsedCypher agg = ParseCypher("MATCH (a)-[r]->(b) RETURN DISTINCT COUNT(*)",
+                                 ex_.graph.catalog());
+  EXPECT_FALSE(agg.ok());
+  EXPECT_NE(agg.error.find("DISTINCT"), std::string::npos) << agg.error;
+  ParsedCypher mixed = ParseCypher(
+      "MATCH (a)-[r]->(b) RETURN DISTINCT b, SUM(r.amount)", ex_.graph.catalog());
+  EXPECT_FALSE(mixed.ok());
+  EXPECT_NE(mixed.error.find("DISTINCT"), std::string::npos) << mixed.error;
+}
+
 TEST_F(CypherParserTest, Parameters) {
   ParsedCypher parsed = ParseCypher(
       "MATCH (a1:Account)-[r1:W]->(a2:Account) "

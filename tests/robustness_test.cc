@@ -136,7 +136,12 @@ TEST_F(RobustnessTest, TimeoutSerialAndParallel) {
     // bar is 10 ms of slack; sanitizer / debug builds get a generous
     // multiplier since every poll is instrumented.
 #if defined(NDEBUG) && !defined(__SANITIZE_ADDRESS__) && !defined(__SANITIZE_THREAD__)
-    const double slack_ms = 10.0;
+    // 10 ms is a scheduling bound, not an engine bound: with ctest
+    // running sibling suites in parallel on a single visible core, the
+    // whole process can sit descheduled past the deadline through no
+    // fault of the stop path. Keep the tight bar where a spare core
+    // exists (CI runners have 4).
+    const double slack_ms = std::thread::hardware_concurrency() >= 2 ? 10.0 : 100.0;
 #else
     const double slack_ms = 500.0;
 #endif
