@@ -29,6 +29,15 @@
 // connection per arm), APLUS_BENCH_JSON (per-case metrics),
 // APLUS_BENCH_STRICT=1 (fail the process when the scaling, hit-rate or
 // overload acceptance targets are missed).
+//
+// APLUS_LOADGEN_SEAL=<path> switches the binary into dataset-prep mode:
+// it generates the bench dataset at APLUS_SCALE, seals it to a segment
+// file (storage/segment.h) and exits. The workflow for driving an
+// external server on the exact same dataset:
+//
+//   APLUS_LOADGEN_SEAL=/tmp/bench.seg aplus_loadgen
+//   aplusd --graph=/tmp/bench.seg &
+//   APLUS_SERVER_ADDR=127.0.0.1:7601 aplus_loadgen
 
 #include <algorithm>
 #include <atomic>
@@ -222,6 +231,25 @@ int main(int argc, char** argv) {
     // same ID space bound keeps the lookups point-sized.
     uint64_t num_vertices = std::max<uint64_t>(2000, static_cast<uint64_t>(1000000 * scale));
     for (vertex_id_t v = 0; v < num_vertices; ++v) sources.push_back(v);
+  }
+
+  // Dataset-prep mode: seal the generated dataset for `aplusd --graph`.
+  if (const char* seal = std::getenv("APLUS_LOADGEN_SEAL")) {
+    if (external) {
+      std::fprintf(stderr,
+                   "APLUS_LOADGEN_SEAL requires in-process mode (unset APLUS_SERVER_ADDR)\n");
+      return 1;
+    }
+    std::string error;
+    if (!db->SealToSegment(seal, &error)) {
+      std::fprintf(stderr, "seal %s: %s\n", seal, error.c_str());
+      return 1;
+    }
+    std::printf("aplus_loadgen: sealed %llu vertices, %llu edges to %s; "
+                "serve it with aplusd --graph=%s\n",
+                static_cast<unsigned long long>(db->graph().num_vertices()),
+                static_cast<unsigned long long>(db->graph().num_edges()), seal, seal);
+    return 0;
   }
 
   PrintBanner(std::string("aplus_loadgen (") +

@@ -85,4 +85,16 @@ uint64_t IntFromEnv(const char* name, uint64_t fallback) {
   return v > 0 ? static_cast<uint64_t>(v) : fallback;
 }
 
+uint64_t PeakRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  unsigned long long kb = 0;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %llu kB", &kb) == 1) break;
+  }
+  std::fclose(f);
+  return static_cast<uint64_t>(kb) * 1024;
+}
+
 }  // namespace aplus

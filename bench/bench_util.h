@@ -34,6 +34,12 @@ void PrintBanner(const std::string& title);
 // (iteration counts, sub-workload sizes).
 uint64_t IntFromEnv(const char* name, uint64_t fallback);
 
+// Peak resident set size of this process in bytes (the VmHWM line of
+// /proc/self/status); 0 where procfs is unavailable. Benches report it
+// in their APLUS_BENCH_JSON payloads so memory regressions show up on
+// the same trajectory as runtime ones.
+uint64_t PeakRssBytes();
+
 }  // namespace aplus
 
 #endif  // APLUS_BENCH_BENCH_UTIL_H_

@@ -106,6 +106,12 @@ for bench in "${BENCHES[@]}"; do
     # end-to-end; the perf-gate job runs the full sample count.
     run_one "${bench}" env \
       APLUS_CANCEL_REPS="${APLUS_CANCEL_REPS:-5}" || FAILED=1
+  elif [[ "${bench}" == "bench_segments" ]]; then
+    # Seal/reopen + footprint at smoke scale with one timed rep; the
+    # perf-gate job runs the full defaults and gates the seg/mem ratio
+    # and compression floor.
+    run_one "${bench}" env APLUS_SCALE="${SCALE}" \
+      APLUS_SEGMENT_REPS="${APLUS_SEGMENT_REPS:-1}" || FAILED=1
   elif [[ "${bench}" == "bench_intersect" ]]; then
     # One timed rep and fewer tuples: smoke guards "it runs and reports",
     # the perf-gate job runs it at full defaults.

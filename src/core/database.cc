@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "optimizer/plan_printer.h"
+#include "storage/segment.h"
 #include "util/epoch.h"
 #include "util/logging.h"
 
@@ -44,12 +45,19 @@ Database::Database(Graph graph) : graph_(std::move(graph)) {
   }
 }
 
+Database::~Database() = default;
+
 double Database::BuildPrimaryIndexes(const IndexConfig& config) {
+  APLUS_CHECK(!segment_backed()) << "segment-backed primary indexes are immutable";
   return store_->BuildPrimary(config);
 }
 
 VpIndex* Database::CreateVpIndex(const std::string& name, const Predicate& pred,
                                  const IndexConfig& config, Direction dir, double* seconds) {
+  if (segment_backed()) {
+    APLUS_LOG(Error) << "secondary indexes are unsupported on a segment-backed database";
+    return nullptr;
+  }
   OneHopViewDef view;
   view.name = name;
   view.pred = pred;
@@ -59,6 +67,10 @@ VpIndex* Database::CreateVpIndex(const std::string& name, const Predicate& pred,
 EpIndex* Database::CreateEpIndex(const std::string& name, EpKind kind, const Predicate& pred,
                                  const IndexConfig& config, double* seconds,
                                  size_t budget_bytes) {
+  if (segment_backed()) {
+    APLUS_LOG(Error) << "secondary indexes are unsupported on a segment-backed database";
+    return nullptr;
+  }
   TwoHopViewDef view;
   view.name = name;
   view.kind = kind;
@@ -66,8 +78,35 @@ EpIndex* Database::CreateEpIndex(const std::string& name, EpKind kind, const Pre
   return store_->CreateEpIndex(view, config, seconds, budget_bytes);
 }
 
+bool Database::SealToSegment(const std::string& path, std::string* error) {
+  if (concurrent_ingest_active()) {
+    if (error != nullptr) *error = "seal: concurrent ingest is active";
+    return false;
+  }
+  if (store_->HasPendingUpdates()) store_->FlushAll();
+  return SealSegment(graph_, *store_, path, error);
+}
+
+std::unique_ptr<Database> Database::OpenFromSegment(const std::string& path, std::string* error) {
+  std::unique_ptr<Segment> segment = aplus::OpenSegment(path, error);
+  if (segment == nullptr) return nullptr;
+  // The graph moves into the database; index page views point into the
+  // mapping, which stays owned by the segment.
+  std::unique_ptr<Database> db(new Database(std::move(segment->graph())));
+  for (Direction dir : {Direction::kFwd, Direction::kBwd}) {
+    SegmentIndexPart& part = segment->part(dir);
+    db->store_->AttachSegment(dir, part.config, std::move(part.pages), part.num_edges);
+  }
+  db->segment_ = std::move(segment);
+  return db;
+}
+
 DdlResult Database::ExecuteDdl(const std::string& command) {
   DdlResult result;
+  if (segment_backed()) {
+    result.message = "segment-backed database is immutable: DDL rejected";
+    return result;
+  }
   DdlCommand cmd = ParseDdl(command, graph_.catalog());
   if (!cmd.ok()) {
     result.message = cmd.error;
@@ -126,6 +165,7 @@ DpOptimizer* Database::CachedOptimizer() {
 }
 
 void Database::BeginConcurrentIngest(const ConcurrentIngestOptions& options) {
+  APLUS_CHECK(!segment_backed()) << "concurrent ingest is unsupported on a segment-backed database";
   APLUS_CHECK(!concurrent_ingest_active()) << "concurrent ingest is already active";
   APLUS_CHECK_GE(options.max_vertices, graph_.num_vertices());
   APLUS_CHECK_GE(options.max_edges, graph_.num_edges());

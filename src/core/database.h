@@ -53,9 +53,12 @@ struct ConcurrentIngestOptions {
 //
 // One-shot paths (Execute / ExecuteCypher) parse + optimize per call and
 // also report through QueryOutcome.
+class Segment;
+
 class Database {
  public:
   explicit Database(Graph graph);
+  ~Database();
 
   Graph& graph() { return graph_; }
   const Graph& graph() const { return graph_; }
@@ -76,8 +79,32 @@ class Database {
                          const IndexConfig& config, double* seconds = nullptr,
                          size_t budget_bytes = 0);
 
-  // Parses and executes one of the paper's index DDL commands.
+  // Parses and executes one of the paper's index DDL commands. Rejected
+  // with a typed error on a segment-backed database (sealed pages are
+  // immutable).
   DdlResult ExecuteDdl(const std::string& command);
+
+  // --- Sealed segments (storage/segment.h) ---
+  //
+  // Writes the graph plus both primary indexes to an immutable segment
+  // file. Requires built indexes and no active ingest; pending index
+  // updates are flushed first. Returns false with a description in
+  // *error.
+  bool SealToSegment(const std::string& path, std::string* error = nullptr);
+
+  // Opens a sealed segment: maps the file read-only, copies the graph
+  // section into memory, and attaches both primary indexes as views into
+  // the mapping — no index rebuild. The database holds the mapping for
+  // its lifetime. Segment-backed databases are read-only on the DDL /
+  // ingest axis: ExecuteDdl returns a typed error and
+  // BeginConcurrentIngest / CreateVpIndex / CreateEpIndex /
+  // BuildPrimaryIndexes are rejected. Queries, sessions, morsel
+  // parallelism and the server run unchanged. Returns null with a
+  // description in *error on any validation failure.
+  static std::unique_ptr<Database> OpenFromSegment(const std::string& path,
+                                                   std::string* error = nullptr);
+
+  bool segment_backed() const { return segment_ != nullptr; }
 
   // --- Concurrent serving under online updates ---
   //
@@ -153,6 +180,10 @@ class Database {
   DpOptimizer* CachedOptimizer();
 
   Graph graph_;
+  // Mapping behind segment-backed primary pages; null for in-memory
+  // databases. Declared before store_ so the store (whose pages view the
+  // mapping) destructs first and nothing dangles during teardown.
+  std::unique_ptr<Segment> segment_;
   std::unique_ptr<IndexStore> store_;
   std::unique_ptr<Maintainer> maintainer_;
   std::unique_ptr<DpOptimizer> optimizer_;

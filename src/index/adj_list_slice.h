@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "storage/codec.h"
 #include "storage/types.h"
 #include "util/bit_util.h"
 
@@ -12,7 +13,7 @@ namespace aplus {
 //
 // Primary A+ index lists are "direct": `nbrs`/`edges` point straight at
 // the contiguous ID lists (4-byte neighbour IDs, 8-byte edge IDs,
-// Section IV-B) and `offsets` is null.
+// Section IV-B) and `offsets`/`packed` are null.
 //
 // Secondary A+ index lists are "offset lists" (Section III-B3): `offsets`
 // points at a fixed-width byte array of positions into the bound vertex's
@@ -20,26 +21,52 @@ namespace aplus {
 // list. Entry i resolves through one indirection; because primary lists
 // are short (average degree of real graphs), the indirection stays cache
 // friendly, which is the design argument of Section III-B3.
+//
+// Sealed-segment cold lists are "packed": `packed` points at the page's
+// delta/varint stream (storage/codec.h) living inside the segment
+// mapping, `packed_base` is the page-relative entry index of this slice,
+// and `nbrs`/`edges` are null. Point access decodes through `cursor`
+// (a one-block cache owned by the probing scratch) when wired, or the
+// stateless reference decoder otherwise; batch access goes through the
+// decode_varint_block kernel behind the same chokepoint as offset lists.
 struct AdjListSlice {
   const vertex_id_t* nbrs = nullptr;
   const edge_id_t* edges = nullptr;
   const uint8_t* offsets = nullptr;
+  const uint8_t* packed = nullptr;
+  codec::PackedCursor* cursor = nullptr;
+  uint32_t packed_base = 0;
   uint8_t offset_width = 0;
   uint32_t len = 0;
 
   uint32_t size() const { return len; }
   bool empty() const { return len == 0; }
   bool is_offset_list() const { return offsets != nullptr; }
+  bool is_packed() const { return packed != nullptr; }
+  // Direct lists expose flat sorted arrays the SIMD kernels can run on.
+  bool is_direct() const { return offsets == nullptr && packed == nullptr; }
 
   // Position of entry i within the base primary list (identity for
-  // direct lists).
+  // direct lists; meaningless for packed lists).
   uint64_t BaseOffsetAt(uint32_t i) const {
     if (offsets == nullptr) return i;
     return LoadFixedWidth(offsets + static_cast<size_t>(i) * offset_width, offset_width);
   }
 
-  vertex_id_t NbrAt(uint32_t i) const { return nbrs[BaseOffsetAt(i)]; }
-  edge_id_t EdgeAt(uint32_t i) const { return edges[BaseOffsetAt(i)]; }
+  vertex_id_t NbrAt(uint32_t i) const {
+    if (packed != nullptr) {
+      return cursor != nullptr ? cursor->NbrAt(packed, packed_base + i)
+                               : codec::DecodeNbrAt(packed, packed_base + i);
+    }
+    return nbrs[BaseOffsetAt(i)];
+  }
+  edge_id_t EdgeAt(uint32_t i) const {
+    if (packed != nullptr) {
+      return cursor != nullptr ? cursor->EidAt(packed, packed_base + i)
+                               : codec::DecodeEidAt(packed, packed_base + i);
+    }
+    return edges[BaseOffsetAt(i)];
+  }
 };
 
 }  // namespace aplus

@@ -14,7 +14,8 @@ double BitmapIndex::Build() {
   page_bits_.assign(primary_->num_pages(), {});
   for (uint32_t p = 0; p < primary_->num_pages(); ++p) {
     const IdListPage& page = primary_->page(p);
-    size_t num_entries = page.eids.size();
+    APLUS_CHECK(!page.is_packed()) << "bitmap indexes require raw primary pages";
+    size_t num_entries = page.num_entries;
     std::vector<uint64_t>& bits = page_bits_[p];
     bits.assign((num_entries + 63) / 64, 0);
     for (size_t i = 0; i < num_entries; ++i) {

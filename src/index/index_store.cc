@@ -94,6 +94,15 @@ void IndexStore::PrepareForConcurrentIngest(uint64_t max_vertices) {
   primary_bwd_->ReservePages(max_vertices);
 }
 
+void IndexStore::AttachSegment(Direction dir, const IndexConfig& config,
+                               std::vector<std::unique_ptr<IdListPage>> pages,
+                               uint64_t num_edges) {
+  APLUS_CHECK(vp_indexes_.empty() && ep_indexes_.empty())
+      << "attach segment pages before creating secondary indexes";
+  BumpVersion();
+  primary(dir)->AttachSegmentPages(config, std::move(pages), num_edges);
+}
+
 bool IndexStore::HasPendingUpdates() const {
   if (primary_fwd_->HasPendingUpdates() || primary_bwd_->HasPendingUpdates()) return true;
   for (const auto& vp : vp_indexes_) {

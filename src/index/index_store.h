@@ -69,6 +69,13 @@ class IndexStore {
   // checks no secondary indexes exist. Must be called while quiesced.
   void PrepareForConcurrentIngest(uint64_t max_vertices);
 
+  // Installs sealed segment-backed pages into one primary index; the
+  // pages view a read-only mapping that the caller keeps alive for the
+  // store's lifetime (Database::OpenFromSegment holds the Segment).
+  // Requires no secondary indexes and no readers.
+  void AttachSegment(Direction dir, const IndexConfig& config,
+                     std::vector<std::unique_ptr<IdListPage>> pages, uint64_t num_edges);
+
   const Graph* graph() const { return graph_; }
 
   // Monotonic counter bumped whenever the set or configuration of

@@ -21,19 +21,49 @@ namespace aplus {
 // any partition *prefix* is still one contiguous range, which is what
 // gives constant-time access at every level of the index.
 //
+// Readers go through the raw view pointers, which come in two flavours:
+//   - In-memory pages own their arrays (the *_store vectors below);
+//     Seal() points the views at them after a build.
+//   - Segment-backed pages view a read-only mmap region directly
+//     (src/storage/segment.h): the stores stay empty and the views point
+//     into the mapping, which the owning Segment keeps alive. Cold pages
+//     additionally drop the flat nbr/eid arrays for a delta/varint
+//     stream (`packed`, storage/codec.h layout).
+//
 // A page is an immutable sorted run once published: maintenance never
 // mutates it in place. Updates accumulate in a separate PageDelta and a
 // merge builds a fresh IdListPage, swaps it in behind an atomic pointer
 // and retires this one through the EpochManager once no reader can still
-// be probing it (Section IV-C, made concurrency-safe).
+// be probing it (Section IV-C, made concurrency-safe). Segment-backed
+// pages reject mutation wholesale (Database::OpenFromSegment).
 struct IdListPage {
-  std::vector<uint32_t> csr;
-  std::vector<vertex_id_t> nbrs;
-  std::vector<edge_id_t> eids;
+  // Views (what every reader touches).
+  const uint32_t* csr = nullptr;       // csr_len entries
+  const vertex_id_t* nbrs = nullptr;   // num_entries entries (null when packed)
+  const edge_id_t* eids = nullptr;     // num_entries entries (null when packed)
+  const uint8_t* packed = nullptr;     // codec stream (null when raw)
+  uint32_t csr_len = 0;
+  uint32_t num_entries = 0;
+
+  // Backing storage of in-memory pages (empty for segment-backed pages).
+  std::vector<uint32_t> csr_store;
+  std::vector<vertex_id_t> nbr_store;
+  std::vector<edge_id_t> eid_store;
+
+  bool is_packed() const { return packed != nullptr; }
+
+  // Points the views at the owned stores after an in-memory build.
+  void Seal() {
+    csr = csr_store.data();
+    csr_len = static_cast<uint32_t>(csr_store.size());
+    nbrs = nbr_store.data();
+    eids = eid_store.data();
+    num_entries = static_cast<uint32_t>(nbr_store.size());
+  }
 
   size_t MemoryBytes() const {
-    return csr.capacity() * sizeof(uint32_t) + nbrs.capacity() * sizeof(vertex_id_t) +
-           eids.capacity() * sizeof(edge_id_t);
+    return csr_store.capacity() * sizeof(uint32_t) + nbr_store.capacity() * sizeof(vertex_id_t) +
+           eid_store.capacity() * sizeof(edge_id_t);
   }
 };
 

@@ -187,22 +187,24 @@ std::unique_ptr<IdListPage> PrimaryIndex::BuildRun(const std::vector<edge_id_t>&
     return a.key < b.key;
   });
 
-  page->csr.assign(slots + 1, 0);
-  for (const BuildEntry& entry : entries) page->csr[entry.bucket + 1]++;
-  for (uint32_t s = 0; s < slots; ++s) page->csr[s + 1] += page->csr[s];
+  page->csr_store.assign(slots + 1, 0);
+  for (const BuildEntry& entry : entries) page->csr_store[entry.bucket + 1]++;
+  for (uint32_t s = 0; s < slots; ++s) page->csr_store[s + 1] += page->csr_store[s];
 
-  page->nbrs.resize(entries.size());
-  page->eids.resize(entries.size());
+  page->nbr_store.resize(entries.size());
+  page->eid_store.resize(entries.size());
   for (size_t i = 0; i < entries.size(); ++i) {
-    page->nbrs[i] = entries[i].nbr;
-    page->eids[i] = entries[i].eid;
+    page->nbr_store[i] = entries[i].nbr;
+    page->eid_store[i] = entries[i].eid;
   }
+  page->Seal();
   return page;
 }
 
 AdjListSlice PrimaryIndex::SliceFromRun(const IdListPage* run, vertex_id_t v,
-                                        const std::vector<category_t>& cats) const {
-  if (run == nullptr || run->csr.empty()) return AdjListSlice();
+                                        const std::vector<category_t>& cats,
+                                        codec::PackedCursor* cursor) const {
+  if (run == nullptr || run->csr_len == 0) return AdjListSlice();
   uint32_t base = (v % kGroupSize) * fanout_product_;
   uint32_t start = base;
   uint32_t span = fanout_product_;
@@ -211,9 +213,15 @@ AdjListSlice PrimaryIndex::SliceFromRun(const IdListPage* run, vertex_id_t v,
     start += cats[i] * span;
   }
   AdjListSlice slice;
-  slice.nbrs = run->nbrs.data() + run->csr[start];
-  slice.edges = run->eids.data() + run->csr[start];
   slice.len = run->csr[start + span] - run->csr[start];
+  if (run->is_packed()) {
+    slice.packed = run->packed;
+    slice.packed_base = run->csr[start];
+    slice.cursor = cursor;
+    return slice;
+  }
+  slice.nbrs = run->nbrs + run->csr[start];
+  slice.edges = run->eids + run->csr[start];
   return slice;
 }
 
@@ -239,16 +247,20 @@ AdjListSlice PrimaryIndex::GetListSnapshot(vertex_id_t v, const std::vector<cate
   // never see a delta entry twice.
   const IdListPage* run = slot.run.load(std::memory_order_acquire);
   const PageDelta* delta = slot.delta.load(std::memory_order_acquire);
-  if (delta == nullptr) return SliceFromRun(run, v, cats);
+  codec::PackedCursor* cursor = scratch != nullptr ? &scratch->packed_cursor : nullptr;
+  if (delta == nullptr) return SliceFromRun(run, v, cats, cursor);
+  // Segment-backed (packed) pages never carry deltas: every mutation
+  // path is rejected on a segment-backed database.
+  APLUS_DCHECK(run == nullptr || !run->is_packed());
   uint32_t ni = delta->num_inserts.load(std::memory_order_acquire);
   uint32_t nd = delta->num_deletes.load(std::memory_order_acquire);
-  if (ni == 0 && nd == 0) return SliceFromRun(run, v, cats);
+  if (ni == 0 && nd == 0) return SliceFromRun(run, v, cats, cursor);
 
   // Does any delta entry belong to this owner at all?
   bool relevant = false;
   for (uint32_t i = 0; i < ni && !relevant; ++i) relevant = OwnerOf(delta->inserts[i]) == v;
   for (uint32_t i = 0; i < nd && !relevant; ++i) relevant = OwnerOf(delta->deletes[i]) == v;
-  if (!relevant) return SliceFromRun(run, v, cats);
+  if (!relevant) return SliceFromRun(run, v, cats, cursor);
 
   // Requested bucket range within the page (same arithmetic as
   // SliceFromRun, but we need the bucket bounds to place adds).
@@ -259,7 +271,7 @@ AdjListSlice PrimaryIndex::GetListSnapshot(vertex_id_t v, const std::vector<cate
     span /= fanouts_[i];
     start += cats[i] * span;
   }
-  bool has_run = run != nullptr && !run->csr.empty();
+  bool has_run = run != nullptr && run->csr_len != 0;
   uint32_t begin = has_run ? run->csr[start] : 0;
   uint32_t end = has_run ? run->csr[start + span] : 0;
 
@@ -289,7 +301,9 @@ AdjListSlice PrimaryIndex::GetListSnapshot(vertex_id_t v, const std::vector<cate
     add.pos = 0;
     scratch->adds.push_back(add);
   }
-  if (scratch->adds.empty() && scratch->deletes.empty()) return SliceFromRun(run, v, cats);
+  if (scratch->adds.empty() && scratch->deletes.empty()) {
+    return SliceFromRun(run, v, cats, cursor);
+  }
 
   // Sorted insertion position of each add inside its bucket's run range
   // (keys within a bucket are sorted, so binary search applies).
@@ -346,17 +360,20 @@ void PrimaryIndex::GetListBase(vertex_id_t v, const vertex_id_t** nbrs, const ed
                                uint32_t* len) const {
   const IdListPage* run =
       PageOf(v) < pages_.size() ? pages_[PageOf(v)].run.load(std::memory_order_acquire) : nullptr;
-  if (run == nullptr || run->csr.empty()) {
+  if (run == nullptr || run->csr_len == 0) {
     *nbrs = nullptr;
     *eids = nullptr;
     *len = 0;
     return;
   }
+  // Only secondary-index paths resolve base pointers, and secondaries
+  // are rejected on segment-backed graphs — a packed run here is a bug.
+  APLUS_CHECK(!run->is_packed()) << "GetListBase on a packed segment page";
   uint32_t base = (v % kGroupSize) * fanout_product_;
   uint32_t begin = run->csr[base];
   uint32_t end = run->csr[base + fanout_product_];
-  *nbrs = run->nbrs.data() + begin;
-  *eids = run->eids.data() + begin;
+  *nbrs = run->nbrs + begin;
+  *eids = run->eids + begin;
   *len = end - begin;
 }
 
@@ -375,7 +392,7 @@ size_t PrimaryIndex::PartitionLevelBytes() const {
   size_t bytes = 0;
   for (const PageSlot& slot : pages_) {
     const IdListPage* run = slot.run.load(std::memory_order_acquire);
-    if (run != nullptr) bytes += run->csr.capacity() * sizeof(uint32_t);
+    if (run != nullptr) bytes += static_cast<size_t>(run->csr_len) * sizeof(uint32_t);
   }
   return bytes;
 }
@@ -389,6 +406,36 @@ void PrimaryIndex::ReservePages(uint64_t max_vertices) {
     pages_.back().run.store(BuildRun({}).release(), std::memory_order_release);
   }
   pages_reserved_ = true;
+}
+
+void PrimaryIndex::AttachSegmentPages(const IndexConfig& config,
+                                      std::vector<std::unique_ptr<IdListPage>> pages,
+                                      uint64_t num_edges) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  config_ = config;
+  fanouts_.clear();
+  fanout_product_ = 1;
+  for (const PartitionCriterion& p : config_.partitions) {
+    uint32_t fanout = PartitionFanout(graph_->catalog(), p);
+    APLUS_CHECK_GT(fanout, 0u) << "empty partition domain";
+    fanouts_.push_back(fanout);
+    fanout_product_ *= fanout;
+  }
+  for (PageSlot& slot : pages_) {
+    EpochManager::Global().Retire(slot.run.load(std::memory_order_relaxed));
+    EpochManager::Global().Retire(slot.delta.load(std::memory_order_relaxed));
+    slot.run.store(nullptr, std::memory_order_relaxed);
+    slot.delta.store(nullptr, std::memory_order_relaxed);
+  }
+  pages_.clear();
+  pages_.reserve(pages.size());
+  for (auto& page : pages) {
+    pages_.emplace_back();
+    pages_.back().run.store(page.release(), std::memory_order_release);
+  }
+  num_edges_indexed_.store(num_edges, std::memory_order_relaxed);
+  pending_updates_.store(0, std::memory_order_relaxed);
+  EpochManager::Global().TryReclaim();
 }
 
 void PrimaryIndex::GrowPagesLocked(uint32_t page_idx) {
@@ -448,8 +495,9 @@ void PrimaryIndex::DeleteEdge(edge_id_t e) {
   PageDelta* delta = slot.delta.load(std::memory_order_relaxed);
   bool found = false;
   if (run != nullptr) {
-    for (edge_id_t re : run->eids) {
-      if (re == e) {
+    APLUS_CHECK(!run->is_packed()) << "mutating a segment-backed page";
+    for (uint32_t i = 0; i < run->num_entries; ++i) {
+      if (run->eids[i] == e) {
         found = true;
         break;
       }
@@ -494,11 +542,12 @@ void PrimaryIndex::MergePageLocked(uint32_t page_idx) {
     }
     return false;
   };
+  APLUS_CHECK(old_run == nullptr || !old_run->is_packed()) << "merging a segment-backed page";
   std::vector<edge_id_t> edges;
-  edges.reserve((old_run != nullptr ? old_run->eids.size() : 0) + ni);
+  edges.reserve((old_run != nullptr ? old_run->num_entries : 0) + ni);
   if (old_run != nullptr) {
-    for (edge_id_t e : old_run->eids) {
-      if (!is_deleted(e)) edges.push_back(e);
+    for (uint32_t i = 0; i < old_run->num_entries; ++i) {
+      if (!is_deleted(old_run->eids[i])) edges.push_back(old_run->eids[i]);
     }
   }
   for (uint32_t i = 0; i < ni; ++i) {
@@ -544,7 +593,7 @@ uint32_t PrimaryIndex::RunEntries(uint32_t page_idx) const {
   std::lock_guard<std::mutex> lock(writer_mu_);
   if (page_idx >= pages_.size()) return 0;
   const IdListPage* run = pages_[page_idx].run.load(std::memory_order_acquire);
-  return run != nullptr ? static_cast<uint32_t>(run->eids.size()) : 0;
+  return run != nullptr ? run->num_entries : 0;
 }
 
 void PrimaryIndex::FlushPage(uint32_t page_idx) {

@@ -63,6 +63,9 @@ struct ListMergeScratch {
   std::vector<edge_id_t> eids;
   std::vector<Add> adds;
   std::vector<edge_id_t> deletes;
+  // One-block decode cache for packed (segment-backed) lists, wired into
+  // the returned slice so repeated point probes amortize varint decodes.
+  codec::PackedCursor packed_cursor;
 };
 
 // A primary A+ index (Section III-A): one of the two mandatory indexes
@@ -178,6 +181,14 @@ class PrimaryIndex {
   // Pre-sizes the page vector for concurrent serving: the slot array
   // must not grow (and thus move) while lock-free readers index into it.
   void ReservePages(uint64_t max_vertices);
+
+  // Installs sealed segment-backed pages: each IdListPage views arrays
+  // inside a read-only mapping the caller keeps alive for the index's
+  // lifetime (Database::OpenFromSegment holds the Segment). Replaces any
+  // built state; must run before readers exist. Mutation of a
+  // segment-backed index is rejected upstream (DDL / ingest guards).
+  void AttachSegmentPages(const IndexConfig& config,
+                          std::vector<std::unique_ptr<IdListPage>> pages, uint64_t num_edges);
   // Background-merge mode: the maintainer decides when to merge, pages
   // only force an inline merge when a delta side fills up entirely.
   void set_auto_merge(bool on) { auto_merge_ = on; }
@@ -225,7 +236,8 @@ class PrimaryIndex {
   void MergePageLocked(uint32_t page_idx);
   void GrowPagesLocked(uint32_t page_idx);
   AdjListSlice SliceFromRun(const IdListPage* run, vertex_id_t v,
-                            const std::vector<category_t>& cats) const;
+                            const std::vector<category_t>& cats,
+                            codec::PackedCursor* cursor = nullptr) const;
   uint32_t PageOf(vertex_id_t v) const { return v / kGroupSize; }
 
   const Graph* graph_;

@@ -95,8 +95,8 @@ void VpIndex::BuildGroup(uint32_t page_idx) {
     for (Entry& entry : entries) {
       uint32_t slot_base = entry.bucket * pfp;
       uint32_t abs_pos = ppage.csr[slot_base] + entry.offset;
-      const uint32_t* begin_it = ppage.csr.data() + slot_base;
-      const uint32_t* end_it = ppage.csr.data() + slot_base + pfp + 1;
+      const uint32_t* begin_it = ppage.csr + slot_base;
+      const uint32_t* end_it = ppage.csr + slot_base + pfp + 1;
       const uint32_t* it = std::upper_bound(begin_it, end_it, abs_pos);
       entry.bucket = slot_base + static_cast<uint32_t>(it - begin_it) - 1;
     }

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "query/intersect_kernels_impl.h"
+#include "storage/codec.h"
 
 #if defined(__x86_64__) || defined(__i386__)
 #define APLUS_X86_KERNELS 1
@@ -55,6 +56,7 @@ void DecodeEntriesScalar(const vertex_id_t* base_nbrs, const edge_id_t* base_edg
 constexpr Kernels kScalarTable = {
     &AdvanceScalar<false>, &AdvanceScalar<true>,
     &DecodeNbrsScalar,     &DecodeEntriesScalar,
+    &DecodeVarintBlockScalar,
     Level::kScalar,
 };
 
@@ -90,6 +92,11 @@ const Kernels& TableFor(Level level) {
 std::atomic<const Kernels*> g_active{nullptr};
 
 }  // namespace
+
+void DecodeVarintBlockScalar(const uint8_t* packed, uint32_t begin, uint32_t count,
+                             vertex_id_t* out_nbrs, edge_id_t* out_edges) {
+  codec::DecodeRange(packed, begin, count, out_nbrs, out_edges);
+}
 
 const char* ToString(Level level) {
   switch (level) {

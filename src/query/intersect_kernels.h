@@ -58,8 +58,23 @@ struct Kernels {
   void (*decode_entries)(const vertex_id_t* base_nbrs, const edge_id_t* base_edges,
                          const uint8_t* offsets, uint8_t width, uint32_t begin, uint32_t count,
                          vertex_id_t* out_nbrs, edge_id_t* out_edges);
+  // Batch-decodes `count` entries of a delta/varint packed stream
+  // (storage/codec.h layout — the sealed-segment cold-list
+  // representation) starting at stream entry `begin`. Either output may
+  // be null to skip that side. Sequential varint decoding is a serial
+  // dependency chain, so every level currently shares the scalar
+  // implementation; the table entry is the dispatch seam for future
+  // SIMD variants (e.g. masked-shuffle varint unpacking).
+  void (*decode_varint_block)(const uint8_t* packed, uint32_t begin, uint32_t count,
+                              vertex_id_t* out_nbrs, edge_id_t* out_edges);
   Level level;
 };
+
+// The shared scalar varint decoder behind decode_varint_block (wraps the
+// storage/codec.h reference decoder); exposed so the per-ISA tables can
+// reference one definition.
+void DecodeVarintBlockScalar(const uint8_t* packed, uint32_t begin, uint32_t count,
+                             vertex_id_t* out_nbrs, edge_id_t* out_edges);
 
 // Highest level this host's CPU can execute.
 Level HostMaxLevel();

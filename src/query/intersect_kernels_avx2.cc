@@ -98,6 +98,7 @@ void DecodeEntriesAvx2(const vertex_id_t* base_nbrs, const edge_id_t* base_edges
 constexpr Kernels kAvx2Table = {
     &AdvanceGeAvx2,  &AdvanceGtAvx2,
     &DecodeNbrsAvx2, &DecodeEntriesAvx2,
+    &DecodeVarintBlockScalar,
     Level::kAvx2,
 };
 

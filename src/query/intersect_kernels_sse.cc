@@ -56,6 +56,7 @@ void DecodeEntriesSse(const vertex_id_t* base_nbrs, const edge_id_t* base_edges,
 constexpr Kernels kSseTable = {
     &AdvanceGeSse,  &AdvanceGtSse,
     &DecodeNbrsSse, &DecodeEntriesSse,
+    &DecodeVarintBlockScalar,
     Level::kSse,
 };
 

@@ -57,10 +57,11 @@ std::pair<uint32_t, uint32_t> GallopEqualRange(const NbrFn& nbr_at, uint32_t fro
 
 // Equal range of `n` within the bounded range of a slice. Direct lists
 // expose a flat sorted array, so the dispatched SIMD kernel runs on it;
-// offset lists keep the lambda gallop (per-probe LoadFixedWidth reads).
+// offset and packed lists keep the lambda gallop (per-probe
+// LoadFixedWidth reads / cursor-cached varint block decodes).
 std::pair<uint32_t, uint32_t> EqualRangeByNbr(const AdjListSlice& slice, vertex_id_t n,
                                               uint32_t begin, uint32_t end) {
-  if (!slice.is_offset_list()) {
+  if (slice.is_direct()) {
     return simd::EqualRange(simd::Active(), slice.nbrs, begin, end, n);
   }
   return GallopEqualRange([&slice](uint32_t i) { return slice.NbrAt(i); }, begin, end, n);
@@ -75,6 +76,37 @@ bool ShouldDecode(uint64_t probes, uint64_t len) {
   uint32_t log2_len = 1;
   while ((1ULL << log2_len) < len) ++log2_len;
   return probes * log2_len >= len;
+}
+
+// Slice-aware variant: a point probe into a packed (varint) list decodes
+// a whole codec block per touched entry, roughly an order of magnitude
+// more work than a fixed-width offset read, so packing tilts the
+// heuristic decode-ward.
+bool ShouldDecodeSlice(const AdjListSlice& slice, uint64_t probes, uint64_t len) {
+  return ShouldDecode(slice.is_packed() ? probes * 8 : probes, len);
+}
+
+// Batch-decode dispatch over the two non-direct representations behind
+// the chokepoint: fixed-width offset lists (decode_nbrs/decode_entries)
+// and packed varint streams (decode_varint_block). Operators stay
+// representation-agnostic; this is the single seam.
+void DecodeSliceNbrs(const simd::Kernels& kern, const AdjListSlice& s, uint32_t begin,
+                     uint32_t count, vertex_id_t* out) {
+  if (s.is_packed()) {
+    kern.decode_varint_block(s.packed, s.packed_base + begin, count, out, nullptr);
+  } else {
+    kern.decode_nbrs(s.nbrs, s.offsets, s.offset_width, begin, count, out);
+  }
+}
+
+void DecodeSliceEntries(const simd::Kernels& kern, const AdjListSlice& s, uint32_t begin,
+                        uint32_t count, vertex_id_t* out_nbrs, edge_id_t* out_edges) {
+  if (s.is_packed()) {
+    kern.decode_varint_block(s.packed, s.packed_base + begin, count, out_nbrs, out_edges);
+  } else {
+    kern.decode_entries(s.nbrs, s.edges, s.offsets, s.offset_width, begin, count, out_nbrs,
+                        out_edges);
+  }
 }
 
 bool EvalResiduals(const Graph& graph, const std::vector<QueryComparison>& preds,
@@ -429,7 +461,9 @@ void ExtendIntersectOp::Run(MatchState* state) {
   const uint32_t pivot_len = target_bound_ != kInvalidVertex ? 1 : probes_[pivot].len();
   for (size_t l = 0; l < z; ++l) {
     ProbeList& pl = probes_[l];
-    if (l == pivot || !pl.slice.is_offset_list() || !ShouldDecode(pivot_len, pl.len())) continue;
+    if (l == pivot || pl.slice.is_direct() || !ShouldDecodeSlice(pl.slice, pivot_len, pl.len())) {
+      continue;
+    }
     // Batch-decode via the dispatched kernel (gathers under AVX2); the
     // buffer keeps its plan-lifetime capacity across executions. Growth
     // is plan scratch and charges the query's budget.
@@ -442,8 +476,7 @@ void ExtendIntersectOp::Run(MatchState* state) {
       }
       pl.decode_buf.resize(pl.len());
     }
-    kern.decode_nbrs(pl.slice.nbrs, pl.slice.offsets, pl.slice.offset_width, pl.begin, pl.len(),
-                     pl.decode_buf.data());
+    DecodeSliceNbrs(kern, pl.slice, pl.begin, pl.len(), pl.decode_buf.data());
     pl.decoded = pl.decode_buf.data();
   }
   const ProbeList& ps = probes_[pivot];
@@ -481,7 +514,7 @@ void ExtendIntersectOp::Run(MatchState* state) {
         auto [first, last] = simd::EqualRange(kern, pl.decoded, pl.frontier - pl.begin,
                                               pl.end - pl.begin, n);
         ranges_[l] = {first + pl.begin, last + pl.begin};
-      } else if (!pl.slice.is_offset_list()) {
+      } else if (pl.slice.is_direct()) {
         ranges_[l] = simd::EqualRange(kern, pl.slice.nbrs, pl.frontier, pl.end, n);
       } else {
         ranges_[l] =
@@ -665,7 +698,7 @@ void MultiExtendOp::Run(MatchState* state) {
     for (size_t l = 0; l < z; ++l) {
       run_decoded_[l] = 0;
       uint32_t run_len = ranges_[l].second - ranges_[l].first;
-      if (enumerations >= 4 && run_len >= 8 && slices_[l].is_offset_list()) {
+      if (enumerations >= 4 && run_len >= 8 && !slices_[l].is_direct()) {
         // Run-buffer growth is plan scratch and charges the budget.
         if (run_nbrs_[l].size() < run_len) {
           const uint64_t grow = static_cast<uint64_t>(run_len - run_nbrs_[l].size()) *
@@ -677,9 +710,8 @@ void MultiExtendOp::Run(MatchState* state) {
           run_nbrs_[l].resize(run_len);
         }
         if (run_edges_[l].size() < run_len) run_edges_[l].resize(run_len);
-        simd::Active().decode_entries(slices_[l].nbrs, slices_[l].edges, slices_[l].offsets,
-                                      slices_[l].offset_width, ranges_[l].first, run_len,
-                                      run_nbrs_[l].data(), run_edges_[l].data());
+        DecodeSliceEntries(simd::Active(), slices_[l], ranges_[l].first, run_len,
+                           run_nbrs_[l].data(), run_edges_[l].data());
         run_decoded_[l] = 1;
       }
       enumerations *= run_len;

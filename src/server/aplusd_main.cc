@@ -1,11 +1,17 @@
 // aplusd: the A+ index engine behind the wire protocol (docs/PROTOCOL.md).
 //
 //   aplusd [--port=N] [--workers=N] [--scale=F] [--deadline-ms=N]
+//          [--graph=SEGMENT] [--seal=PATH]
 //
 // Serves the synthetic power-law financial workload of the benches
 // (vertices with sequential IDs, :E edges with an integer `amt`
 // property) so aplus_loadgen and external drivers have a deterministic
-// dataset to query. Env knobs:
+// dataset to query. --graph skips generation and serves a sealed
+// segment file (storage/segment.h) instead: the file is mapped
+// read-only and both primary indexes come up without a rebuild, so
+// startup is O(graph copy), not O(index build). --seal generates (or
+// opens) the dataset, writes it to a segment file, and exits — the
+// companion of --graph for ahead-of-time dataset preparation. Env knobs:
 //   APLUS_MAX_CONCURRENT / APLUS_ADMISSION_QUEUE /
 //   APLUS_ADMISSION_TIMEOUT_MS  — admission control (core/admission.h)
 //   APLUS_SERVER_BATCH=on|off   — identical-request batching
@@ -16,6 +22,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 
@@ -45,6 +52,8 @@ int main(int argc, char** argv) {
   ServerOptions options = ServerOptions::FromEnv();
   options.port = 7601;
   double scale = 0.02;
+  std::string graph_path;
+  std::string seal_path;
   const char* value = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (FlagValue(argv[i], "--port", &value)) {
@@ -55,30 +64,58 @@ int main(int argc, char** argv) {
       scale = std::atof(value);
     } else if (FlagValue(argv[i], "--deadline-ms", &value)) {
       options.default_deadline_millis = std::atoll(value);
+    } else if (FlagValue(argv[i], "--graph", &value)) {
+      graph_path = value;
+    } else if (FlagValue(argv[i], "--seal", &value)) {
+      seal_path = value;
     } else {
       std::fprintf(stderr,
-                   "usage: aplusd [--port=N] [--workers=N] [--scale=F] [--deadline-ms=N]\n");
+                   "usage: aplusd [--port=N] [--workers=N] [--scale=F] [--deadline-ms=N] "
+                   "[--graph=SEGMENT] [--seal=PATH]\n");
       return 2;
     }
   }
 
-  Graph graph;
-  PowerLawParams params;
-  params.num_vertices = std::max<uint64_t>(2000, static_cast<uint64_t>(1000000 * scale));
-  params.avg_degree = 8.0;
-  params.preferential_fraction = 0.75;
-  params.seed = 97;
-  GeneratePowerLawGraph(params, &graph);
-  prop_key_t amt_key = graph.AddEdgeProperty("amt", ValueType::kInt64);
-  {
-    PropertyColumn* amt = graph.edge_props().mutable_column(amt_key);
-    Rng rng(13);
-    for (edge_id_t e = 0; e < graph.num_edges(); ++e) {
-      amt->SetInt64(e, static_cast<int64_t>(rng.NextBounded(10000)));
+  std::unique_ptr<Database> owned_db;
+  if (!graph_path.empty()) {
+    std::string error;
+    owned_db = Database::OpenFromSegment(graph_path, &error);
+    if (owned_db == nullptr) {
+      std::fprintf(stderr, "aplusd: --graph=%s: %s\n", graph_path.c_str(), error.c_str());
+      return 1;
     }
+  } else {
+    Graph graph;
+    PowerLawParams params;
+    params.num_vertices = std::max<uint64_t>(2000, static_cast<uint64_t>(1000000 * scale));
+    params.avg_degree = 8.0;
+    params.preferential_fraction = 0.75;
+    params.seed = 97;
+    GeneratePowerLawGraph(params, &graph);
+    prop_key_t amt_key = graph.AddEdgeProperty("amt", ValueType::kInt64);
+    {
+      PropertyColumn* amt = graph.edge_props().mutable_column(amt_key);
+      Rng rng(13);
+      for (edge_id_t e = 0; e < graph.num_edges(); ++e) {
+        amt->SetInt64(e, static_cast<int64_t>(rng.NextBounded(10000)));
+      }
+    }
+    owned_db = std::make_unique<Database>(std::move(graph));
+    owned_db->BuildPrimaryIndexes();
   }
-  Database db(std::move(graph));
-  db.BuildPrimaryIndexes();
+  Database& db = *owned_db;
+
+  if (!seal_path.empty()) {
+    std::string error;
+    if (!db.SealToSegment(seal_path, &error)) {
+      std::fprintf(stderr, "aplusd: --seal=%s: %s\n", seal_path.c_str(), error.c_str());
+      return 1;
+    }
+    std::printf("aplusd: sealed %llu vertices, %llu edges to %s\n",
+                static_cast<unsigned long long>(db.graph().num_vertices()),
+                static_cast<unsigned long long>(db.graph().num_edges()), seal_path.c_str());
+    return 0;
+  }
 
   Server server(&db, options);
   std::string error;

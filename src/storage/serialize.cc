@@ -95,6 +95,11 @@ class Reader {
   bool failed_ = false;
 };
 
+// Validates a serialized value-type tag before the enum cast. A
+// corrupted tag would otherwise flow into switch statements as an
+// out-of-range enum.
+bool ValidTypeTag(uint8_t tag) { return tag <= static_cast<uint8_t>(ValueType::kCategory); }
+
 void WriteColumn(Writer* w, const PropertyColumn& col, uint64_t n) {
   w->U8(static_cast<uint8_t>(col.type()));
   w->U32(col.domain_size());
@@ -127,7 +132,9 @@ void WriteColumn(Writer* w, const PropertyColumn& col, uint64_t n) {
 }
 
 bool ReadColumn(Reader* r, PropertyColumn* col, uint64_t n) {
-  ValueType type = static_cast<ValueType>(r->U8());
+  uint8_t tag = r->U8();
+  if (!ValidTypeTag(tag)) return false;
+  ValueType type = static_cast<ValueType>(tag);
   uint32_t domain = r->U32();
   (void)domain;  // already registered through the catalog
   if (type != col->type()) return false;
@@ -144,9 +151,14 @@ bool ReadColumn(Reader* r, PropertyColumn* col, uint64_t n) {
       case ValueType::kBool:
         col->SetBool(id, r->U8() != 0);
         break;
-      case ValueType::kCategory:
-        col->SetCategory(id, r->U32());
+      case ValueType::kCategory: {
+        // Category codes feed partitioning levels as bucket indexes;
+        // reject anything outside the registered domain.
+        uint32_t code = r->U32();
+        if (code >= col->domain_size()) return false;
+        col->SetCategory(id, code);
         break;
+      }
       case ValueType::kDouble:
         col->SetDouble(id, r->F64());
         break;
@@ -162,12 +174,7 @@ bool ReadColumn(Reader* r, PropertyColumn* col, uint64_t n) {
 
 }  // namespace
 
-bool SaveGraph(const Graph& graph, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out.is_open()) {
-    APLUS_LOG(Error) << "cannot open " << path << " for writing";
-    return false;
-  }
+bool SaveGraphToStream(const Graph& graph, std::ostream& out) {
   Writer w(&out);
   w.U32(kMagic);
   w.U32(kVersion);
@@ -215,33 +222,32 @@ bool SaveGraph(const Graph& graph, const std::string& path) {
   return w.ok();
 }
 
-bool LoadGraph(const std::string& path, Graph* graph) {
-  APLUS_CHECK_EQ(graph->num_vertices(), 0u) << "LoadGraph needs an empty graph";
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) {
-    APLUS_LOG(Error) << "cannot open " << path;
-    return false;
-  }
+bool LoadGraphFromStream(std::istream& in, Graph* graph, const std::string& origin) {
+  APLUS_CHECK_EQ(graph->num_vertices(), 0u) << "LoadGraphFromStream needs an empty graph";
   Reader r(&in);
-  if (r.U32() != kMagic) {
-    APLUS_LOG(Error) << path << ": bad magic";
+  if (r.U32() != kMagic || !r.ok()) {
+    APLUS_LOG(Error) << origin << ": bad magic";
     return false;
   }
-  if (r.U32() != kVersion) {
-    APLUS_LOG(Error) << path << ": unsupported snapshot version";
+  if (r.U32() != kVersion || !r.ok()) {
+    APLUS_LOG(Error) << origin << ": unsupported snapshot version";
     return false;
   }
 
   Catalog& catalog = graph->catalog();
   uint32_t num_vlabels = r.U32();
+  if (num_vlabels > 65000 || !r.ok()) return false;
   for (uint32_t i = 0; i < num_vlabels && r.ok(); ++i) catalog.AddVertexLabel(r.Str());
   uint32_t num_elabels = r.U32();
+  if (num_elabels > 65000 || !r.ok()) return false;
   for (uint32_t i = 0; i < num_elabels && r.ok(); ++i) catalog.AddEdgeLabel(r.Str());
   uint32_t num_props = r.U32();
   if (num_props > 65000 || !r.ok()) return false;
   for (uint32_t i = 0; i < num_props && r.ok(); ++i) {
     std::string name = r.Str();
-    ValueType type = static_cast<ValueType>(r.U8());
+    uint8_t tag = r.U8();
+    if (!ValidTypeTag(tag)) return false;
+    ValueType type = static_cast<ValueType>(tag);
     PropTargetKind target = r.U8() == 0 ? PropTargetKind::kVertex : PropTargetKind::kEdge;
     uint32_t domain = r.U32();
     prop_key_t key = catalog.AddProperty(name, target, type, domain);
@@ -256,14 +262,16 @@ bool LoadGraph(const std::string& path, Graph* graph) {
   uint64_t ne = r.U64();
   if (!r.ok() || nv > (1ULL << 32) || ne > (1ULL << 40)) return false;
   for (uint64_t v = 0; v < nv && r.ok(); ++v) {
-    graph->AddVertex(static_cast<label_t>(r.U32()));
+    uint32_t label = r.U32();
+    if (label >= num_vlabels) return false;
+    graph->AddVertex(static_cast<label_t>(label));
   }
   for (uint64_t e = 0; e < ne && r.ok(); ++e) {
     vertex_id_t src = r.U32();
     vertex_id_t dst = r.U32();
-    label_t label = static_cast<label_t>(r.U32());
-    if (src >= nv || dst >= nv) return false;
-    graph->AddEdge(src, dst, label);
+    uint32_t label = r.U32();
+    if (src >= nv || dst >= nv || label >= num_elabels) return false;
+    graph->AddEdge(src, dst, static_cast<label_t>(label));
   }
 
   for (prop_key_t k = 0; k < catalog.num_properties() && r.ok(); ++k) {
@@ -276,6 +284,24 @@ bool LoadGraph(const std::string& path, Graph* graph) {
     if (!ReadColumn(&r, col, meta.target == PropTargetKind::kVertex ? nv : ne)) return false;
   }
   return r.ok();
+}
+
+bool SaveGraph(const Graph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) {
+    APLUS_LOG(Error) << "cannot open " << path << " for writing";
+    return false;
+  }
+  return SaveGraphToStream(graph, out);
+}
+
+bool LoadGraph(const std::string& path, Graph* graph) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    APLUS_LOG(Error) << "cannot open " << path;
+    return false;
+  }
+  return LoadGraphFromStream(in, graph, path);
 }
 
 }  // namespace aplus

@@ -1,6 +1,7 @@
 #ifndef APLUS_STORAGE_SERIALIZE_H_
 #define APLUS_STORAGE_SERIALIZE_H_
 
+#include <iosfwd>
 #include <string>
 
 #include "storage/graph.h"
@@ -20,6 +21,14 @@ bool SaveGraph(const Graph& graph, const std::string& path);
 // Loads a snapshot into `graph` (which must be default-constructed).
 // Returns false on I/O error, bad magic, or version mismatch.
 bool LoadGraph(const std::string& path, Graph* graph);
+
+// Stream variants of the same format, used by the sealed-segment layer
+// to embed a graph snapshot as one section of a larger file. The loader
+// fails closed on truncation and on any out-of-range value (label IDs,
+// value-type tags, category codes); `origin` names the source in error
+// logs.
+bool SaveGraphToStream(const Graph& graph, std::ostream& out);
+bool LoadGraphFromStream(std::istream& in, Graph* graph, const std::string& origin);
 
 }  // namespace aplus
 
